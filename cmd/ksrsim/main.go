@@ -1,0 +1,653 @@
+// Command ksrsim regenerates every table and figure of "Scalability Study
+// of the KSR-1" on the simulated machine models. Each subcommand maps to
+// one experiment; `ksrsim all` runs the full suite at the default
+// (scaled-down) sizes. Paper-scale runs are reachable through flags — see
+// EXPERIMENTS.md for the exact invocations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/kernels"
+	"repro/internal/metrics"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `ksrsim — KSR-1 scalability study reproduction
+
+Usage: ksrsim [-json] <command> [flags]
+
+With -json, results are emitted as JSON instead of formatted tables.
+
+Commands:
+  latency     Figure 2: read/write latencies per memory-hierarchy level
+  alloc       Section 3.1: block/page allocation overheads
+  locks       Figure 3: hardware exclusive vs software read-write lock
+  barriers    Figure 4 (KSR-1) / Figure 5 (-machine ksr2 -cells 64)
+  compare     Section 3.2.3: barriers on Symmetry (bus) and Butterfly (MIN)
+  ep          Section 3.3: Embarrassingly Parallel scalability
+  cg          Table 1 + Figure 8: Conjugate Gradient
+  is          Table 2 + Figure 8: Integer Sort
+  sp          Table 3: Scalar Pentadiagonal (-opts for Table 4)
+  bt          extension: Block Tridiagonal (the third code of ref [6])
+  qlocks      extension: Anderson/MCS queue locks vs the hardware lock
+  saturation  extension: offered-load sweep of the ring's slot capacity
+  capacity    extension: the superunitary-speedup (cache capacity) effect
+  npb         run one kernel at an NPB class (S/W/A) and print its banner
+  all         run everything at default sizes
+
+Run 'ksrsim <command> -h' for per-command flags.
+`)
+}
+
+// parseProcs parses "1,2,4,8" into a slice.
+func parseProcs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad processor count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ksrsim:", err)
+	os.Exit(1)
+}
+
+// jsonOut switches result rendering to JSON (the -json global flag).
+var jsonOut bool
+
+// emit prints a result either as its formatted table/figure or as JSON.
+func emit(res any) {
+	if !jsonOut {
+		fmt.Print(res)
+		return
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	os.Stdout.Write(b)
+	fmt.Println()
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	argv := os.Args[1:]
+	if argv[0] == "-json" || argv[0] == "--json" {
+		jsonOut = true
+		argv = argv[1:]
+		if len(argv) == 0 {
+			usage()
+			os.Exit(2)
+		}
+	}
+	cmd, args := argv[0], argv[1:]
+	switch cmd {
+	case "latency":
+		cmdLatency(args)
+	case "alloc":
+		cmdAlloc(args)
+	case "locks":
+		cmdLocks(args)
+	case "barriers":
+		cmdBarriers(args)
+	case "compare":
+		cmdCompare(args)
+	case "ep":
+		cmdEP(args)
+	case "cg":
+		cmdCG(args)
+	case "is":
+		cmdIS(args)
+	case "sp":
+		cmdSP(args)
+	case "bt":
+		cmdBT(args)
+	case "qlocks":
+		cmdQLocks(args)
+	case "saturation":
+		cmdSaturation(args)
+	case "capacity":
+		cmdCapacity(args)
+	case "npb":
+		cmdNPB(args)
+	case "all":
+		cmdAll(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "ksrsim: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func cmdLatency(args []string) {
+	fs := flag.NewFlagSet("latency", flag.ExitOnError)
+	cells := fs.Int("cells", 32, "machine size")
+	region := fs.Int64("region", 256*1024, "per-processor array bytes (paper: 1048576)")
+	procsFlag := fs.String("procs", "", "comma-separated processor counts")
+	plot := fs.Bool("plot", false, "render an ASCII chart of the curves")
+	fs.Parse(args)
+	cfg := experiments.DefaultLatencyConfig()
+	cfg.Cells = *cells
+	cfg.RegionBytes = *region
+	var err error
+	if cfg.Procs, err = parseProcs(*procsFlag); err != nil {
+		fail(err)
+	}
+	res, err := experiments.RunLatency(cfg)
+	if err != nil {
+		fail(err)
+	}
+	emit(res)
+	if *plot {
+		fmt.Print(metrics.Plot("Figure 2", "us/access", []metrics.Series{
+			{Label: "net read", Procs: res.Procs, Values: res.NetRead},
+			{Label: "net write", Procs: res.Procs, Values: res.NetWrite},
+			{Label: "local read", Procs: res.Procs, Values: res.LocalRead},
+			{Label: "local write", Procs: res.Procs, Values: res.LocalWrite},
+		}, 60, 16, false))
+	}
+}
+
+func cmdAlloc(args []string) {
+	fs := flag.NewFlagSet("alloc", flag.ExitOnError)
+	fs.Parse(args)
+	res, err := experiments.RunAllocOverhead(experiments.KSR1Kind)
+	if err != nil {
+		fail(err)
+	}
+	emit(res)
+}
+
+func cmdLocks(args []string) {
+	fs := flag.NewFlagSet("locks", flag.ExitOnError)
+	cells := fs.Int("cells", 32, "machine size")
+	ops := fs.Int("ops", 100, "lock operations per processor (paper: 500)")
+	hold := fs.Int64("hold", 3000, "local operations while holding the lock")
+	delay := fs.Int64("delay", 10000, "local operations between requests")
+	interrupts := fs.Bool("interrupts", false, "model unsynchronized OS timer interrupts")
+	procsFlag := fs.String("procs", "", "comma-separated processor counts")
+	fs.Parse(args)
+	cfg := experiments.DefaultLocksConfig()
+	cfg.Cells = *cells
+	cfg.OpsPerProc = *ops
+	cfg.HoldOps = *hold
+	cfg.DelayOps = *delay
+	cfg.TimerInterrupts = *interrupts
+	var err error
+	if cfg.Procs, err = parseProcs(*procsFlag); err != nil {
+		fail(err)
+	}
+	res, err := experiments.RunLocks(cfg)
+	if err != nil {
+		fail(err)
+	}
+	emit(res)
+}
+
+func cmdBarriers(args []string) {
+	fs := flag.NewFlagSet("barriers", flag.ExitOnError)
+	machineFlag := fs.String("machine", "ksr1", "ksr1 | ksr2 | symmetry | butterfly")
+	cells := fs.Int("cells", 0, "machine size (default: 32, or 64 for ksr2)")
+	episodes := fs.Int("episodes", 100, "barrier episodes per measurement")
+	procsFlag := fs.String("procs", "", "comma-separated processor counts")
+	algosFlag := fs.String("algos", "", "comma-separated algorithm subset")
+	plot := fs.Bool("plot", false, "render an ASCII chart of the curves")
+	fs.Parse(args)
+	var cfg experiments.BarriersConfig
+	if *machineFlag == "ksr2" {
+		cfg = experiments.KSR2BarriersConfig()
+	} else {
+		cfg = experiments.DefaultBarriersConfig()
+		cfg.Machine = experiments.MachineKind(*machineFlag)
+	}
+	if *cells != 0 {
+		cfg.Cells = *cells
+	}
+	cfg.Episodes = *episodes
+	var err error
+	if p, err := parseProcs(*procsFlag); err != nil {
+		fail(err)
+	} else if p != nil {
+		cfg.Procs = p
+	}
+	if *algosFlag != "" {
+		cfg.Algorithms = strings.Split(*algosFlag, ",")
+	}
+	res, err := experiments.RunBarriers(cfg)
+	if err != nil {
+		fail(err)
+	}
+	emit(res)
+	fmt.Printf("best at %d processors: %s\n", cfg.Procs[len(cfg.Procs)-1], res.Best())
+	if *plot {
+		var series []metrics.Series
+		for i, a := range res.Algos {
+			series = append(series, metrics.Series{Label: a, Procs: res.Procs, Values: res.Times[i]})
+		}
+		fmt.Print(metrics.Plot(res.Title, "s/episode", series, 60, 18, true))
+	}
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	cells := fs.Int("cells", 16, "machine size")
+	episodes := fs.Int("episodes", 50, "barrier episodes per measurement")
+	procsFlag := fs.String("procs", "2,4,8,16", "comma-separated processor counts")
+	fs.Parse(args)
+	procs, err := parseProcs(*procsFlag)
+	if err != nil {
+		fail(err)
+	}
+	res, err := experiments.RunCompare(*cells, *episodes, procs)
+	if err != nil {
+		fail(err)
+	}
+	emit(res)
+}
+
+func cmdEP(args []string) {
+	fs := flag.NewFlagSet("ep", flag.ExitOnError)
+	logPairs := fs.Int("logpairs", 18, "generate 2^logpairs pairs (paper: 28)")
+	procsFlag := fs.String("procs", "", "comma-separated processor counts")
+	fs.Parse(args)
+	cfg := experiments.DefaultEPExperiment()
+	cfg.LogPairs = *logPairs
+	var err error
+	if p, err := parseProcs(*procsFlag); err != nil {
+		fail(err)
+	} else if p != nil {
+		cfg.Procs = p
+	}
+	res, err := experiments.RunEPExperiment(cfg)
+	if err != nil {
+		fail(err)
+	}
+	emit(res)
+	if !res.Verified {
+		fail(fmt.Errorf("EP results differ across processor counts"))
+	}
+}
+
+func cmdCG(args []string) {
+	fs := flag.NewFlagSet("cg", flag.ExitOnError)
+	n := fs.Int("n", 1400, "matrix order (paper: 14000)")
+	nnz := fs.Int("nnz", 20300, "nonzeros (paper: 2030000)")
+	iters := fs.Int("iters", 15, "CG iterations")
+	poststore := fs.Bool("poststore", false, "also run the poststore ablation")
+	procsFlag := fs.String("procs", "", "comma-separated processor counts")
+	fs.Parse(args)
+	cfg := experiments.DefaultCGExperiment()
+	cfg.N, cfg.NNZ, cfg.Iterations = *n, *nnz, *iters
+	if p, err := parseProcs(*procsFlag); err != nil {
+		fail(err)
+	} else if p != nil {
+		cfg.Procs = p
+	}
+	res, err := experiments.RunCGExperiment(cfg)
+	if err != nil {
+		fail(err)
+	}
+	emit(res)
+	if *poststore {
+		imp, err := experiments.RunCGPoststoreAblation(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("poststore improvement (percent, paper: ~3% at 16, less at 32):")
+		for _, pn := range cfg.Procs {
+			fmt.Printf("  %2d procs: %+.2f%%\n", pn, imp[pn])
+		}
+	}
+}
+
+func cmdIS(args []string) {
+	fs := flag.NewFlagSet("is", flag.ExitOnError)
+	logKeys := fs.Int("logkeys", 17, "2^logkeys keys (paper: 23)")
+	logMax := fs.Int("logmaxkey", 11, "keys < 2^logmaxkey (paper: 19)")
+	procsFlag := fs.String("procs", "", "comma-separated processor counts")
+	fs.Parse(args)
+	cfg := experiments.DefaultISExperiment()
+	cfg.LogKeys, cfg.LogMaxKey = *logKeys, *logMax
+	if p, err := parseProcs(*procsFlag); err != nil {
+		fail(err)
+	} else if p != nil {
+		cfg.Procs = p
+	}
+	res, err := experiments.RunISExperiment(cfg)
+	if err != nil {
+		fail(err)
+	}
+	emit(res)
+	if !res.Verified {
+		fail(fmt.Errorf("IS failed verification"))
+	}
+}
+
+func cmdSP(args []string) {
+	fs := flag.NewFlagSet("sp", flag.ExitOnError)
+	nx := fs.Int("nx", 64, "grid x (paper: 64)")
+	ny := fs.Int("ny", 64, "grid y (paper: 64)")
+	nz := fs.Int("nz", 64, "grid z (paper: 64)")
+	iters := fs.Int("iters", 1, "iterations (paper runs 400)")
+	opts := fs.Bool("opts", false, "run the Table 4 optimization ladder instead")
+	optProcs := fs.Int("optprocs", 16, "processor count for -opts (paper: 30)")
+	procsFlag := fs.String("procs", "", "comma-separated processor counts")
+	fs.Parse(args)
+	cfg := experiments.DefaultSPExperiment()
+	cfg.Nx, cfg.Ny, cfg.Nz, cfg.Iterations = *nx, *ny, *nz, *iters
+	if p, err := parseProcs(*procsFlag); err != nil {
+		fail(err)
+	} else if p != nil {
+		cfg.Procs = p
+	}
+	if *opts {
+		res, err := experiments.RunSPOptimizations(cfg, *optProcs)
+		if err != nil {
+			fail(err)
+		}
+		emit(res)
+		return
+	}
+	res, err := experiments.RunSPExperiment(cfg)
+	if err != nil {
+		fail(err)
+	}
+	emit(res)
+	if !res.Verified {
+		fail(fmt.Errorf("SP answer differs from serial reference"))
+	}
+}
+
+func cmdBT(args []string) {
+	fs := flag.NewFlagSet("bt", flag.ExitOnError)
+	nx := fs.Int("nx", 16, "grid x")
+	ny := fs.Int("ny", 16, "grid y")
+	nz := fs.Int("nz", 16, "grid z")
+	iters := fs.Int("iters", 1, "iterations")
+	procsFlag := fs.String("procs", "", "comma-separated processor counts")
+	fs.Parse(args)
+	cfg := experiments.DefaultBTExperiment()
+	cfg.Nx, cfg.Ny, cfg.Nz, cfg.Iterations = *nx, *ny, *nz, *iters
+	if p, err := parseProcs(*procsFlag); err != nil {
+		fail(err)
+	} else if p != nil {
+		cfg.Procs = p
+	}
+	res, err := experiments.RunBTExperiment(cfg)
+	if err != nil {
+		fail(err)
+	}
+	emit(res)
+	if !res.Verified {
+		fail(fmt.Errorf("BT answer differs from serial reference"))
+	}
+}
+
+func cmdQLocks(args []string) {
+	fs := flag.NewFlagSet("qlocks", flag.ExitOnError)
+	machineFlag := fs.String("machine", "ksr1", "ksr1 | ksr2 | symmetry | butterfly")
+	cells := fs.Int("cells", 32, "machine size")
+	ops := fs.Int("ops", 30, "lock operations per processor")
+	procsFlag := fs.String("procs", "", "comma-separated processor counts")
+	fs.Parse(args)
+	cfg := experiments.DefaultQueueLocksConfig()
+	cfg.Machine = experiments.MachineKind(*machineFlag)
+	cfg.Cells = *cells
+	cfg.OpsPerProc = *ops
+	if p, err := parseProcs(*procsFlag); err != nil {
+		fail(err)
+	} else if p != nil {
+		cfg.Procs = p
+	}
+	res, err := experiments.RunQueueLocks(cfg)
+	if err != nil {
+		fail(err)
+	}
+	emit(res)
+}
+
+func cmdSaturation(args []string) {
+	fs := flag.NewFlagSet("saturation", flag.ExitOnError)
+	cells := fs.Int("cells", 32, "machine size")
+	procs := fs.Int("procs", 32, "simultaneously communicating processors")
+	accesses := fs.Int64("accesses", 400, "remote reads per processor per point")
+	fs.Parse(args)
+	cfg := experiments.DefaultSaturationConfig()
+	cfg.Cells = *cells
+	cfg.Procs = *procs
+	cfg.Accesses = *accesses
+	res, err := experiments.RunSaturation(cfg)
+	if err != nil {
+		fail(err)
+	}
+	emit(res)
+}
+
+func cmdCapacity(args []string) {
+	fs := flag.NewFlagSet("capacity", flag.ExitOnError)
+	total := fs.Int64("bytes", 48*1024*1024, "total working set (needs > 32 MB)")
+	procsFlag := fs.String("procs", "", "comma-separated processor counts")
+	fs.Parse(args)
+	cfg := experiments.DefaultCapacityConfig()
+	cfg.TotalBytes = *total
+	if p, err := parseProcs(*procsFlag); err != nil {
+		fail(err)
+	} else if p != nil {
+		cfg.Procs = p
+	}
+	res, err := experiments.RunCapacityEffect(cfg)
+	if err != nil {
+		fail(err)
+	}
+	emit(res)
+}
+
+func cmdNPB(args []string) {
+	fs := flag.NewFlagSet("npb", flag.ExitOnError)
+	bench := fs.String("bench", "ep", "ep | cg | is | sp")
+	classFlag := fs.String("class", "S", "NPB class: S, W, or A (the paper's scale)")
+	procs := fs.Int("procs", 8, "processor count")
+	cells := fs.Int("cells", 32, "machine size")
+	fs.Parse(args)
+	cls, err := kernels.ParseClass(*classFlag)
+	if err != nil {
+		fail(err)
+	}
+	m, err := experiments.NewMachine(experiments.KSR1Kind, *cells)
+	if err != nil {
+		fail(err)
+	}
+	var rep kernels.Report
+	switch *bench {
+	case "ep":
+		cfg, err := kernels.EPClass(cls, *procs)
+		if err != nil {
+			fail(err)
+		}
+		res, err := kernels.RunEP(m, cfg)
+		if err != nil {
+			fail(err)
+		}
+		rep = kernels.EPReport(cfg, res, "ksr1")
+	case "cg":
+		cfg, err := kernels.CGClass(cls, *procs)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Iterations = 25
+		res, err := kernels.RunCG(m, cfg)
+		if err != nil {
+			fail(err)
+		}
+		rep = kernels.CGReport(cfg, res, "ksr1", 1e-6)
+	case "is":
+		cfg, err := kernels.ISClass(cls, *procs)
+		if err != nil {
+			fail(err)
+		}
+		res, err := kernels.RunIS(m, cfg)
+		if err != nil {
+			fail(err)
+		}
+		rep = kernels.ISReport(cfg, res, "ksr1")
+	case "sp":
+		cfg, err := kernels.SPClass(cls, *procs)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Padding, cfg.Prefetch = true, true
+		res, err := kernels.RunSP(m, cfg)
+		if err != nil {
+			fail(err)
+		}
+		rep = kernels.SPReport(cfg, res, "ksr1", kernels.SPReference(cfg))
+	default:
+		fail(fmt.Errorf("unknown benchmark %q", *bench))
+	}
+	rep.Class = cls
+	if jsonOut {
+		emit(rep)
+		return
+	}
+	fmt.Print(kernels.RenderReport(rep))
+}
+
+func cmdAll(args []string) {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	episodes := fs.Int("episodes", 50, "barrier episodes")
+	fs.Parse(args)
+
+	section := func(name string) { fmt.Printf("\n===== %s =====\n", name) }
+
+	section("E1: Figure 2 — latencies")
+	lat, err := experiments.RunLatency(experiments.DefaultLatencyConfig())
+	if err != nil {
+		fail(err)
+	}
+	emit(lat)
+
+	section("E1b: allocation overheads")
+	alloc, err := experiments.RunAllocOverhead(experiments.KSR1Kind)
+	if err != nil {
+		fail(err)
+	}
+	emit(alloc)
+
+	section("E2: Figure 3 — locks")
+	locks, err := experiments.RunLocks(experiments.DefaultLocksConfig())
+	if err != nil {
+		fail(err)
+	}
+	emit(locks)
+
+	section("E3: Figure 4 — barriers on 32-node KSR-1")
+	b1cfg := experiments.DefaultBarriersConfig()
+	b1cfg.Episodes = *episodes
+	b1, err := experiments.RunBarriers(b1cfg)
+	if err != nil {
+		fail(err)
+	}
+	emit(b1)
+	fmt.Printf("best: %s\n", b1.Best())
+
+	section("E4: Figure 5 — barriers on 64-node KSR-2")
+	b2cfg := experiments.KSR2BarriersConfig()
+	b2cfg.Episodes = *episodes
+	b2, err := experiments.RunBarriers(b2cfg)
+	if err != nil {
+		fail(err)
+	}
+	emit(b2)
+	fmt.Printf("best: %s\n", b2.Best())
+
+	section("E5: Section 3.2.3 — Symmetry and Butterfly")
+	cmp, err := experiments.RunCompare(16, *episodes, []int{2, 4, 8, 16})
+	if err != nil {
+		fail(err)
+	}
+	emit(cmp)
+
+	section("E6: EP scalability")
+	ep, err := experiments.RunEPExperiment(experiments.DefaultEPExperiment())
+	if err != nil {
+		fail(err)
+	}
+	emit(ep)
+
+	section("E7: Table 1 — CG")
+	cg, err := experiments.RunCGExperiment(experiments.DefaultCGExperiment())
+	if err != nil {
+		fail(err)
+	}
+	emit(cg)
+
+	section("E8: Table 2 — IS")
+	is, err := experiments.RunISExperiment(experiments.DefaultISExperiment())
+	if err != nil {
+		fail(err)
+	}
+	emit(is)
+
+	section("Figure 8 — CG and IS speedups")
+	fmt.Print(experiments.Figure8(cg, is))
+	fmt.Print(metrics.SpeedupPlot("Figure 8 (chart)", map[string][]metrics.Row{
+		"CG": cg.Rows, "IS": is.Rows,
+	}, 56, 14))
+
+	section("E9: Table 3 — SP")
+	sp, err := experiments.RunSPExperiment(experiments.DefaultSPExperiment())
+	if err != nil {
+		fail(err)
+	}
+	emit(sp)
+
+	section("E10: Table 4 — SP optimizations")
+	spoCfg := experiments.DefaultSPExperiment()
+	spoCfg.Nz = 16 // keep the z-plane size that aliases the sub-cache, cheaply
+	spo, err := experiments.RunSPOptimizations(spoCfg, 16)
+	if err != nil {
+		fail(err)
+	}
+	emit(spo)
+
+	section("X1: queue locks (extension)")
+	ql, err := experiments.RunQueueLocks(experiments.DefaultQueueLocksConfig())
+	if err != nil {
+		fail(err)
+	}
+	emit(ql)
+
+	section("X2: ring saturation sweep (extension)")
+	sat, err := experiments.RunSaturation(experiments.DefaultSaturationConfig())
+	if err != nil {
+		fail(err)
+	}
+	emit(sat)
+
+	section("X3: Block Tridiagonal (extension)")
+	bt, err := experiments.RunBTExperiment(experiments.DefaultBTExperiment())
+	if err != nil {
+		fail(err)
+	}
+	emit(bt)
+}

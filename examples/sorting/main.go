@@ -1,0 +1,46 @@
+// Parallel integer sort end-to-end: run the paper's seven-phase
+// replicated-bucket-count sort (Figure 9) on increasing processor counts
+// and watch the serial phase-4 fraction grow — the algorithmic limit the
+// paper separates from the architectural one (ring saturation).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func main() {
+	base := kernels.ISConfig{
+		LogKeys:   16, // 65536 keys (the paper ran 2^23)
+		LogMaxKey: 10,
+		Seed:      kernels.DefaultNASSeed,
+	}
+	fmt.Printf("bucket-sorting 2^%d keys on a simulated KSR-1\n\n", base.LogKeys)
+	fmt.Printf("%6s %14s %10s %12s %10s\n", "procs", "time", "speedup", "serial ph.4", "verified")
+
+	var t1 sim.Time
+	for _, procs := range []int{1, 2, 4, 8, 16, 32} {
+		m := machine.New(machine.KSR1(32))
+		cfg := base
+		cfg.Procs = procs
+		res, err := kernels.RunIS(m, cfg)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if procs == 1 {
+			t1 = res.Elapsed
+		}
+		fmt.Printf("%6d %14v %10.2f %12v %10v\n",
+			procs, res.Elapsed, float64(t1)/float64(res.Elapsed), res.SerialTime, res.Sorted)
+	}
+
+	fmt.Println()
+	fmt.Println("Phase 4 (one processor combining per-slice prefix maxima) grows")
+	fmt.Println("with the processor count, and phases 2 and 6 put every cell on")
+	fmt.Println("the ring at once — the combination that bends the speedup curve")
+	fmt.Println("over at high processor counts, as in the paper's Table 2.")
+}

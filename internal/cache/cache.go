@@ -1,0 +1,319 @@
+// Package cache models the two on-node cache levels of a KSR-1 cell:
+//
+//   - the sub-cache (first level): 256 KB of data, 2-way set associative,
+//     allocated in 2 KB blocks, filled in 64 B sub-blocks;
+//   - the local cache (second level): 32 MB, 16-way set associative,
+//     allocated in 16 KB pages, filled in 128 B sub-pages.
+//
+// Both levels use random replacement, which the paper identifies as the
+// cause of first-level thrashing in the SP application (fixed there by
+// data padding). Replacement draws from a seeded RNG so simulations are
+// reproducible.
+//
+// The cache tracks *storage presence* only. Coherence validity (whether a
+// present sub-page holds current data or is an invalidated place-holder)
+// is the coherence package's job.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/sim"
+)
+
+// Replacement selects the victim policy.
+type Replacement int
+
+const (
+	// RandomReplacement is the KSR-1's policy (and the reason SP thrashed
+	// until its data was padded).
+	RandomReplacement Replacement = iota
+	// LRUReplacement is the counterfactual policy for the ablation study:
+	// with LRU, the SP z-sweep's 4-set aliasing still thrashes (the reuse
+	// distance exceeds the ways), but streaming patterns stop evicting
+	// hot lines at random.
+	LRUReplacement
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name         string
+	SizeBytes    int64
+	Assoc        int
+	AllocUnit    int64 // allocation grain: block (2 KB) or page (16 KB)
+	TransferUnit int64 // fill grain: sub-block (64 B) or sub-page (128 B)
+	Policy       Replacement
+}
+
+// SubCacheConfig returns the KSR-1 first-level data cache geometry.
+func SubCacheConfig() Config {
+	return Config{
+		Name:         "sub-cache",
+		SizeBytes:    256 * 1024,
+		Assoc:        2,
+		AllocUnit:    memory.BlockSize,
+		TransferUnit: memory.SubBlockSize,
+	}
+}
+
+// LocalCacheConfig returns the KSR-1 second-level cache geometry.
+func LocalCacheConfig() Config {
+	return Config{
+		Name:         "local-cache",
+		SizeBytes:    32 * 1024 * 1024,
+		Assoc:        16,
+		AllocUnit:    memory.PageSize,
+		TransferUnit: memory.SubPageSize,
+	}
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int64 {
+	return c.SizeBytes / (int64(c.Assoc) * c.AllocUnit)
+}
+
+// unitsPerAlloc returns transfer units per allocation unit.
+func (c Config) unitsPerAlloc() int { return int(c.AllocUnit / c.TransferUnit) }
+
+// Outcome classifies one access.
+type Outcome int
+
+const (
+	// Hit: the transfer unit is present.
+	Hit Outcome = iota
+	// TransferMiss: the allocation unit is resident but the transfer unit
+	// must be filled (a sub-block or sub-page fetch from the next level).
+	TransferMiss
+	// AllocMiss: a new allocation unit must be claimed first (the paper's
+	// 2 KB block / 16 KB page allocation overhead), possibly evicting.
+	AllocMiss
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case TransferMiss:
+		return "transfer-miss"
+	case AllocMiss:
+		return "alloc-miss"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Evicted describes an allocation unit displaced by random replacement.
+type Evicted struct {
+	Unit    uint64   // allocation-unit index (addr / AllocUnit)
+	Present []uint64 // transfer-unit indices that were resident
+}
+
+// Stats holds per-cache counters, mirroring the hardware performance
+// monitor the authors used.
+type Stats struct {
+	Accesses       uint64
+	Hits           uint64
+	TransferMisses uint64
+	AllocMisses    uint64
+	Evictions      uint64
+	Purges         uint64
+}
+
+// MissRatio returns (transfer+alloc misses) / accesses.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.TransferMisses+s.AllocMisses) / float64(s.Accesses)
+}
+
+type frame struct {
+	valid   bool
+	tag     uint64 // allocation-unit index
+	present []bool // per transfer unit within the allocation unit
+	nset    int    // count of present transfer units
+	lastUse uint64 // access stamp for the LRU ablation policy
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg   Config
+	nsets int64
+	sets  [][]frame
+	rng   *sim.RNG
+	stats Stats
+
+	// Fast path: the most recently touched frame.
+	lastUnit  uint64
+	lastFrame *frame
+
+	clock uint64 // access stamp source for LRU
+}
+
+// New builds a cache. rng drives random replacement.
+func New(cfg Config, rng *sim.RNG) *Cache {
+	nsets := cfg.Sets()
+	if nsets < 1 {
+		panic("cache: geometry yields no sets: " + cfg.Name)
+	}
+	c := &Cache{cfg: cfg, nsets: nsets, rng: rng, lastFrame: nil}
+	c.sets = make([][]frame, nsets)
+	upa := cfg.unitsPerAlloc()
+	for i := range c.sets {
+		c.sets[i] = make([]frame, cfg.Assoc)
+		for j := range c.sets[i] {
+			c.sets[i][j].present = make([]bool, upa)
+		}
+	}
+	return c
+}
+
+// Config returns the geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns cumulative counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters (contents stay).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) setOf(unit uint64) int64 { return int64(unit % uint64(c.nsets)) }
+
+func (c *Cache) unitOf(a memory.Addr) uint64 { return uint64(a) / uint64(c.cfg.AllocUnit) }
+
+func (c *Cache) transferIdx(a memory.Addr, unit uint64) int {
+	return int((int64(a) - int64(unit)*c.cfg.AllocUnit) / c.cfg.TransferUnit)
+}
+
+// find returns the frame holding unit, or nil.
+func (c *Cache) find(unit uint64) *frame {
+	c.clock++
+	if c.lastFrame != nil && c.lastFrame.valid && c.lastUnit == unit && c.lastFrame.tag == unit {
+		c.lastFrame.lastUse = c.clock
+		return c.lastFrame
+	}
+	set := c.sets[c.setOf(unit)]
+	for i := range set {
+		if set[i].valid && set[i].tag == unit {
+			c.lastUnit = unit
+			c.lastFrame = &set[i]
+			set[i].lastUse = c.clock
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Lookup reports whether the transfer unit containing a is present,
+// without changing any state.
+func (c *Cache) Lookup(a memory.Addr) bool {
+	unit := c.unitOf(a)
+	f := c.find(unit)
+	return f != nil && f.present[c.transferIdx(a, unit)]
+}
+
+// Touch performs an access to a: on a miss the transfer unit is filled,
+// allocating (and possibly evicting) an allocation unit as needed. The
+// second result is non-nil only when an eviction occurred.
+func (c *Cache) Touch(a memory.Addr) (Outcome, *Evicted) {
+	c.stats.Accesses++
+	unit := c.unitOf(a)
+	ti := c.transferIdx(a, unit)
+	if f := c.find(unit); f != nil {
+		if f.present[ti] {
+			c.stats.Hits++
+			return Hit, nil
+		}
+		f.present[ti] = true
+		f.nset++
+		c.stats.TransferMisses++
+		return TransferMiss, nil
+	}
+	// Allocation miss: claim a frame in the set.
+	c.stats.AllocMisses++
+	set := c.sets[c.setOf(unit)]
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	var ev *Evicted
+	if victim < 0 {
+		if c.cfg.Policy == LRUReplacement {
+			victim = 0
+			for i := 1; i < len(set); i++ {
+				if set[i].lastUse < set[victim].lastUse {
+					victim = i
+				}
+			}
+		} else {
+			victim = c.rng.Intn(len(set)) // random replacement
+		}
+		f := &set[victim]
+		c.stats.Evictions++
+		ev = &Evicted{Unit: f.tag}
+		for i, p := range f.present {
+			if p {
+				ev.Present = append(ev.Present, f.tag*uint64(c.cfg.unitsPerAlloc())+uint64(i))
+				f.present[i] = false
+			}
+		}
+		f.nset = 0
+	}
+	f := &set[victim]
+	f.valid = true
+	f.tag = unit
+	f.present[ti] = true
+	f.nset = 1
+	f.lastUse = c.clock
+	c.lastUnit = unit
+	c.lastFrame = f
+	return AllocMiss, ev
+}
+
+// PurgeTransferUnit removes presence of the transfer unit containing a,
+// keeping the allocation frame (a place-holder, in KSR terms, lives at the
+// coherence layer; here purge models dropping the stale copy from the
+// sub-cache on invalidation, or enforcing inclusion on local-cache
+// eviction).
+func (c *Cache) PurgeTransferUnit(a memory.Addr) {
+	unit := c.unitOf(a)
+	if f := c.find(unit); f != nil {
+		ti := c.transferIdx(a, unit)
+		if f.present[ti] {
+			f.present[ti] = false
+			f.nset--
+			c.stats.Purges++
+		}
+	}
+}
+
+// PurgeRange purges every transfer unit overlapping [base, base+size).
+func (c *Cache) PurgeRange(base memory.Addr, size int64) {
+	start := int64(base) / c.cfg.TransferUnit * c.cfg.TransferUnit
+	for a := start; a < int64(base)+size; a += c.cfg.TransferUnit {
+		c.PurgeTransferUnit(memory.Addr(a))
+	}
+}
+
+// TransferUnitBase returns the first address of transfer-unit index u
+// (as reported in Evicted.Present).
+func (c *Cache) TransferUnitBase(u uint64) memory.Addr {
+	return memory.Addr(int64(u) * c.cfg.TransferUnit)
+}
+
+// Resident returns how many transfer units are present in total. O(size);
+// intended for tests and diagnostics.
+func (c *Cache) Resident() int {
+	n := 0
+	for si := range c.sets {
+		for fi := range c.sets[si] {
+			if c.sets[si][fi].valid {
+				n += c.sets[si][fi].nset
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,585 @@
+// Package coherence implements the KSR-1 ALLCACHE invalidation-based
+// coherence protocol at sub-page (128 B) granularity.
+//
+// Each sub-page is in one of four states — invalid, shared, exclusive, or
+// atomic — tracked by a directory of holder cells. The directory is a
+// modelling convenience: on the real machine the state is distributed and
+// requests circulate the ring until a holder responds, but because a
+// unidirectional ring makes every remote access cost one rotation
+// regardless of responder position, a central directory that picks the
+// responder and charges one fabric transaction is timing-equivalent.
+//
+// The protocol models the machine's distinguishing features explicitly:
+//
+//   - read-snarfing: a read response passing invalidated place-holders
+//     revalidates them;
+//   - get_sub_page / release_sub_page: the atomic state, which fails (not
+//     queues) a second acquirer;
+//   - poststore: an asynchronous update broadcast that fills place-holders
+//     while the issuing processor continues, leaving the sub-page shared;
+//   - prefetch: an asynchronous fetch into the local cache.
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/memory"
+	"repro/internal/sim"
+)
+
+// State is a sub-page coherence state as observed globally.
+type State int
+
+const (
+	// Invalid: no cell holds a valid copy (possible after capacity
+	// evictions; the data itself survives in the backing store).
+	Invalid State = iota
+	// Shared: one or more cells hold read-only copies.
+	Shared
+	// Exclusive: exactly one cell holds a writable copy.
+	Exclusive
+	// Atomic: like Exclusive, plus get_sub_page requests by others fail
+	// until release_sub_page.
+	Atomic
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "invalid"
+	case Shared:
+		return "shared"
+	case Exclusive:
+		return "exclusive"
+	case Atomic:
+		return "atomic"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Stats holds protocol counters.
+type Stats struct {
+	ReadFetches   uint64 // remote read transactions
+	WriteFetches  uint64 // remote write/upgrade transactions
+	Invalidations uint64 // holder copies invalidated
+	Snarfs        uint64 // place-holders revalidated by passing reads
+	GSPAttempts   uint64
+	GSPFailures   uint64
+	Releases      uint64
+	Poststores    uint64
+	PoststoreFill uint64 // place-holders filled by poststores
+	Prefetches    uint64
+	Drops         uint64 // capacity evictions reported by caches
+}
+
+// bitset is a fixed-width set of cell ids.
+type bitset []uint64
+
+func newBitset(cells int) bitset { return make(bitset, (cells+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+func (b bitset) lowest() int {
+	for wi, w := range b {
+		if w != 0 {
+			for j := 0; j < 64; j++ {
+				if w&(1<<j) != 0 {
+					return wi*64 + j
+				}
+			}
+		}
+	}
+	return -1
+}
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// entry is the directory record for one sub-page.
+type entry struct {
+	holders      bitset // cells with a valid copy
+	placeholders bitset // cells with an allocated but invalidated copy
+	owner        int    // exclusive/atomic owner, -1 if none
+	atomic       bool
+	version      uint64    // bumped on every invalidation or update
+	cond         *sim.Cond // watchers: spinners and gsp retriers
+	prefetching  bitset    // cells with an in-flight prefetch
+
+	// Read combining: while a read fetch is circulating, later readers
+	// join it and are filled by the passing response (ring snarfing)
+	// instead of issuing duplicate transactions. A counter rather than a
+	// flag: with snarfing disabled (ablation) several reads can overlap.
+	readsInFlight int
+	snarfJoin     bitset
+
+	// Write serialization: ownership moves through one transaction at a
+	// time — a second writer's request cannot complete until the data has
+	// landed at the previous winner. Concurrent writers therefore take
+	// turns, one full ring transit each: the physical source of the
+	// false-sharing cost the paper charges against the MCS barrier.
+	writeInFlight bool
+}
+
+// Directory is the global coherence state for one machine.
+type Directory struct {
+	eng   *sim.Engine
+	fab   fabric.Fabric
+	cells int
+
+	entries map[memory.SubPageID]*entry
+	stats   Stats
+
+	// OnInvalidate, if set, is called whenever a cell's valid copy is
+	// invalidated (the machine uses it to purge the cell's sub-cache).
+	OnInvalidate func(cell int, sp memory.SubPageID)
+
+	// SameDomain, if set, reports whether two cells share a leaf ring.
+	// Transactions that must touch copies outside the requester's domain
+	// route their response through a cell there, paying the level-1 ring.
+	// Nil means a single communication domain.
+	SameDomain func(a, b int) bool
+
+	// DisableSnarfing turns off read-snarfing (place-holder refill and
+	// read combining), for the ablation study of how much the feature
+	// buys the global-wakeup-flag barriers. The real machine always
+	// snarfs; this exists to quantify the design choice.
+	DisableSnarfing bool
+}
+
+// crossDomainTarget returns a cell from the affected set that lies outside
+// cell's domain, or -1 if none does (or no topology is configured).
+func (d *Directory) crossDomainTarget(cell int, affected bitset) int {
+	if d.SameDomain == nil {
+		return -1
+	}
+	for c := 0; c < d.cells; c++ {
+		if affected.has(c) && !d.SameDomain(cell, c) {
+			return c
+		}
+	}
+	return -1
+}
+
+// NewDirectory creates the directory for a machine with the given fabric.
+func NewDirectory(e *sim.Engine, fab fabric.Fabric) *Directory {
+	return &Directory{
+		eng:     e,
+		fab:     fab,
+		cells:   fab.Nodes(),
+		entries: make(map[memory.SubPageID]*entry),
+	}
+}
+
+func (d *Directory) get(sp memory.SubPageID) *entry {
+	en := d.entries[sp]
+	if en == nil {
+		en = &entry{
+			holders:      newBitset(d.cells),
+			placeholders: newBitset(d.cells),
+			owner:        -1,
+			prefetching:  newBitset(d.cells),
+			snarfJoin:    newBitset(d.cells),
+		}
+		d.entries[sp] = en
+	}
+	return en
+}
+
+func (d *Directory) condOf(en *entry, sp memory.SubPageID) *sim.Cond {
+	if en.cond == nil {
+		en.cond = sim.NewCond(d.eng, fmt.Sprintf("subpage %d", uint64(sp)))
+	}
+	return en.cond
+}
+
+// Stats returns cumulative protocol counters.
+func (d *Directory) Stats() Stats { return d.stats }
+
+// StateOf returns the current global state of sp.
+func (d *Directory) StateOf(sp memory.SubPageID) State {
+	en := d.entries[sp]
+	if en == nil || en.holders.empty() {
+		return Invalid
+	}
+	if en.atomic {
+		return Atomic
+	}
+	if en.owner >= 0 {
+		return Exclusive
+	}
+	return Shared
+}
+
+// HolderCount returns how many cells hold valid copies of sp.
+func (d *Directory) HolderCount(sp memory.SubPageID) int {
+	en := d.entries[sp]
+	if en == nil {
+		return 0
+	}
+	return en.holders.count()
+}
+
+// HasValid reports whether cell holds a valid copy of sp.
+func (d *Directory) HasValid(cell int, sp memory.SubPageID) bool {
+	en := d.entries[sp]
+	return en != nil && en.holders.has(cell)
+}
+
+// IsWritable reports whether cell may write sp without a transaction.
+func (d *Directory) IsWritable(cell int, sp memory.SubPageID) bool {
+	en := d.entries[sp]
+	return en != nil && en.owner == cell && en.holders.has(cell) && en.holders.count() == 1
+}
+
+// Version returns the change counter of sp, used to close the wait/wake
+// race in spin loops.
+func (d *Directory) Version(sp memory.SubPageID) uint64 {
+	en := d.entries[sp]
+	if en == nil {
+		return 0
+	}
+	return en.version
+}
+
+// WaitChange parks p until sp's version exceeds since. If it already does,
+// it returns immediately: no wakeup can be lost.
+func (d *Directory) WaitChange(p *sim.Process, sp memory.SubPageID, since uint64) {
+	en := d.get(sp)
+	for en.version <= since {
+		d.condOf(en, sp).Wait(p)
+	}
+}
+
+// responder picks the cell that answers a request for sp from cell. With
+// no holder anywhere (the copy migrated away after capacity evictions),
+// the data is fetched from wherever it landed — on a unidirectional ring
+// any position costs the same, so the neighbour stands in.
+func (d *Directory) responder(en *entry, cell int) int {
+	if en.owner >= 0 {
+		return en.owner
+	}
+	if h := en.holders.lowest(); h >= 0 {
+		return h
+	}
+	return (cell + 1) % d.cells
+}
+
+// invalidateOthers moves every holder except keep to place-holder state,
+// bumping the version and waking watchers. Returns how many were
+// invalidated.
+func (d *Directory) invalidateOthers(en *entry, sp memory.SubPageID, keep int) int {
+	n := 0
+	for c := 0; c < d.cells; c++ {
+		if c != keep && en.holders.has(c) {
+			en.holders.clear(c)
+			en.placeholders.set(c)
+			n++
+			if d.OnInvalidate != nil {
+				d.OnInvalidate(c, sp)
+			}
+		}
+	}
+	if n > 0 {
+		d.stats.Invalidations += uint64(n)
+	}
+	en.version++
+	if en.cond != nil {
+		en.cond.Broadcast()
+	}
+	return n
+}
+
+// snarf revalidates every place-holder: a read response on the ring fills
+// them in passing.
+func (d *Directory) snarf(en *entry) {
+	if d.DisableSnarfing {
+		return
+	}
+	for c := 0; c < d.cells; c++ {
+		if en.placeholders.has(c) {
+			en.placeholders.clear(c)
+			en.holders.set(c)
+			d.stats.Snarfs++
+		}
+	}
+}
+
+// EnsureReadable makes cell a valid holder of sp, charging p for the ring
+// transaction when one is needed. It returns the latency incurred and
+// whether the access went remote.
+func (d *Directory) EnsureReadable(p *sim.Process, cell int, sp memory.SubPageID) (sim.Time, bool) {
+	en := d.get(sp)
+	if en.holders.has(cell) {
+		return 0, false
+	}
+	// Join an in-flight prefetch rather than issuing a duplicate fetch.
+	if en.prefetching.has(cell) {
+		start := d.eng.Now()
+		for en.prefetching.has(cell) && !en.holders.has(cell) {
+			d.condOf(en, sp).Wait(p)
+		}
+		if en.holders.has(cell) {
+			return d.eng.Now() - start, true
+		}
+	}
+	// Join an in-flight read by another cell: the response circulating the
+	// ring fills this cell's copy in passing (read-snarfing). This is what
+	// makes a herd of spinners refetching a wakeup flag cost one
+	// transaction instead of P. If the joined fetch completes but our copy
+	// is immediately invalidated by a racing writer, fall through and
+	// issue our own fetch. A read also queues behind an in-flight write:
+	// the request cannot be answered while ownership is in transit.
+	joinStart := d.eng.Now()
+	for (en.readsInFlight > 0 && !d.DisableSnarfing) || en.writeInFlight {
+		if en.writeInFlight {
+			d.condOf(en, sp).Wait(p)
+			if en.holders.has(cell) {
+				return d.eng.Now() - joinStart, true
+			}
+			continue
+		}
+		en.snarfJoin.set(cell)
+		for en.readsInFlight > 0 && !en.holders.has(cell) {
+			d.condOf(en, sp).Wait(p)
+		}
+		en.snarfJoin.clear(cell)
+		if en.holders.has(cell) {
+			return d.eng.Now() - joinStart, true
+		}
+	}
+	d.stats.ReadFetches++
+	en.readsInFlight++
+	dst := d.responder(en, cell)
+	lat := d.fab.Access(p, cell, dst, sp.Base())
+	en.readsInFlight--
+	// Ownership dissolves on a read: exclusive/atomic data becomes shared
+	// (the atomic lock itself, if held, stays with the owner).
+	if en.owner >= 0 && !en.atomic {
+		en.owner = -1
+	}
+	en.holders.set(cell)
+	en.placeholders.clear(cell)
+	// A read that finds no other copy installs the line exclusively (the
+	// E-state optimization): private data becomes locally writable, which
+	// is what lets the paper measure "local-cache write" latencies off the
+	// ring.
+	if en.owner < 0 && en.holders.count() == 1 && en.placeholders.empty() {
+		en.owner = cell
+	}
+	// Fill joiners and place-holders as the response passes them.
+	for c := 0; c < d.cells; c++ {
+		if en.snarfJoin.has(c) {
+			en.snarfJoin.clear(c)
+			if !en.holders.has(c) {
+				en.holders.set(c)
+				en.placeholders.clear(c)
+				d.stats.Snarfs++
+			}
+		}
+	}
+	d.snarf(en)
+	if en.cond != nil {
+		en.cond.Broadcast()
+	}
+	return lat, true
+}
+
+// EnsureWritable gives cell the sole writable copy of sp, charging p for
+// the transaction when needed. Writes by a non-owner wait while the
+// sub-page is atomic elsewhere. It returns latency and whether the access
+// went remote.
+func (d *Directory) EnsureWritable(p *sim.Process, cell int, sp memory.SubPageID) (sim.Time, bool) {
+	en := d.get(sp)
+	start := d.eng.Now()
+	remote := false
+	for {
+		for (en.atomic && en.owner != cell) || en.readsInFlight > 0 || en.writeInFlight {
+			// A write request queues behind any transaction already
+			// circulating for this sub-page: a read response it would
+			// race, or another write that ownership must land at first.
+			// This serialization is what makes the MCS barrier's packed
+			// child word (4 writers alternating with the parent's spin
+			// refetches) cost up to 8 sequential ring transits per node —
+			// the paper's false-sharing analysis.
+			d.condOf(en, sp).Wait(p)
+		}
+		if en.owner == cell && en.holders.has(cell) && en.holders.count() == 1 {
+			return d.eng.Now() - start, remote
+		}
+		d.stats.WriteFetches++
+		remote = true
+		dst := d.responder(en, cell)
+		// If any copy to invalidate lives on another leaf ring, the
+		// transaction must traverse the level-1 ring to reach it.
+		if x := d.crossDomainTarget(cell, en.holders); x >= 0 {
+			dst = x
+		}
+		en.writeInFlight = true
+		d.fab.Access(p, cell, dst, sp.Base())
+		en.writeInFlight = false
+		// Another cell's get_sub_page may have won the ring race while our
+		// packet was in flight; if so, stall and retry.
+		if en.atomic && en.owner != cell {
+			if en.cond != nil {
+				en.cond.Broadcast()
+			}
+			continue
+		}
+		d.invalidateOthers(en, sp, cell)
+		en.holders.set(cell)
+		en.placeholders.clear(cell)
+		en.owner = cell
+		// Latency includes any time stalled on an atomic hold plus the
+		// fabric transaction itself.
+		return d.eng.Now() - start, true
+	}
+}
+
+// GetSubPage attempts the get_sub_page instruction: acquire sp in atomic
+// state. The request costs a ring transaction whether or not it succeeds
+// (the packet must circulate to discover the atomic state). It reports
+// success and the latency.
+func (d *Directory) GetSubPage(p *sim.Process, cell int, sp memory.SubPageID) (bool, sim.Time) {
+	en := d.get(sp)
+	d.stats.GSPAttempts++
+	dst := d.responder(en, cell)
+	if x := d.crossDomainTarget(cell, en.holders); x >= 0 {
+		dst = x
+	}
+	lat := d.fab.Access(p, cell, dst, sp.Base())
+	if en.atomic {
+		if en.owner == cell {
+			return true, lat // re-acquire by owner is a no-op
+		}
+		d.stats.GSPFailures++
+		return false, lat
+	}
+	d.invalidateOthers(en, sp, cell)
+	en.holders.set(cell)
+	en.placeholders.clear(cell)
+	en.owner = cell
+	en.atomic = true
+	return true, lat
+}
+
+// ReleaseSubPage executes release_sub_page: drop the atomic state. The
+// release circulates on the ring (one transaction) so that stalled
+// requesters observe it. Watchers are woken.
+func (d *Directory) ReleaseSubPage(p *sim.Process, cell int, sp memory.SubPageID) sim.Time {
+	en := d.get(sp)
+	if !en.atomic || en.owner != cell {
+		panic(fmt.Sprintf("coherence: release_sub_page of sub-page %d not held atomically by cell %d",
+			uint64(sp), cell))
+	}
+	d.stats.Releases++
+	lat := d.fab.Access(p, cell, (cell+1)%d.cells, sp.Base())
+	en.atomic = false
+	en.version++
+	if en.cond != nil {
+		en.cond.Broadcast()
+	}
+	return lat
+}
+
+// Poststore issues the poststore instruction from cell, which must hold sp
+// writable. The updated sub-page circulates asynchronously: all
+// place-holders receive the new value and the sub-page becomes shared, so
+// the issuer pays an upgrade transaction on its next write — the
+// interaction that slowed SP down in the paper. done, if non-nil, runs at
+// completion.
+func (d *Directory) Poststore(cell int, sp memory.SubPageID, done func()) {
+	en := d.get(sp)
+	d.stats.Poststores++
+	dst := (cell + 1) % d.cells
+	if x := d.crossDomainTarget(cell, en.placeholders); x >= 0 {
+		dst = x
+	}
+	d.fab.AccessAsync(cell, dst, sp.Base(), func() {
+		for c := 0; c < d.cells; c++ {
+			if en.placeholders.has(c) {
+				en.placeholders.clear(c)
+				en.holders.set(c)
+				d.stats.PoststoreFill++
+			}
+		}
+		if en.owner == cell && !en.atomic {
+			en.owner = -1 // now shared
+		}
+		en.version++
+		if en.cond != nil {
+			en.cond.Broadcast()
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Prefetch issues a non-blocking fetch of sp into cell's local cache. The
+// issuing processor continues immediately; a later access that arrives
+// before completion joins the in-flight fetch instead of paying a second
+// transaction. done, if non-nil, runs at completion (the machine layer
+// uses it to fill the local cache).
+func (d *Directory) Prefetch(cell int, sp memory.SubPageID, done func()) {
+	en := d.get(sp)
+	if en.holders.has(cell) || en.prefetching.has(cell) {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	d.stats.Prefetches++
+	en.prefetching.set(cell)
+	dst := d.responder(en, cell)
+	d.fab.AccessAsync(cell, dst, sp.Base(), func() {
+		en.prefetching.clear(cell)
+		if en.owner >= 0 && !en.atomic {
+			en.owner = -1
+		}
+		en.holders.set(cell)
+		en.placeholders.clear(cell)
+		d.snarf(en)
+		en.version++
+		if en.cond != nil {
+			en.cond.Broadcast()
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Drop records a capacity eviction of sp from cell (reported by the local
+// cache). The atomic owner never drops its lock sub-page — the hardware
+// pins it for the duration of the atomic hold.
+func (d *Directory) Drop(cell int, sp memory.SubPageID) {
+	en := d.entries[sp]
+	if en == nil {
+		return
+	}
+	if en.atomic && en.owner == cell {
+		return
+	}
+	d.stats.Drops++
+	en.holders.clear(cell)
+	en.placeholders.clear(cell)
+	if en.owner == cell {
+		en.owner = -1
+	}
+}

@@ -1,0 +1,57 @@
+// Package experiments reproduces every measurement in the paper: the
+// latency study of Section 3.1 (Figure 2 and the allocation-overhead
+// observations), the lock and barrier studies of Section 3.2 (Figures 3,
+// 4, 5 and the Symmetry/Butterfly comparison of 3.2.3), and the NAS
+// kernel/application studies of Section 3.3 (Tables 1-4, Figure 8).
+//
+// Each experiment is a pure function from a config to a typed result whose
+// String method prints the same rows or series the paper reports. The
+// cmd/ksrsim CLI and the repository-level benchmarks are thin wrappers
+// around these functions.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// MachineKind names a machine model for experiment configs.
+type MachineKind string
+
+// The machine models experiments can target.
+const (
+	KSR1Kind      MachineKind = "ksr1"
+	KSR2Kind      MachineKind = "ksr2"
+	SymmetryKind  MachineKind = "symmetry"
+	ButterflyKind MachineKind = "butterfly"
+)
+
+// NewMachine builds a machine of the given kind with cells cells.
+func NewMachine(kind MachineKind, cells int) (*machine.Machine, error) {
+	switch kind {
+	case KSR1Kind:
+		return machine.New(machine.KSR1(cells)), nil
+	case KSR2Kind:
+		return machine.New(machine.KSR2(cells)), nil
+	case SymmetryKind:
+		return machine.New(machine.Symmetry(cells)), nil
+	case ButterflyKind:
+		return machine.New(machine.Butterfly(cells)), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown machine kind %q", kind)
+	}
+}
+
+// DefaultProcSweep returns the processor counts used for a machine of the
+// given size, mirroring the x-axes of the paper's figures.
+func DefaultProcSweep(cells int) []int {
+	candidates := []int{1, 2, 4, 8, 12, 16, 20, 24, 28, 30, 32, 40, 48, 56, 64}
+	var out []int
+	for _, p := range candidates {
+		if p <= cells {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,410 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kernels"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// EPConfig parameterizes the EP scalability run (Section 3.3 opening).
+type EPConfig struct {
+	Machine  MachineKind
+	Cells    int
+	Procs    []int
+	LogPairs int
+}
+
+// DefaultEPExperiment returns the scaled EP sweep.
+func DefaultEPExperiment() EPConfig {
+	return EPConfig{Machine: KSR1Kind, Cells: 32, Procs: []int{1, 2, 4, 8, 16, 32}, LogPairs: 18}
+}
+
+// EPExperimentResult holds the EP scalability table.
+type EPExperimentResult struct {
+	Rows        []metrics.Row
+	MFLOPSAtOne float64
+	Verified    bool // per-P results identical
+}
+
+// String renders the table.
+func (r EPExperimentResult) String() string {
+	return metrics.Table("Embarrassingly Parallel (EP)", r.Rows) +
+		fmt.Sprintf("single-processor rate: %.1f MFLOPS (paper: ~11 of 40 peak)\n", r.MFLOPSAtOne)
+}
+
+// RunEPExperiment sweeps EP over processor counts.
+func RunEPExperiment(cfg EPConfig) (EPExperimentResult, error) {
+	var res EPExperimentResult
+	var points []metrics.Point
+	var ref kernels.EPResult
+	res.Verified = true
+	for i, pn := range cfg.Procs {
+		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		if err != nil {
+			return res, err
+		}
+		kcfg := kernels.DefaultEPConfig(pn)
+		kcfg.LogPairs = cfg.LogPairs
+		out, err := kernels.RunEP(m, kcfg)
+		if err != nil {
+			return res, err
+		}
+		if i == 0 {
+			ref = out
+			res.MFLOPSAtOne = out.MFLOPS
+		} else if out.Annuli != ref.Annuli {
+			res.Verified = false
+		}
+		points = append(points, metrics.Point{Procs: pn, Elapsed: out.Elapsed})
+	}
+	res.Rows = metrics.BuildRows(points)
+	return res, nil
+}
+
+// CGExperimentConfig parameterizes the Table 1 / Figure 8 CG run.
+type CGExperimentConfig struct {
+	Machine    MachineKind
+	Cells      int
+	Procs      []int
+	N, NNZ     int
+	Iterations int
+	Poststore  bool
+}
+
+// DefaultCGExperiment returns the scaled Table 1 setup (the paper's
+// n=14000, nnz=2.03M is reachable via flags).
+func DefaultCGExperiment() CGExperimentConfig {
+	return CGExperimentConfig{
+		Machine: KSR1Kind, Cells: 32, Procs: []int{1, 2, 4, 8, 16, 32},
+		N: 1400, NNZ: 20300, Iterations: 15,
+	}
+}
+
+// KernelTableResult is a scalability table plus verification data, shared
+// by the CG and IS experiments.
+type KernelTableResult struct {
+	Title    string
+	Rows     []metrics.Row
+	Verified bool
+	Extra    string
+}
+
+// String renders the table.
+func (r KernelTableResult) String() string {
+	s := metrics.Table(r.Title, r.Rows)
+	if r.Extra != "" {
+		s += r.Extra
+	}
+	return s
+}
+
+// SpeedupAt returns the speedup at the given processor count, or false.
+func (r KernelTableResult) SpeedupAt(procs int) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.Procs == procs {
+			return row.Speedup, true
+		}
+	}
+	return 0, false
+}
+
+// RunCGExperiment reproduces Table 1 (and the CG curve of Figure 8).
+func RunCGExperiment(cfg CGExperimentConfig) (KernelTableResult, error) {
+	res := KernelTableResult{
+		Title:    fmt.Sprintf("Table 1: Conjugate Gradient, n=%d, nonzeros~%d", cfg.N, cfg.NNZ),
+		Verified: true,
+	}
+	var points []metrics.Point
+	var refResidual float64
+	for i, pn := range cfg.Procs {
+		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		if err != nil {
+			return res, err
+		}
+		kcfg := kernels.DefaultCGConfig(pn)
+		kcfg.N, kcfg.NNZ, kcfg.Iterations = cfg.N, cfg.NNZ, cfg.Iterations
+		kcfg.UsePoststore = cfg.Poststore
+		out, err := kernels.RunCG(m, kcfg)
+		if err != nil {
+			return res, err
+		}
+		if i == 0 {
+			refResidual = out.Residual
+		} else if diff := out.Residual - refResidual; diff > 1e-6*(1+refResidual) || diff < -1e-6*(1+refResidual) {
+			// Relative tolerance: reduction order differs across processor
+			// counts, so bit-exact equality is not expected.
+			res.Verified = false
+		}
+		points = append(points, metrics.Point{Procs: pn, Elapsed: out.Elapsed})
+	}
+	res.Rows = metrics.BuildRows(points)
+	return res, nil
+}
+
+// RunCGPoststoreAblation measures the poststore benefit the paper reports
+// (~3% at 16 processors, fading at 32). It returns the percentage
+// improvement per processor count.
+func RunCGPoststoreAblation(cfg CGExperimentConfig) (map[int]float64, error) {
+	improvement := map[int]float64{}
+	for _, pn := range cfg.Procs {
+		var times [2]sim.Time
+		for v, ps := range []bool{false, true} {
+			m, err := NewMachine(cfg.Machine, cfg.Cells)
+			if err != nil {
+				return nil, err
+			}
+			kcfg := kernels.DefaultCGConfig(pn)
+			kcfg.N, kcfg.NNZ, kcfg.Iterations = cfg.N, cfg.NNZ, cfg.Iterations
+			kcfg.UsePoststore = ps
+			out, err := kernels.RunCG(m, kcfg)
+			if err != nil {
+				return nil, err
+			}
+			times[v] = out.Elapsed
+		}
+		improvement[pn] = 100 * (1 - float64(times[1])/float64(times[0]))
+	}
+	return improvement, nil
+}
+
+// ISExperimentConfig parameterizes the Table 2 / Figure 8 IS run.
+type ISExperimentConfig struct {
+	Machine   MachineKind
+	Cells     int
+	Procs     []int
+	LogKeys   int
+	LogMaxKey int
+}
+
+// DefaultISExperiment returns the scaled Table 2 setup (paper: 2^23 keys).
+func DefaultISExperiment() ISExperimentConfig {
+	return ISExperimentConfig{
+		Machine: KSR1Kind, Cells: 32, Procs: []int{1, 2, 4, 8, 16, 30, 32},
+		LogKeys: 17, LogMaxKey: 11,
+	}
+}
+
+// RunISExperiment reproduces Table 2 (and the IS curve of Figure 8).
+func RunISExperiment(cfg ISExperimentConfig) (KernelTableResult, error) {
+	res := KernelTableResult{
+		Title:    fmt.Sprintf("Table 2: Integer Sort, keys=2^%d", cfg.LogKeys),
+		Verified: true,
+	}
+	var points []metrics.Point
+	for _, pn := range cfg.Procs {
+		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		if err != nil {
+			return res, err
+		}
+		kcfg := kernels.DefaultISConfig(pn)
+		kcfg.LogKeys, kcfg.LogMaxKey = cfg.LogKeys, cfg.LogMaxKey
+		out, err := kernels.RunIS(m, kcfg)
+		if err != nil {
+			return res, err
+		}
+		if !out.Sorted {
+			res.Verified = false
+		}
+		points = append(points, metrics.Point{Procs: pn, Elapsed: out.Elapsed})
+	}
+	res.Rows = metrics.BuildRows(points)
+	return res, nil
+}
+
+// Figure8 renders the CG and IS speedup curves together.
+func Figure8(cg, is KernelTableResult) string {
+	var series []metrics.Series
+	for _, t := range []struct {
+		label string
+		r     KernelTableResult
+	}{{"CG", cg}, {"IS", is}} {
+		s := metrics.Series{Label: t.label}
+		for _, row := range t.r.Rows {
+			s.Procs = append(s.Procs, row.Procs)
+			s.Values = append(s.Values, row.Speedup)
+		}
+		series = append(series, s)
+	}
+	return metrics.Figure("Figure 8: Speedup for CG and IS", "speedup", series)
+}
+
+// SPExperimentConfig parameterizes the Table 3 and Table 4 runs.
+type SPExperimentConfig struct {
+	Machine    MachineKind
+	Cells      int
+	Procs      []int
+	Nx, Ny, Nz int
+	Iterations int
+}
+
+// DefaultSPExperiment returns the Table 3 setup at the paper's 64x64x64
+// grid (one iteration instead of 400).
+func DefaultSPExperiment() SPExperimentConfig {
+	return SPExperimentConfig{
+		Machine: KSR1Kind, Cells: 32, Procs: []int{1, 2, 4, 8, 16, 31},
+		Nx: 64, Ny: 64, Nz: 64, Iterations: 1,
+	}
+}
+
+// SPTableResult is a per-iteration scalability table for the grid
+// applications (SP's Table 3, and the BT extension).
+type SPTableResult struct {
+	Title    string
+	Grid     string
+	Rows     []metrics.Row
+	Verified bool
+}
+
+// String renders the table.
+func (r SPTableResult) String() string {
+	title := r.Title
+	if title == "" {
+		title = "Table 3: Scalar Pentadiagonal"
+	}
+	return metrics.Table(title+", data-size="+r.Grid, r.Rows)
+}
+
+// RunSPExperiment reproduces Table 3 with the optimized configuration
+// (padding + prefetch, the paper's best non-poststore variant).
+func RunSPExperiment(cfg SPExperimentConfig) (SPTableResult, error) {
+	res := SPTableResult{
+		Grid:     fmt.Sprintf("%dx%dx%d", cfg.Nx, cfg.Ny, cfg.Nz),
+		Verified: true,
+	}
+	ref := kernels.SPReference(kernels.SPConfig{
+		Nx: cfg.Nx, Ny: cfg.Ny, Nz: cfg.Nz, Iterations: cfg.Iterations,
+		Procs: 1, Eps: 0.05, FlopsPerPoint: 80,
+	})
+	var points []metrics.Point
+	for _, pn := range cfg.Procs {
+		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		if err != nil {
+			return res, err
+		}
+		kcfg := kernels.SPConfig{
+			Nx: cfg.Nx, Ny: cfg.Ny, Nz: cfg.Nz, Iterations: cfg.Iterations,
+			Procs: pn, Eps: 0.05, FlopsPerPoint: 80,
+			Padding: true, Prefetch: true,
+		}
+		out, err := kernels.RunSP(m, kcfg)
+		if err != nil {
+			return res, err
+		}
+		if d := out.Checksum - ref; d > 1e-9 || d < -1e-9 {
+			res.Verified = false
+		}
+		points = append(points, metrics.Point{Procs: pn, Elapsed: out.PerIteration})
+	}
+	res.Rows = metrics.BuildRows(points)
+	return res, nil
+}
+
+// BTExperimentConfig parameterizes the Block Tridiagonal extension run
+// (the third code of the paper's reference [6]).
+type BTExperimentConfig struct {
+	Machine    MachineKind
+	Cells      int
+	Procs      []int
+	Nx, Ny, Nz int
+	Iterations int
+}
+
+// DefaultBTExperiment returns a moderate BT sweep.
+func DefaultBTExperiment() BTExperimentConfig {
+	return BTExperimentConfig{
+		Machine: KSR1Kind, Cells: 32, Procs: []int{1, 2, 4, 8, 16},
+		Nx: 16, Ny: 16, Nz: 16, Iterations: 1,
+	}
+}
+
+// RunBTExperiment sweeps BT over processor counts, verifying every run
+// against the serial reference.
+func RunBTExperiment(cfg BTExperimentConfig) (SPTableResult, error) {
+	res := SPTableResult{
+		Title:    "Block Tridiagonal (extension, per reference [6])",
+		Grid:     fmt.Sprintf("%dx%dx%d", cfg.Nx, cfg.Ny, cfg.Nz),
+		Verified: true,
+	}
+	kcfg := kernels.DefaultBTConfig(1)
+	kcfg.Nx, kcfg.Ny, kcfg.Nz, kcfg.Iterations = cfg.Nx, cfg.Ny, cfg.Nz, cfg.Iterations
+	ref := kernels.BTReference(kcfg)
+	var points []metrics.Point
+	for _, pn := range cfg.Procs {
+		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		if err != nil {
+			return res, err
+		}
+		kcfg.Procs = pn
+		out, err := kernels.RunBT(m, kcfg)
+		if err != nil {
+			return res, err
+		}
+		if d := out.Checksum - ref; d > 1e-9 || d < -1e-9 {
+			res.Verified = false
+		}
+		points = append(points, metrics.Point{Procs: pn, Elapsed: out.PerIteration})
+	}
+	res.Rows = metrics.BuildRows(points)
+	return res, nil
+}
+
+// SPOptsResult is Table 4: the optimization ladder at a fixed processor
+// count, in seconds per iteration.
+type SPOptsResult struct {
+	Procs     int
+	Base      float64
+	Padded    float64
+	Prefetch  float64 // padding + prefetch
+	Poststore float64 // padding + prefetch + poststore (the paper's loss)
+}
+
+// String renders Table 4.
+func (r SPOptsResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: Scalar Pentadiagonal optimizations (%d processors)\n", r.Procs)
+	fmt.Fprintf(&b, "  %-34s %12s\n", "Optimizations", "s/iteration")
+	fmt.Fprintf(&b, "  %-34s %12.5f\n", "Base version", r.Base)
+	fmt.Fprintf(&b, "  %-34s %12.5f\n", "+ data padding and alignment", r.Padded)
+	fmt.Fprintf(&b, "  %-34s %12.5f\n", "+ prefetching appropriate data", r.Prefetch)
+	fmt.Fprintf(&b, "  %-34s %12.5f (poststore hurts, as in the paper)\n",
+		"+ poststore (ablation)", r.Poststore)
+	return b.String()
+}
+
+// RunSPOptimizations reproduces Table 4: base, +padding, +prefetch, and
+// the poststore ablation, at the given processor count.
+func RunSPOptimizations(cfg SPExperimentConfig, procs int) (SPOptsResult, error) {
+	res := SPOptsResult{Procs: procs}
+	run := func(pad, pre, post bool) (float64, error) {
+		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		if err != nil {
+			return 0, err
+		}
+		out, err := kernels.RunSP(m, kernels.SPConfig{
+			Nx: cfg.Nx, Ny: cfg.Ny, Nz: cfg.Nz, Iterations: cfg.Iterations,
+			Procs: procs, Eps: 0.05, FlopsPerPoint: 80,
+			Padding: pad, Prefetch: pre, Poststore: post,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return out.PerIteration.Seconds(), nil
+	}
+	var err error
+	if res.Base, err = run(false, false, false); err != nil {
+		return res, err
+	}
+	if res.Padded, err = run(true, false, false); err != nil {
+		return res, err
+	}
+	if res.Prefetch, err = run(true, true, false); err != nil {
+		return res, err
+	}
+	if res.Poststore, err = run(true, true, true); err != nil {
+		return res, err
+	}
+	return res, nil
+}

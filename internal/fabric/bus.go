@@ -1,0 +1,73 @@
+package fabric
+
+import (
+	"repro/internal/memory"
+	"repro/internal/sim"
+)
+
+// BusConfig describes a Sequent-Symmetry-style shared bus: every
+// transaction is serialized on a single broadcast medium, but snooping
+// caches make spinning local. Its one distinguishing property for the
+// paper's Section 3.2.3 comparison is the absence of parallel
+// communication paths.
+type BusConfig struct {
+	Cells   int
+	BusTime sim.Time // occupancy of one bus transaction
+}
+
+// DefaultBusConfig models a Symmetry-class bus: a transaction costs about
+// 1 us and the bus is a single shared resource.
+func DefaultBusConfig(cells int) BusConfig {
+	return BusConfig{Cells: cells, BusTime: 1000}
+}
+
+// Bus is a single shared split-less bus.
+type Bus struct {
+	cfg BusConfig
+	eng *sim.Engine
+	bus *sim.Resource
+	trk tracker
+}
+
+// NewBus builds a bus fabric.
+func NewBus(e *sim.Engine, cfg BusConfig) *Bus {
+	if cfg.Cells < 1 {
+		panic("fabric: bus needs at least one cell")
+	}
+	return &Bus{cfg: cfg, eng: e, bus: sim.NewResource(e, "bus", 1)}
+}
+
+// Name implements Fabric.
+func (b *Bus) Name() string { return "bus" }
+
+// Nodes implements Fabric.
+func (b *Bus) Nodes() int { return b.cfg.Cells }
+
+// Access implements Fabric: wait for the bus, hold it for one transaction.
+func (b *Bus) Access(p *sim.Process, src, dst int, addr memory.Addr) sim.Time {
+	start := b.eng.Now()
+	b.trk.begin()
+	wait := b.bus.Acquire(p)
+	p.Sleep(b.cfg.BusTime)
+	b.bus.Release()
+	lat := b.eng.Now() - start
+	b.trk.end(lat, wait, true)
+	return lat
+}
+
+// AccessAsync implements Fabric.
+func (b *Bus) AccessAsync(src, dst int, addr memory.Addr, done func()) {
+	b.trk.begin()
+	b.bus.AcquireAsync(func() {
+		b.eng.Schedule(b.cfg.BusTime, func() {
+			b.bus.Release()
+			b.trk.end(0, 0, false)
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// Stats implements Fabric.
+func (b *Bus) Stats() Stats { return b.trk.stats }

@@ -1,0 +1,109 @@
+package fabric
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/memory"
+	"repro/internal/sim"
+)
+
+// ButterflyConfig describes a BBN-Butterfly-style multistage
+// interconnection network: log2(N) switch stages between processors and
+// memory modules, parallel paths to distinct modules, contention at each
+// memory module, and — crucially for the paper's comparison — no hardware
+// coherent caches, so every shared access crosses the network to the
+// address's home module.
+type ButterflyConfig struct {
+	Cells   int
+	HopTime sim.Time // per-switch-stage latency
+	MemTime sim.Time // memory module service time per access
+}
+
+// DefaultButterflyConfig models a Butterfly-class MIN with 0.5 us per
+// stage and 1 us of memory service, giving remote latencies in the same
+// few-microsecond regime as the KSR ring.
+func DefaultButterflyConfig(cells int) ButterflyConfig {
+	return ButterflyConfig{Cells: cells, HopTime: 500, MemTime: 1000}
+}
+
+// Butterfly is a multistage network with one service port per memory
+// module. Distinct destination modules are reached over disjoint paths
+// (the "parallel communication paths" the paper credits the Butterfly
+// with); a shared destination serializes at the module.
+type Butterfly struct {
+	cfg    ButterflyConfig
+	eng    *sim.Engine
+	stages int
+	mods   []*sim.Resource
+	trk    tracker
+}
+
+// NewButterfly builds a butterfly fabric with one memory module per cell.
+func NewButterfly(e *sim.Engine, cfg ButterflyConfig) *Butterfly {
+	if cfg.Cells < 1 {
+		panic("fabric: butterfly needs at least one cell")
+	}
+	stages := bits.Len(uint(cfg.Cells - 1)) // ceil(log2(Cells)), 0 for 1 cell
+	if stages == 0 {
+		stages = 1
+	}
+	bf := &Butterfly{cfg: cfg, eng: e, stages: stages}
+	for i := 0; i < cfg.Cells; i++ {
+		bf.mods = append(bf.mods, sim.NewResource(e, fmt.Sprintf("mem%d", i), 1))
+	}
+	return bf
+}
+
+// Name implements Fabric.
+func (bf *Butterfly) Name() string { return "butterfly" }
+
+// Nodes implements Fabric.
+func (bf *Butterfly) Nodes() int { return bf.cfg.Cells }
+
+// Stages returns the number of switch stages.
+func (bf *Butterfly) Stages() int { return bf.stages }
+
+// HomeModule returns the memory module that owns addr (block-interleaved
+// by sub-page, as on the real machine).
+func (bf *Butterfly) HomeModule(addr memory.Addr) int {
+	return int(uint64(addr.SubPage()) % uint64(bf.cfg.Cells))
+}
+
+// Access implements Fabric. dst is ignored: on a NUMA machine without
+// coherent caches the responder is always the home module of addr.
+func (bf *Butterfly) Access(p *sim.Process, src, dst int, addr memory.Addr) sim.Time {
+	start := bf.eng.Now()
+	bf.trk.begin()
+	mod := bf.mods[bf.HomeModule(addr)]
+	p.Sleep(sim.Time(bf.stages) * bf.cfg.HopTime) // traverse the MIN
+	wait := mod.Acquire(p)
+	p.Sleep(bf.cfg.MemTime)
+	mod.Release()
+	p.Sleep(sim.Time(bf.stages) * bf.cfg.HopTime) // response path
+	lat := bf.eng.Now() - start
+	bf.trk.end(lat, wait, true)
+	return lat
+}
+
+// AccessAsync implements Fabric.
+func (bf *Butterfly) AccessAsync(src, dst int, addr memory.Addr, done func()) {
+	bf.trk.begin()
+	mod := bf.mods[bf.HomeModule(addr)]
+	bf.eng.Schedule(sim.Time(bf.stages)*bf.cfg.HopTime, func() {
+		mod.AcquireAsync(func() {
+			bf.eng.Schedule(bf.cfg.MemTime, func() {
+				mod.Release()
+				bf.eng.Schedule(sim.Time(bf.stages)*bf.cfg.HopTime, func() {
+					bf.trk.end(0, 0, false)
+					if done != nil {
+						done()
+					}
+				})
+			})
+		})
+	})
+}
+
+// Stats implements Fabric.
+func (bf *Butterfly) Stats() Stats { return bf.trk.stats }

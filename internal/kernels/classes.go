@@ -1,0 +1,92 @@
+package kernels
+
+import "fmt"
+
+// Class identifies a NAS Parallel Benchmarks problem class. The paper ran
+// class-A-sized problems (EP 2^28 pairs, CG n=14000, IS 2^23 keys,
+// SP 64^3); the repository's defaults are near class S so tests stay
+// quick, and the harness flags reach class A.
+type Class byte
+
+// The NPB 1.0 classes.
+const (
+	ClassS Class = 'S' // sample: seconds on a workstation
+	ClassW Class = 'W' // workstation
+	ClassA Class = 'A' // the paper's scale
+)
+
+// EPClass returns the EP configuration for a class.
+func EPClass(c Class, procs int) (EPConfig, error) {
+	cfg := DefaultEPConfig(procs)
+	switch c {
+	case ClassS:
+		cfg.LogPairs = 24
+	case ClassW:
+		cfg.LogPairs = 25
+	case ClassA:
+		cfg.LogPairs = 28
+	default:
+		return cfg, fmt.Errorf("kernels: unknown class %q", string(c))
+	}
+	return cfg, nil
+}
+
+// CGClass returns the CG configuration for a class (NPB sizes; nonzeros
+// follow the benchmark's ~15 per row for A, ~8 for S).
+func CGClass(c Class, procs int) (CGConfig, error) {
+	cfg := DefaultCGConfig(procs)
+	switch c {
+	case ClassS:
+		cfg.N, cfg.NNZ = 1400, 78148
+	case ClassW:
+		cfg.N, cfg.NNZ = 7000, 869108
+	case ClassA:
+		cfg.N, cfg.NNZ = 14000, 2030000
+	default:
+		return cfg, fmt.Errorf("kernels: unknown class %q", string(c))
+	}
+	return cfg, nil
+}
+
+// ISClass returns the IS configuration for a class.
+func ISClass(c Class, procs int) (ISConfig, error) {
+	cfg := DefaultISConfig(procs)
+	switch c {
+	case ClassS:
+		cfg.LogKeys, cfg.LogMaxKey = 16, 11
+	case ClassW:
+		cfg.LogKeys, cfg.LogMaxKey = 20, 16
+	case ClassA:
+		cfg.LogKeys, cfg.LogMaxKey = 23, 19
+	default:
+		return cfg, fmt.Errorf("kernels: unknown class %q", string(c))
+	}
+	return cfg, nil
+}
+
+// SPClass returns the SP configuration for a class.
+func SPClass(c Class, procs int) (SPConfig, error) {
+	cfg := DefaultSPConfig(procs)
+	switch c {
+	case ClassS:
+		cfg.Nx, cfg.Ny, cfg.Nz = 12, 12, 12
+	case ClassW:
+		cfg.Nx, cfg.Ny, cfg.Nz = 36, 36, 36
+	case ClassA:
+		cfg.Nx, cfg.Ny, cfg.Nz = 64, 64, 64
+	default:
+		return cfg, fmt.Errorf("kernels: unknown class %q", string(c))
+	}
+	return cfg, nil
+}
+
+// ParseClass converts a one-letter string ("S", "W", "A") to a Class.
+func ParseClass(s string) (Class, error) {
+	if len(s) == 1 {
+		switch Class(s[0]) {
+		case ClassS, ClassW, ClassA:
+			return Class(s[0]), nil
+		}
+	}
+	return 0, fmt.Errorf("kernels: unknown class %q (want S, W, or A)", s)
+}

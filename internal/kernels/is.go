@@ -1,0 +1,228 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/ksync"
+	"repro/internal/machine"
+	"repro/internal/memory"
+	"repro/internal/sim"
+)
+
+// ISConfig parameterizes the Integer Sort kernel. The paper ran 2^23 keys;
+// the defaults are scaled down for tests and raised by the harness.
+type ISConfig struct {
+	LogKeys   int // 2^LogKeys keys
+	LogMaxKey int // keys uniform in [0, 2^LogMaxKey)
+	Procs     int
+	Seed      uint64
+}
+
+// DefaultISConfig returns a test-scale IS configuration.
+func DefaultISConfig(procs int) ISConfig {
+	return ISConfig{LogKeys: 15, LogMaxKey: 9, Procs: procs, Seed: 31415}
+}
+
+// ISResult carries the sort outcome and timing.
+type ISResult struct {
+	Keys       int
+	Sorted     bool // rank permutation verified
+	Elapsed    sim.Time
+	SerialTime sim.Time // time spent in the serial phase 4
+	RemoteRef  uint64
+}
+
+// RunIS executes the replicated-bucket-count parallel bucket sort of
+// Figure 9:
+//
+//  1. each processor histograms its block of keys into a private count
+//     (keyden_t), exploiting the 32 MB local cache for the replica;
+//  2. each processor gathers its slice of every replica into its slice of
+//     the global count (keyden) — the all-to-all whose simultaneous
+//     network traffic drives the ring toward saturation at 32 cells;
+//  3. partial prefix sums per slice;
+//  4. SERIAL: processor 0 combines the per-slice maxima (tmp_sum) — the
+//     phase whose cost grows with P;
+//  5. each processor adds tmp_sum[i-1] into its slice;
+//  6. each processor copies keyden into its replica under per-portion
+//     locks (pipelined serialization);
+//  7. ranks assigned from the private copies.
+func RunIS(m *machine.Machine, cfg ISConfig) (ISResult, error) {
+	if cfg.Procs < 1 || cfg.LogKeys < 1 || cfg.LogMaxKey < 1 || cfg.LogMaxKey > 26 {
+		return ISResult{}, fmt.Errorf("kernels: bad IS config %+v", cfg)
+	}
+	nKeys := 1 << cfg.LogKeys
+	maxKey := 1 << cfg.LogMaxKey
+	pcount := cfg.Procs
+	if maxKey < pcount {
+		return ISResult{}, fmt.Errorf("kernels: maxKey %d < procs %d", maxKey, pcount)
+	}
+
+	// Real data: keys from the NAS LCG.
+	keys := make([]int32, nKeys)
+	g := NewLCG(cfg.Seed)
+	for i := range keys {
+		keys[i] = int32(g.Next() * float64(maxKey))
+	}
+	ranks := make([]int32, nKeys)
+	keydenT := make([][]int64, pcount) // per-proc replicas
+	hist := make([][]int64, pcount)    // phase-1 histograms (kept for phase 6)
+	for i := range keydenT {
+		keydenT[i] = make([]int64, maxKey)
+		hist[i] = make([]int64, maxKey)
+	}
+	keyden := make([]int64, maxKey)
+	tmpSum := make([]int64, pcount)
+
+	// Simulated regions.
+	keysR := m.Alloc("is.keys", int64(nKeys)*4)
+	ranksR := m.Alloc("is.ranks", int64(nKeys)*4)
+	kdR := m.Alloc("is.keyden", int64(maxKey)*8)
+	var kdTR []memory.Region
+	for i := 0; i < pcount; i++ {
+		kdTR = append(kdTR, m.Alloc(fmt.Sprintf("is.keyden_t.%d", i), int64(maxKey)*8))
+	}
+	tmpR := m.AllocPadded("is.tmp_sum", int64(pcount))
+	locks := make([]*ksync.HWLock, pcount)
+	for i := range locks {
+		locks[i] = ksync.NewHWLock(m)
+	}
+	bar := ksync.NewSystem(m, pcount)
+
+	keyLo := func(i int) int { return i * nKeys / pcount }
+	sliceLo := func(i int) int { return i * maxKey / pcount }
+
+	var serialTime sim.Time
+	elapsed, err := m.Run(pcount, func(p *machine.Proc) {
+		id := p.CellID()
+		kb, ke := keyLo(id), keyLo(id+1)
+		sb, se := sliceLo(id), sliceLo(id+1)
+
+		// Phase 1: private histogram of own keys.
+		p.ReadRange(keysR.At(int64(kb)*4), int64(ke-kb), 4)
+		for i := kb; i < ke; i++ {
+			keydenT[id][keys[i]]++
+			hist[id][keys[i]]++
+			// Data-dependent read-modify-write in the private replica.
+			p.Read(kdTR[id].At(int64(keys[i]) * 8))
+			p.Write(kdTR[id].At(int64(keys[i]) * 8))
+		}
+		bar.Wait(p)
+
+		// Phase 2: gather own slice from every replica into keyden.
+		for q := 0; q < pcount; q++ {
+			src := (id + q) % pcount // stagger to spread ring traffic
+			p.ReadRange(kdTR[src].At(int64(sb)*8), int64(se-sb), 8)
+			for k := sb; k < se; k++ {
+				keyden[k] += keydenT[src][k]
+			}
+			p.Compute(int64(se - sb))
+		}
+		p.WriteRange(kdR.At(int64(sb)*8), int64(se-sb), 8)
+		bar.Wait(p)
+
+		// Phase 3: partial prefix sums within own slice.
+		var run int64
+		for k := sb; k < se; k++ {
+			run += keyden[k]
+			keyden[k] = run
+		}
+		p.ReadRange(kdR.At(int64(sb)*8), int64(se-sb), 8)
+		p.WriteRange(kdR.At(int64(sb)*8), int64(se-sb), 8)
+		p.Compute(int64(se - sb))
+		tmpSum[id] = run
+		p.WriteRange(tmpR.PaddedSlot(int64(id)), 1, memory.WordSize)
+		bar.Wait(p)
+
+		// Phase 4: serial combination of slice maxima on processor 0.
+		if id == 0 {
+			t0 := p.Now()
+			var acc int64
+			for q := 0; q < pcount; q++ {
+				p.ReadRange(tmpR.PaddedSlot(int64(q)), 1, memory.WordSize)
+				acc += tmpSum[q]
+				tmpSum[q] = acc
+				p.WriteRange(tmpR.PaddedSlot(int64(q)), 1, memory.WordSize)
+			}
+			serialTime += p.Now() - t0
+		}
+		bar.Wait(p)
+
+		// Phase 5: fold the predecessor offset into own slice.
+		if id > 0 {
+			p.ReadRange(tmpR.PaddedSlot(int64(id-1)), 1, memory.WordSize)
+			off := tmpSum[id-1]
+			for k := sb; k < se; k++ {
+				keyden[k] += off
+			}
+			p.ReadRange(kdR.At(int64(sb)*8), int64(se-sb), 8)
+			p.WriteRange(kdR.At(int64(sb)*8), int64(se-sb), 8)
+			p.Compute(int64(se - sb))
+		}
+		bar.Wait(p)
+
+		// Phase 6: copy keyden into the private replica, one locked
+		// portion at a time (pipelined parallelism). Each processor
+		// reserves the rank range its own keys will consume.
+		for q := 0; q < pcount; q++ {
+			portion := (id + q) % pcount
+			pb, pe := sliceLo(portion), sliceLo(portion+1)
+			locks[portion].Acquire(p)
+			p.ReadRange(kdR.At(int64(pb)*8), int64(pe-pb), 8)
+			for k := pb; k < pe; k++ {
+				keydenT[id][k] = keyden[k]
+			}
+			// Decrement the global counts by this processor's usage
+			// (its phase-1 histogram of the portion).
+			for k := pb; k < pe; k++ {
+				keyden[k] -= hist[id][k]
+			}
+			p.WriteRange(kdR.At(int64(pb)*8), int64(pe-pb), 8)
+			p.Compute(int64(pe - pb))
+			locks[portion].Release(p)
+		}
+		bar.Wait(p)
+
+		// Phase 7: assign ranks from the private copy.
+		p.ReadRange(keysR.At(int64(kb)*4), int64(ke-kb), 4)
+		for i := ke - 1; i >= kb; i-- {
+			keydenT[id][keys[i]]--
+			ranks[i] = int32(keydenT[id][keys[i]])
+			p.Read(kdTR[id].At(int64(keys[i]) * 8))
+			p.Write(kdTR[id].At(int64(keys[i]) * 8))
+		}
+		p.WriteRange(ranksR.At(int64(kb)*4), int64(ke-kb), 4)
+	})
+	if err != nil {
+		return ISResult{}, err
+	}
+
+	res := ISResult{
+		Keys:       nKeys,
+		Elapsed:    elapsed,
+		SerialTime: serialTime,
+		RemoteRef:  m.TotalMonitor().RemoteAccesses,
+		Sorted:     verifyRanks(keys, ranks),
+	}
+	return res, nil
+}
+
+// verifyRanks checks that ranks form a permutation that sorts keys.
+func verifyRanks(keys, ranks []int32) bool {
+	n := len(keys)
+	out := make([]int32, n)
+	seen := make([]bool, n)
+	for i, r := range ranks {
+		if r < 0 || int(r) >= n || seen[r] {
+			return false
+		}
+		seen[r] = true
+		out[r] = keys[i]
+	}
+	for i := 1; i < n; i++ {
+		if out[i-1] > out[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,138 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Report is the classic NAS Parallel Benchmarks result banner: benchmark
+// name, class, size, timing, rate, and verification status. The paper's
+// own results were produced by codes that printed exactly this shape of
+// summary; RenderReport reproduces it for the simulated runs.
+type Report struct {
+	Benchmark   string
+	Class       Class
+	Size        string
+	Iterations  int
+	Procs       int
+	Time        sim.Time
+	MopsTotal   float64 // millions of operations per simulated second
+	MopsPerProc float64
+	Verified    bool
+	MachineName string
+	Notes       string
+}
+
+// RenderReport formats the banner.
+func RenderReport(r Report) string {
+	var b strings.Builder
+	line := strings.Repeat("-", 54)
+	fmt.Fprintf(&b, " %s\n", line)
+	fmt.Fprintf(&b, "  %s Benchmark Completed (simulated %s)\n", r.Benchmark, r.MachineName)
+	fmt.Fprintf(&b, " %s\n", line)
+	cls := "custom"
+	if r.Class != 0 {
+		cls = string(r.Class)
+	}
+	fmt.Fprintf(&b, "  Class            = %24s\n", cls)
+	fmt.Fprintf(&b, "  Size             = %24s\n", r.Size)
+	if r.Iterations > 0 {
+		fmt.Fprintf(&b, "  Iterations       = %24d\n", r.Iterations)
+	}
+	fmt.Fprintf(&b, "  Processors       = %24d\n", r.Procs)
+	fmt.Fprintf(&b, "  Time in seconds  = %24.4f\n", r.Time.Seconds())
+	if r.MopsTotal > 0 {
+		fmt.Fprintf(&b, "  Mop/s total      = %24.2f\n", r.MopsTotal)
+		fmt.Fprintf(&b, "  Mop/s/process    = %24.2f\n", r.MopsPerProc)
+	}
+	status := "SUCCESSFUL"
+	if !r.Verified {
+		status = "UNSUCCESSFUL"
+	}
+	fmt.Fprintf(&b, "  Verification     = %24s\n", status)
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "  Notes            = %s\n", r.Notes)
+	}
+	fmt.Fprintf(&b, " %s\n", line)
+	return b.String()
+}
+
+// EPReport builds the banner for an EP run.
+func EPReport(cfg EPConfig, res EPResult, machineName string) Report {
+	return Report{
+		Benchmark:   "EP",
+		Size:        fmt.Sprintf("2^%d pairs", cfg.LogPairs),
+		Procs:       cfg.Procs,
+		Time:        res.Elapsed,
+		MopsTotal:   res.MFLOPS,
+		MopsPerProc: res.MFLOPS / float64(cfg.Procs),
+		Verified:    res.Accepted > 0,
+		MachineName: machineName,
+	}
+}
+
+// CGReport builds the banner for a CG run. Verification: the residual
+// must have converged below tol.
+func CGReport(cfg CGConfig, res CGResult, machineName string, tol float64) Report {
+	return Report{
+		Benchmark:   "CG",
+		Size:        fmt.Sprintf("n=%d nnz=%d", cfg.N, cfg.NNZ),
+		Iterations:  cfg.Iterations,
+		Procs:       cfg.Procs,
+		Time:        res.Elapsed,
+		MopsTotal:   res.MFLOPS,
+		MopsPerProc: res.MFLOPS / float64(cfg.Procs),
+		Verified:    res.Residual < tol,
+		MachineName: machineName,
+		Notes:       fmt.Sprintf("residual %.3g, zeta %.6f", res.Residual, res.Zeta),
+	}
+}
+
+// ISReport builds the banner for an IS run.
+func ISReport(cfg ISConfig, res ISResult, machineName string) Report {
+	rate := 0.0
+	if res.Elapsed > 0 {
+		rate = float64(res.Keys) / res.Elapsed.Seconds() / 1e6
+	}
+	return Report{
+		Benchmark:   "IS",
+		Size:        fmt.Sprintf("2^%d keys, 2^%d max key", cfg.LogKeys, cfg.LogMaxKey),
+		Procs:       cfg.Procs,
+		Time:        res.Elapsed,
+		MopsTotal:   rate,
+		MopsPerProc: rate / float64(cfg.Procs),
+		Verified:    res.Sorted,
+		MachineName: machineName,
+	}
+}
+
+// SPReport builds the banner for an SP run against its serial reference
+// checksum.
+func SPReport(cfg SPConfig, res SPResult, machineName string, refChecksum float64) Report {
+	d := res.Checksum - refChecksum
+	if d < 0 {
+		d = -d
+	}
+	mag := refChecksum
+	if mag < 0 {
+		mag = -mag
+	}
+	points := float64(cfg.Nx*cfg.Ny*cfg.Nz) * 3 * float64(cfg.FlopsPerPoint)
+	rate := 0.0
+	if res.PerIteration > 0 {
+		rate = points / res.PerIteration.Seconds() / 1e6
+	}
+	return Report{
+		Benchmark:   "SP",
+		Size:        fmt.Sprintf("%dx%dx%d", cfg.Nx, cfg.Ny, cfg.Nz),
+		Iterations:  cfg.Iterations,
+		Procs:       cfg.Procs,
+		Time:        res.Elapsed,
+		MopsTotal:   rate,
+		MopsPerProc: rate / float64(cfg.Procs),
+		Verified:    d <= 1e-9*(1+mag),
+		MachineName: machineName,
+	}
+}

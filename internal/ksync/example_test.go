@@ -1,0 +1,56 @@
+package ksync_test
+
+import (
+	"fmt"
+
+	"repro/internal/ksync"
+	"repro/internal/machine"
+)
+
+// Run the paper's best barrier — tournament with a global wakeup flag —
+// across 8 processors.
+func ExampleNewTournament() {
+	m := machine.New(machine.KSR1(32))
+	bar := ksync.NewTournament(m, 8, true)
+	order := 0
+	_, err := m.Run(8, func(p *machine.Proc) {
+		p.Compute(int64(100 * p.CellID())) // skewed arrivals
+		order++
+		bar.Wait(p)
+		if order != 8 {
+			fmt.Println("barrier leaked!")
+		}
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("all", order, "processors synchronized")
+	// Output:
+	// all 8 processors synchronized
+}
+
+// The software read-write ticket lock combines consecutive readers onto
+// one ticket, so they hold the lock together.
+func ExampleRWLock() {
+	m := machine.New(machine.KSR1(8))
+	l := ksync.NewRWLock(m)
+	concurrent, peak := 0, 0
+	_, err := m.Run(4, func(p *machine.Proc) {
+		tok := l.Acquire(p, true) // read mode
+		concurrent++
+		if concurrent > peak {
+			peak = concurrent
+		}
+		p.Compute(5000)
+		concurrent--
+		l.Release(p, tok)
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("peak concurrent readers:", peak)
+	// Output:
+	// peak concurrent readers: 4
+}

@@ -1,0 +1,395 @@
+package ksync
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// checkBarrier runs episodes of b on m with procs participants and fails
+// if any processor ever crosses an episode before all have arrived.
+func checkBarrier(t *testing.T, m *machine.Machine, b Barrier, procs, episodes int) {
+	t.Helper()
+	arrived := make([]int, episodes)
+	_, err := m.Run(procs, func(p *machine.Proc) {
+		for ep := 0; ep < episodes; ep++ {
+			p.Compute(int64(50 * (p.CellID() + 1))) // skewed arrivals
+			arrived[ep]++
+			b.Wait(p)
+			if arrived[ep] != procs {
+				t.Errorf("%s: proc %d crossed episode %d with %d/%d arrivals",
+					b.Name(), p.CellID(), ep, arrived[ep], procs)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", b.Name(), err)
+	}
+}
+
+func TestAllBarriersAllMachines(t *testing.T) {
+	machines := []struct {
+		name string
+		cfg  machine.Config
+	}{
+		{"ksr1", machine.KSR1(8)},
+		{"ksr2", machine.KSR2(8)},
+		{"symmetry", machine.Symmetry(8)},
+		{"butterfly", machine.Butterfly(8)},
+	}
+	for _, mc := range machines {
+		for _, f := range Algorithms() {
+			t.Run(mc.name+"/"+f.Name, func(t *testing.T) {
+				m := machine.New(mc.cfg)
+				b := f.New(m, 7) // odd count exercises byes and ragged trees
+				checkBarrier(t, m, b, 7, 4)
+			})
+		}
+	}
+}
+
+func TestBarriersAt32Procs(t *testing.T) {
+	for _, f := range Algorithms() {
+		t.Run(f.Name, func(t *testing.T) {
+			m := machine.New(machine.KSR1(32))
+			checkBarrier(t, m, f.New(m, 32), 32, 3)
+		})
+	}
+}
+
+func TestBarrierSingleProc(t *testing.T) {
+	for _, f := range Algorithms() {
+		m := machine.New(machine.KSR1(2))
+		b := f.New(m, 1)
+		_, err := m.Run(1, func(p *machine.Proc) {
+			for i := 0; i < 3; i++ {
+				b.Wait(p)
+			}
+		})
+		if err != nil {
+			t.Errorf("%s with 1 proc: %v", f.Name, err)
+		}
+	}
+}
+
+func TestPropertyBarrierAnyProcCount(t *testing.T) {
+	f := func(nRaw, algRaw uint8) bool {
+		n := int(nRaw)%13 + 2 // 2..14
+		algs := Algorithms()
+		fac := algs[int(algRaw)%len(algs)]
+		m := machine.New(machine.KSR1(16))
+		b := fac.New(m, n)
+		arrived := 0
+		violated := false
+		_, err := m.Run(n, func(p *machine.Proc) {
+			for ep := 0; ep < 2; ep++ {
+				arrived++
+				b.Wait(p)
+				if arrived < n*(ep+1) {
+					violated = true
+				}
+			}
+		})
+		return err == nil && !violated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("tournament(M)"); !ok {
+		t.Error("tournament(M) not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown name found")
+	}
+	for _, f := range Algorithms() {
+		m := machine.New(machine.KSR1(4))
+		if got := f.New(m, 4).Name(); got != f.Name {
+			t.Errorf("factory %q builds barrier named %q", f.Name, got)
+		}
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 32: 5, 33: 6}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCounterSlowerThanTournamentM(t *testing.T) {
+	// The paper's headline synchronization result at 16+ processors.
+	timeOf := func(f Factory) sim.Time {
+		m := machine.New(machine.KSR1(32))
+		b := f.New(m, 16)
+		const episodes = 10
+		var total sim.Time
+		_, err := m.Run(16, func(p *machine.Proc) {
+			start := p.Now()
+			for i := 0; i < episodes; i++ {
+				b.Wait(p)
+			}
+			if p.CellID() == 0 {
+				total = p.Now() - start
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	ctr, _ := ByName("counter")
+	tm, _ := ByName("tournament(M)")
+	ctrTime, tmTime := timeOf(ctr), timeOf(tm)
+	if tmTime >= ctrTime {
+		t.Errorf("tournament(M) (%v) not faster than counter (%v) at 16 procs", tmTime, ctrTime)
+	}
+}
+
+func TestHWLockMutualExclusion(t *testing.T) {
+	m := machine.New(machine.KSR1(8))
+	l := NewHWLock(m)
+	in, maxIn := 0, 0
+	_, err := m.Run(8, func(p *machine.Proc) {
+		for i := 0; i < 5; i++ {
+			l.Acquire(p)
+			in++
+			if in > maxIn {
+				maxIn = in
+			}
+			p.Compute(300)
+			in--
+			l.Release(p)
+			p.Compute(100)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxIn != 1 {
+		t.Errorf("hardware lock admitted %d holders", maxIn)
+	}
+}
+
+func TestRWLockWriterExclusion(t *testing.T) {
+	m := machine.New(machine.KSR1(8))
+	l := NewRWLock(m)
+	writers, readers, bad := 0, 0, false
+	_, err := m.Run(8, func(p *machine.Proc) {
+		read := p.CellID()%2 == 0
+		for i := 0; i < 5; i++ {
+			tok := l.Acquire(p, read)
+			if read {
+				readers++
+				if writers > 0 {
+					bad = true
+				}
+			} else {
+				writers++
+				if writers > 1 || readers > 0 {
+					bad = true
+				}
+			}
+			p.Compute(300)
+			if read {
+				readers--
+			} else {
+				writers--
+			}
+			l.Release(p, tok)
+			p.Compute(100)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Error("read/write exclusion violated")
+	}
+}
+
+func TestRWLockReadersShare(t *testing.T) {
+	// All readers: the batch-combining path must let them overlap.
+	m := machine.New(machine.KSR1(8))
+	l := NewRWLock(m)
+	in, maxIn := 0, 0
+	_, err := m.Run(8, func(p *machine.Proc) {
+		for i := 0; i < 3; i++ {
+			tok := l.Acquire(p, true)
+			in++
+			if in > maxIn {
+				maxIn = in
+			}
+			p.Compute(3000)
+			in--
+			l.Release(p, tok)
+			p.Compute(100)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxIn < 2 {
+		t.Errorf("max concurrent readers = %d, want >= 2 (combining broken)", maxIn)
+	}
+}
+
+func TestRWLockFCFSBetweenWriters(t *testing.T) {
+	// Tickets impose FCFS: with staggered arrivals, grant order follows
+	// arrival order.
+	m := machine.New(machine.KSR1(8))
+	l := NewRWLock(m)
+	var order []int
+	_, err := m.Run(4, func(p *machine.Proc) {
+		p.Compute(int64(2000 * p.CellID())) // clearly staggered arrivals
+		tok := l.Acquire(p, false)
+		order = append(order, p.CellID())
+		p.Compute(100000) // hold long enough that later arrivals queue
+		l.Release(p, tok)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[0 1 2 3]" {
+		t.Errorf("writer grant order %v, want FCFS [0 1 2 3]", order)
+	}
+}
+
+func TestRWLockReadersDoNotStarveWriter(t *testing.T) {
+	// A writer that arrives while a read batch is open gets the next
+	// ticket; readers arriving after the writer form a NEW batch (no
+	// combining across a queued writer).
+	m := machine.New(machine.KSR1(8))
+	l := NewRWLock(m)
+	var events []string
+	_, err := m.Run(4, func(p *machine.Proc) {
+		switch p.CellID() {
+		case 0, 1: // early readers
+			tok := l.Acquire(p, true)
+			events = append(events, fmt.Sprintf("r%d+", p.CellID()))
+			p.Compute(100000)
+			events = append(events, fmt.Sprintf("r%d-", p.CellID()))
+			l.Release(p, tok)
+		case 2: // writer arrives during the batch
+			p.Compute(1000)
+			tok := l.Acquire(p, false)
+			events = append(events, "w+")
+			p.Compute(1000)
+			events = append(events, "w-")
+			l.Release(p, tok)
+		case 3: // late reader, after the writer queued
+			p.Compute(2000)
+			tok := l.Acquire(p, true)
+			events = append(events, "r3+")
+			l.Release(p, tok)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The writer must run strictly between the first batch and r3.
+	s := fmt.Sprint(events)
+	want := "[r0+ r1+ r0- r1- w+ w- r3+]"
+	alt := "[r1+ r0+ r0- r1- w+ w- r3+]"
+	alt2 := "[r0+ r1+ r1- r0- w+ w- r3+]"
+	alt3 := "[r1+ r0+ r1- r0- w+ w- r3+]"
+	if s != want && s != alt && s != alt2 && s != alt3 {
+		t.Errorf("event order %v violates FCFS batching", events)
+	}
+}
+
+func TestRWLockManyOperationsStress(t *testing.T) {
+	m := machine.New(machine.KSR1(16))
+	l := NewRWLock(m)
+	rng := sim.NewRNG(11)
+	reads := make([]bool, 16*20)
+	for i := range reads {
+		reads[i] = rng.Intn(100) < 60
+	}
+	writers, readers, bad := 0, 0, false
+	total := 0
+	_, err := m.Run(16, func(p *machine.Proc) {
+		for i := 0; i < 20; i++ {
+			read := reads[p.CellID()*20+i]
+			tok := l.Acquire(p, read)
+			if read {
+				readers++
+				if writers > 0 {
+					bad = true
+				}
+			} else {
+				writers++
+				if writers > 1 || readers > 0 {
+					bad = true
+				}
+			}
+			total++
+			p.Compute(500)
+			if read {
+				readers--
+			} else {
+				writers--
+			}
+			l.Release(p, tok)
+			p.Compute(200)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Error("exclusion violated under mixed stress")
+	}
+	if total != 16*20 {
+		t.Errorf("completed %d operations, want %d", total, 16*20)
+	}
+}
+
+func TestRWLockBeatsHWLockWithReadSharing(t *testing.T) {
+	// Figure 3's conclusion: with mostly-read workloads the software lock
+	// wins because readers share.
+	const procs, opsPerProc = 8, 6
+	hwTime := func() sim.Time {
+		m := machine.New(machine.KSR1(8))
+		l := NewHWLock(m)
+		el, err := m.Run(procs, func(p *machine.Proc) {
+			for i := 0; i < opsPerProc; i++ {
+				l.Acquire(p)
+				p.Compute(3000)
+				l.Release(p)
+				p.Compute(1000)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return el
+	}()
+	swTime := func() sim.Time {
+		m := machine.New(machine.KSR1(8))
+		l := NewRWLock(m)
+		el, err := m.Run(procs, func(p *machine.Proc) {
+			for i := 0; i < opsPerProc; i++ {
+				tok := l.Acquire(p, true) // all readers
+				p.Compute(3000)
+				l.Release(p, tok)
+				p.Compute(1000)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return el
+	}()
+	if swTime >= hwTime {
+		t.Errorf("read-shared software lock (%v) not faster than hardware lock (%v)",
+			swTime, hwTime)
+	}
+}

@@ -1,0 +1,31 @@
+package ksync
+
+import (
+	"repro/internal/machine"
+)
+
+// System models the vendor pthread barrier the paper plots for reference.
+// Its measured performance tracks the dynamic-tree barrier with a global
+// wakeup flag, so it is modelled as exactly that plus fixed per-call
+// library overhead (argument checking, descriptor lookup, thread
+// bookkeeping).
+type System struct {
+	inner *Tree
+	// OverheadCycles is charged once on entry and once on exit.
+	OverheadCycles int64
+}
+
+// NewSystem builds the library barrier for procs participants.
+func NewSystem(m *machine.Machine, procs int) *System {
+	return &System{inner: NewTree(m, procs, true), OverheadCycles: 150}
+}
+
+// Name implements Barrier.
+func (b *System) Name() string { return "system" }
+
+// Wait implements Barrier.
+func (b *System) Wait(p *machine.Proc) {
+	p.Compute(b.OverheadCycles)
+	b.inner.Wait(p)
+	p.Compute(b.OverheadCycles)
+}

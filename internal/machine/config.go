@@ -1,0 +1,153 @@
+package machine
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// FabricKind selects the interconnect of a machine model.
+type FabricKind int
+
+const (
+	// FabricRing is the KSR slotted pipelined ring (one- or two-level).
+	FabricRing FabricKind = iota
+	// FabricBus is a Symmetry-style shared bus with snooping caches.
+	FabricBus
+	// FabricButterfly is a Butterfly-style MIN without coherent caches.
+	FabricButterfly
+)
+
+// Config describes a machine model. All cache latencies are in CPU cycles
+// (they live on the node and scale with the processor clock); fabric
+// latencies are in nanoseconds (the network clock is independent — on the
+// KSR-2 the CPU doubled in speed while the ring stayed put, which is the
+// one ratio behind every KSR-1 vs KSR-2 difference in the paper).
+type Config struct {
+	Name  string
+	Cells int
+
+	CPUCycle sim.Time // ns per CPU cycle: 50 on KSR-1, 25 on KSR-2
+
+	// Cache hit costs, in CPU cycles.
+	SubCacheReadCycles    int64 // published: 2
+	SubCacheWriteCycles   int64 // writes cost slightly more (replacement)
+	LocalCacheReadCycles  int64 // published: 18
+	LocalCacheWriteCycles int64
+
+	// Allocation overheads, in CPU cycles, charged on allocation-unit
+	// misses. Calibrated to the paper's +50% local-cache access time under
+	// block-allocating strides and +60% remote access time under
+	// page-allocating strides.
+	SubAllocExtraCycles  int64
+	PageAllocExtraCycles int64
+
+	Fabric    FabricKind
+	Ring      fabric.RingConfig      // used when Fabric == FabricRing
+	Bus       fabric.BusConfig       // used when Fabric == FabricBus
+	Butterfly fabric.ButterflyConfig // used when Fabric == FabricButterfly
+
+	// LocalMemCycles is the cost of a home-local access on a cacheless
+	// NUMA machine (butterfly only).
+	LocalMemCycles int64
+
+	// Coherent selects the COMA cache+directory path; false models a
+	// machine without hardware coherent caches, where every shared access
+	// crosses the network to the address's home module.
+	Coherent bool
+
+	// TimerInterrupts, when true, models unsynchronized per-cell OS timer
+	// interrupts (period InterruptEvery, cost InterruptCost). The paper
+	// invokes these to explain why the software queue lock beats the
+	// hardware lock even with writers only. Off by default.
+	TimerInterrupts bool
+	InterruptEvery  sim.Time
+	InterruptCost   sim.Time
+
+	// DisableSnarfing turns off the coherence protocol's read-snarfing,
+	// for the ablation benchmarks. The real machine always snarfs.
+	DisableSnarfing bool
+
+	// LRUCaches switches both cache levels from the machine's random
+	// replacement to LRU, for the ablation of the paper's claim that the
+	// random policy caused SP's first-level thrashing.
+	LRUCaches bool
+
+	// Seed drives all machine-internal randomness (cache replacement,
+	// interrupt phase).
+	Seed uint64
+}
+
+// KSR1 returns the calibrated 20 MHz KSR-1 model with the given cell count
+// (up to 32 on one ring; more cells span a two-level ring).
+func KSR1(cells int) Config {
+	return Config{
+		Name:                  "ksr1",
+		Cells:                 cells,
+		CPUCycle:              50,
+		SubCacheReadCycles:    2,
+		SubCacheWriteCycles:   3,
+		LocalCacheReadCycles:  18,
+		LocalCacheWriteCycles: 20,
+		SubAllocExtraCycles:   9,
+		PageAllocExtraCycles:  105,
+		Fabric:                FabricRing,
+		Ring:                  fabric.DefaultRingConfig(cells),
+		Coherent:              true,
+		InterruptEvery:        10 * sim.Millisecond,
+		InterruptCost:         100 * sim.Microsecond,
+		Seed:                  1,
+	}
+}
+
+// KSR2 returns the KSR-2 model: identical to KSR-1 except the CPU clock is
+// doubled. The ring is unchanged.
+func KSR2(cells int) Config {
+	c := KSR1(cells)
+	c.Name = "ksr2"
+	c.CPUCycle = 25
+	return c
+}
+
+// Symmetry returns a Sequent-Symmetry-like model: snooping coherent caches
+// on a single shared bus. Cache geometry is reused from the KSR model (the
+// comparison in Section 3.2.3 depends only on the bus's serialization and
+// the presence of coherent caches).
+func Symmetry(cells int) Config {
+	c := KSR1(cells)
+	c.Name = "symmetry"
+	c.Fabric = FabricBus
+	c.Bus = fabric.DefaultBusConfig(cells)
+	return c
+}
+
+// Butterfly returns a BBN-Butterfly-like model: a multistage network, NUMA
+// memory, and no hardware coherent caches — every shared access crosses
+// the network to the home module, and spinning means polling.
+func Butterfly(cells int) Config {
+	return Config{
+		Name:           "butterfly",
+		Cells:          cells,
+		CPUCycle:       50,
+		LocalMemCycles: 12,
+		Fabric:         FabricButterfly,
+		Butterfly:      fabric.DefaultButterflyConfig(cells),
+		Coherent:       false,
+		Seed:           1,
+	}
+}
+
+// WithSeed returns a copy of the config with a different seed.
+func (c Config) WithSeed(seed uint64) Config {
+	c.Seed = seed
+	return c
+}
+
+// WithCells returns a copy resized to the given cell count, keeping the
+// fabric geometry consistent.
+func (c Config) WithCells(cells int) Config {
+	c.Cells = cells
+	c.Ring.Cells = cells
+	c.Bus.Cells = cells
+	c.Butterfly.Cells = cells
+	return c
+}

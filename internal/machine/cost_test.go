@@ -1,0 +1,119 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memory"
+	"repro/internal/sim"
+)
+
+func TestWorkMixCycles(t *testing.T) {
+	cases := []struct {
+		w    WorkMix
+		want int64
+	}{
+		{WorkMix{CEU: 10}, 10},
+		{WorkMix{FPU: 10}, 10},
+		{WorkMix{CEU: 10, FPU: 10}, 10}, // perfect dual issue
+		{WorkMix{CEU: 10, FPU: 25}, 25}, // FPU-bound
+		{WorkMix{CEU: 9, XIU: 6, FPU: 5, IPU: 5}, 15},
+	}
+	for _, c := range cases {
+		if got := c.w.Cycles(); got != c.want {
+			t.Errorf("Cycles(%+v) = %d, want %d", c.w, got, c.want)
+		}
+	}
+}
+
+func TestWorkMixAlgebra(t *testing.T) {
+	a := WorkMix{CEU: 1, XIU: 2, FPU: 3, IPU: 4}
+	if a.Add(a) != a.ScaleMix(2) {
+		t.Error("Add(a,a) != Scale(a,2)")
+	}
+	if a.Flops() != 3 {
+		t.Error("Flops wrong")
+	}
+}
+
+func TestPropertyWorkMixBounds(t *testing.T) {
+	// Cycles is always >= each stream and <= their sum.
+	f := func(c, x, fp, ip uint16) bool {
+		w := WorkMix{CEU: int64(c), XIU: int64(x), FPU: int64(fp), IPU: int64(ip)}
+		cy := w.Cycles()
+		a, b := w.CEU+w.XIU, w.FPU+w.IPU
+		return cy >= a && cy >= b && cy <= a+b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeMixTiming(t *testing.T) {
+	m := New(KSR1(2))
+	var el sim.Time
+	_, err := m.Run(1, func(p *Proc) {
+		t0 := p.Now()
+		p.ComputeMix(WorkMix{CEU: 100, FPU: 160})
+		el = p.Now() - t0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el != 160*50 {
+		t.Errorf("ComputeMix took %v, want 8us (160 issue-bound cycles)", el)
+	}
+}
+
+func TestPeakMFLOPS(t *testing.T) {
+	if got := KSR1(1).PeakMFLOPS(); got != 40 {
+		t.Errorf("KSR-1 peak = %v, want 40 (paper)", got)
+	}
+	if got := KSR2(1).PeakMFLOPS(); got != 80 {
+		t.Errorf("KSR-2 peak = %v, want 80", got)
+	}
+}
+
+func TestSamplerCollectsAndRetires(t *testing.T) {
+	m := New(KSR1(4))
+	r := m.Alloc("data", 256*1024)
+	s := NewSampler(m, 100*sim.Microsecond)
+	_, err := m.Run(2, func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.ReadRange(r.At(int64(p.CellID())*64*1024+int64(i)*16*1024),
+				64, memory.SubPageSize)
+			p.Compute(2000)
+		}
+	})
+	if err != nil {
+		t.Fatal(err) // a sampler that never retires would deadlock-or-hang here
+	}
+	pts := s.Points()
+	if len(pts) < 3 {
+		t.Fatalf("only %d samples", len(pts))
+	}
+	// Cumulative transactions are non-decreasing; rates are non-negative.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Transactions < pts[i-1].Transactions {
+			t.Fatal("transaction counter went backwards")
+		}
+	}
+	for _, r := range s.Rates() {
+		if r < 0 {
+			t.Fatal("negative rate")
+		}
+	}
+}
+
+func TestSamplerStop(t *testing.T) {
+	m := New(KSR1(2))
+	s := NewSampler(m, 50*sim.Microsecond)
+	s.Stop()
+	_, err := m.Run(1, func(p *Proc) { p.Compute(100000) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points()) != 0 {
+		t.Errorf("stopped sampler still collected %d points", len(s.Points()))
+	}
+}

@@ -1,0 +1,249 @@
+// Package machine assembles the KSR-1 substrates — simulation engine,
+// memory space, interconnect fabric, cache hierarchy, and coherence
+// directory — into a whole-machine model, and exposes the processor-side
+// programming interface (Proc) that the synchronization algorithms and NAS
+// kernels are written against.
+//
+// Four machine models are provided: KSR1, KSR2 (2x CPU clock, same ring),
+// Symmetry (bus, coherent caches), and Butterfly (MIN, no caches). All run
+// the same programs, which is what lets the experiment harness reproduce
+// the paper's cross-architecture barrier comparison.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/fabric"
+	"repro/internal/memory"
+	"repro/internal/sim"
+)
+
+// Monitor mirrors the per-cell hardware performance monitor the authors
+// used: miss counts per cache level, remote access counts and time.
+type Monitor struct {
+	Accesses       uint64   // word accesses issued by the CEU
+	SubMisses      uint64   // sub-cache misses
+	LocalMisses    uint64   // local-cache (coherence) misses -> ring
+	RemoteAccesses uint64   // transactions that went on the fabric
+	RingTime       sim.Time // time spent in fabric transactions
+	SubAllocs      uint64   // 2 KB block allocations in the sub-cache
+	PageAllocs     uint64   // 16 KB page allocations in the local cache
+	Poststores     uint64
+	Prefetches     uint64
+	GSPRetries     uint64 // failed get_sub_page attempts
+	Interrupts     uint64 // simulated timer interrupts taken
+}
+
+// Add accumulates other into m.
+func (m *Monitor) Add(other Monitor) {
+	m.Accesses += other.Accesses
+	m.SubMisses += other.SubMisses
+	m.LocalMisses += other.LocalMisses
+	m.RemoteAccesses += other.RemoteAccesses
+	m.RingTime += other.RingTime
+	m.SubAllocs += other.SubAllocs
+	m.PageAllocs += other.PageAllocs
+	m.Poststores += other.Poststores
+	m.Prefetches += other.Prefetches
+	m.GSPRetries += other.GSPRetries
+	m.Interrupts += other.Interrupts
+}
+
+// Cell is one KSR processing node: CEU timing, two cache levels, and the
+// monitor.
+type Cell struct {
+	id    int
+	sub   *cache.Cache
+	local *cache.Cache
+	mon   Monitor
+
+	nextInterrupt sim.Time
+}
+
+// ID returns the cell number.
+func (c *Cell) ID() int { return c.id }
+
+// Monitor returns a copy of the cell's performance counters.
+func (c *Cell) Monitor() Monitor { return c.mon }
+
+// SubCache returns the first-level cache (for stats inspection).
+func (c *Cell) SubCache() *cache.Cache { return c.sub }
+
+// LocalCache returns the second-level cache.
+func (c *Cell) LocalCache() *cache.Cache { return c.local }
+
+// Machine is a complete simulated multiprocessor.
+type Machine struct {
+	cfg   Config
+	eng   *sim.Engine
+	space *memory.Space
+	fab   fabric.Fabric
+	dir   *coherence.Directory // nil when !cfg.Coherent
+	cells []*Cell
+	rng   *sim.RNG
+}
+
+// New builds a machine from a config.
+func New(cfg Config) *Machine {
+	if cfg.Cells < 1 {
+		panic("machine: need at least one cell")
+	}
+	e := sim.NewEngine()
+	m := &Machine{
+		cfg:   cfg,
+		eng:   e,
+		space: memory.NewSpace(),
+		rng:   sim.NewRNG(cfg.Seed),
+	}
+	switch cfg.Fabric {
+	case FabricRing:
+		ring := cfg.Ring
+		ring.Cells = cfg.Cells
+		m.fab = fabric.NewRing(e, ring)
+	case FabricBus:
+		bus := cfg.Bus
+		bus.Cells = cfg.Cells
+		m.fab = fabric.NewBus(e, bus)
+	case FabricButterfly:
+		bf := cfg.Butterfly
+		bf.Cells = cfg.Cells
+		m.fab = fabric.NewButterfly(e, bf)
+	default:
+		panic(fmt.Sprintf("machine: unknown fabric kind %d", cfg.Fabric))
+	}
+	for i := 0; i < cfg.Cells; i++ {
+		c := &Cell{id: i}
+		if cfg.Coherent {
+			sc, lc := cache.SubCacheConfig(), cache.LocalCacheConfig()
+			if cfg.LRUCaches {
+				sc.Policy = cache.LRUReplacement
+				lc.Policy = cache.LRUReplacement
+			}
+			c.sub = cache.New(sc, m.rng.Split())
+			c.local = cache.New(lc, m.rng.Split())
+		}
+		if cfg.TimerInterrupts && cfg.InterruptEvery > 0 {
+			c.nextInterrupt = sim.Time(m.rng.Intn(int(cfg.InterruptEvery))) + 1
+		}
+		m.cells = append(m.cells, c)
+	}
+	if cfg.Coherent {
+		m.dir = coherence.NewDirectory(e, m.fab)
+		m.dir.DisableSnarfing = cfg.DisableSnarfing
+		m.dir.OnInvalidate = func(cell int, sp memory.SubPageID) {
+			m.cells[cell].sub.PurgeRange(sp.Base(), memory.SubPageSize)
+		}
+		if ring, ok := m.fab.(*fabric.Ring); ok && ring.Levels() > 1 {
+			m.dir.SameDomain = func(a, b int) bool {
+				return ring.LeafOf(a) == ring.LeafOf(b)
+			}
+		}
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Engine returns the simulation engine (for Now() and custom events).
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Fabric returns the interconnect.
+func (m *Machine) Fabric() fabric.Fabric { return m.fab }
+
+// Directory returns the coherence directory, or nil on a non-coherent
+// machine.
+func (m *Machine) Directory() *coherence.Directory { return m.dir }
+
+// Space returns the SVA space.
+func (m *Machine) Space() *memory.Space { return m.space }
+
+// CellAt returns cell i.
+func (m *Machine) CellAt(i int) *Cell { return m.cells[i] }
+
+// Cells returns the number of cells.
+func (m *Machine) Cells() int { return m.cfg.Cells }
+
+// Now returns the current simulated time.
+func (m *Machine) Now() sim.Time { return m.eng.Now() }
+
+// TotalMonitor sums the per-cell monitors.
+func (m *Machine) TotalMonitor() Monitor {
+	var tot Monitor
+	for _, c := range m.cells {
+		tot.Add(c.mon)
+	}
+	return tot
+}
+
+// ResetMonitors zeroes all per-cell counters (the experiments reset after
+// warmup phases, just as the authors reset the hardware monitor).
+func (m *Machine) ResetMonitors() {
+	for _, c := range m.cells {
+		c.mon = Monitor{}
+	}
+}
+
+// Alloc reserves a named region of simulated memory.
+func (m *Machine) Alloc(name string, size int64) memory.Region {
+	return m.space.Alloc(name, size)
+}
+
+// AllocWords reserves n 8-byte words.
+func (m *Machine) AllocWords(name string, n int64) memory.Region {
+	return m.space.AllocWords(name, n)
+}
+
+// AllocPadded reserves n slots, one sub-page each (no false sharing).
+func (m *Machine) AllocPadded(name string, n int64) memory.Region {
+	return m.space.AllocPadded(name, n)
+}
+
+// PerCell is a set of sub-page-sized memory slots, one per cell, arranged
+// so that on a home-based NUMA machine (butterfly) each cell's slot is
+// home-local to it — the layout MCS-style algorithms assume when they
+// "spin on locally accessible memory".
+type PerCell struct {
+	addrs []memory.Addr
+}
+
+// Addr returns cell c's slot (word-aligned, one full sub-page to itself).
+func (pc PerCell) Addr(c int) memory.Addr { return pc.addrs[c] }
+
+// AllocPerCell builds a PerCell layout.
+func (m *Machine) AllocPerCell(name string) PerCell {
+	n := m.cfg.Cells
+	r := m.space.AllocPadded(name, int64(n))
+	pc := PerCell{addrs: make([]memory.Addr, n)}
+	baseSP := uint64(r.Base.SubPage())
+	for c := 0; c < n; c++ {
+		// Pick the slot whose sub-page id is congruent to c modulo the
+		// cell count: on the butterfly that sub-page's home module is c.
+		slot := (uint64(c) + uint64(n) - baseSP%uint64(n)) % uint64(n)
+		pc.addrs[c] = r.PaddedSlot(int64(slot))
+	}
+	return pc
+}
+
+// Run spawns one Proc on each of cells 0..procs-1 executing body, runs the
+// simulation to completion, and returns the elapsed simulated time for
+// this program (from spawn to last completion).
+func (m *Machine) Run(procs int, body func(p *Proc)) (sim.Time, error) {
+	if procs < 1 || procs > m.cfg.Cells {
+		return 0, fmt.Errorf("machine: Run with %d procs on %d cells", procs, m.cfg.Cells)
+	}
+	start := m.eng.Now()
+	for i := 0; i < procs; i++ {
+		i := i
+		m.eng.Spawn(fmt.Sprintf("cell%d", i), func(p *sim.Process) {
+			pr := &Proc{m: m, cell: m.cells[i], sp: p, procs: procs}
+			body(pr)
+		})
+	}
+	if err := m.eng.Run(); err != nil {
+		return 0, err
+	}
+	return m.eng.Now() - start, nil
+}

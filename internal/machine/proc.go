@@ -1,0 +1,546 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/memory"
+	"repro/internal/sim"
+)
+
+// Proc is the processor-side programming interface: what a thread bound to
+// one cell can do. All simulated latencies — cache hits, allocation
+// overheads, ring transactions, atomic sub-page operations — are charged
+// through these methods, so algorithm code reads like ordinary shared
+// memory code.
+type Proc struct {
+	m     *Machine
+	cell  *Cell
+	sp    *sim.Process
+	procs int
+
+	bypassSub bool
+}
+
+// CellID returns the cell this Proc runs on.
+func (p *Proc) CellID() int { return p.cell.id }
+
+// NumProcs returns how many Procs the current program spawned.
+func (p *Proc) NumProcs() int { return p.procs }
+
+// Machine returns the machine.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Process exposes the underlying simulation process (for Cond waits in
+// higher layers).
+func (p *Proc) Process() *sim.Process { return p.sp }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() sim.Time { return p.sp.Now() }
+
+// Compute spends ops local operations (one CPU cycle each: the unit the
+// paper uses for its synthetic lock workloads).
+func (p *Proc) Compute(ops int64) {
+	if ops <= 0 {
+		return
+	}
+	p.chargeCycles(ops)
+}
+
+// chargeCycles advances simulated time by n CPU cycles, injecting a timer
+// interrupt when one is due (if the machine models them).
+func (p *Proc) chargeCycles(n int64) {
+	d := sim.Time(n) * p.m.cfg.CPUCycle
+	cfg := &p.m.cfg
+	if cfg.TimerInterrupts && cfg.InterruptEvery > 0 {
+		for p.sp.Now()+d >= p.cell.nextInterrupt {
+			d += cfg.InterruptCost
+			p.cell.nextInterrupt += cfg.InterruptEvery
+			p.cell.mon.Interrupts++
+		}
+	}
+	p.sp.Sleep(d)
+}
+
+// handleEvictions reports capacity-evicted sub-pages to the directory and
+// enforces sub-cache inclusion.
+func (p *Proc) handleEvictions(ev *cache.Evicted) {
+	if ev == nil {
+		return
+	}
+	for _, u := range ev.Present {
+		base := p.cell.local.TransferUnitBase(u)
+		p.m.dir.Drop(p.cell.id, base.SubPage())
+		p.cell.sub.PurgeRange(base, memory.SubPageSize)
+	}
+}
+
+// accessOne performs one word access, accumulating pure-local cycle costs
+// into *acc and flushing them before any fabric transaction so event
+// ordering stays faithful. Used by both the single-access methods and the
+// batched range methods.
+func (p *Proc) accessOne(addr memory.Addr, write bool, acc *int64) {
+	cfg := &p.m.cfg
+	c := p.cell
+	c.mon.Accesses++
+
+	if !cfg.Coherent {
+		// Cacheless NUMA machine: home-local accesses cost memory time,
+		// everything else is a network transaction.
+		home := p.m.homeOf(addr)
+		if home == c.id {
+			*acc += cfg.LocalMemCycles
+			return
+		}
+		p.flush(acc)
+		lat := p.m.fab.Access(p.sp, c.id, home, addr)
+		c.mon.RemoteAccesses++
+		c.mon.RingTime += lat
+		return
+	}
+
+	sp := addr.SubPage()
+	valid := p.m.dir.HasValid(c.id, sp)
+	if write {
+		valid = p.m.dir.IsWritable(c.id, sp)
+	}
+	if valid {
+		if p.bypassSub {
+			// Sub-caching disabled: serve from the local cache without
+			// allocating sub-cache blocks (no pollution, no 2-cycle hits).
+			if write {
+				*acc += cfg.LocalCacheWriteCycles
+			} else {
+				*acc += cfg.LocalCacheReadCycles
+			}
+			return
+		}
+		out, _ := c.sub.Touch(addr)
+		switch out {
+		case cache.Hit:
+			if write {
+				*acc += cfg.SubCacheWriteCycles
+			} else {
+				*acc += cfg.SubCacheReadCycles
+			}
+		default:
+			// Fill from the local cache (present by inclusion).
+			c.mon.SubMisses++
+			c.local.Touch(addr)
+			if write {
+				*acc += cfg.LocalCacheWriteCycles
+			} else {
+				*acc += cfg.LocalCacheReadCycles
+			}
+			if out == cache.AllocMiss {
+				*acc += cfg.SubAllocExtraCycles
+				c.mon.SubAllocs++
+			}
+		}
+		return
+	}
+
+	// Remote: a coherence transaction on the fabric, then fills.
+	c.mon.SubMisses++
+	c.mon.LocalMisses++
+	p.flush(acc)
+	var lat sim.Time
+	if write {
+		lat, _ = p.m.dir.EnsureWritable(p.sp, c.id, sp)
+	} else {
+		lat, _ = p.m.dir.EnsureReadable(p.sp, c.id, sp)
+	}
+	c.mon.RemoteAccesses++
+	c.mon.RingTime += lat
+	out, ev := c.local.Touch(addr)
+	p.handleEvictions(ev)
+	if out == cache.AllocMiss {
+		*acc += cfg.PageAllocExtraCycles
+		c.mon.PageAllocs++
+	}
+	if !p.bypassSub {
+		outSub, _ := c.sub.Touch(addr)
+		if outSub == cache.AllocMiss {
+			*acc += cfg.SubAllocExtraCycles
+			c.mon.SubAllocs++
+		}
+	}
+	if write {
+		*acc += cfg.LocalCacheWriteCycles
+	} else {
+		*acc += cfg.LocalCacheReadCycles
+	}
+}
+
+// SetSubCacheBypass selectively turns sub-caching on or off for this
+// processor's subsequent data accesses — the architectural mechanism the
+// paper notes exists on the KSR-1 but had no language-level support
+// ("the ability to selectively turn off sub-caching would help in a
+// better use of the sub-cache depending on the access pattern"). With the
+// bypass on, accesses are served at local-cache latency and never claim
+// sub-cache blocks, so streaming data stops evicting a kernel's hot
+// working set.
+func (p *Proc) SetSubCacheBypass(on bool) {
+	p.requireCoherent("SetSubCacheBypass")
+	p.bypassSub = on
+}
+
+// PrefetchSub issues the paper's wished-for second prefetch flavour —
+// local cache into sub-cache ("it would be beneficial to have some
+// prefetching mechanism from the local-cache to the sub-cache, given that
+// there is roughly an order of magnitude difference between their access
+// times"). The sub-block containing addr is filled asynchronously after
+// one local-cache access time; the issuing processor continues
+// immediately. The sub-page must already be valid in the local cache —
+// otherwise the instruction is a no-op, like a mis-aimed prefetch.
+func (p *Proc) PrefetchSub(addr memory.Addr) {
+	p.requireCoherent("PrefetchSub")
+	p.chargeCycles(1)
+	if !p.m.dir.HasValid(p.cell.id, addr.SubPage()) {
+		return
+	}
+	c := p.cell
+	p.m.eng.Schedule(sim.Time(p.m.cfg.LocalCacheReadCycles)*p.m.cfg.CPUCycle, func() {
+		c.sub.Touch(addr)
+	})
+}
+
+func (p *Proc) flush(acc *int64) {
+	if *acc > 0 {
+		p.chargeCycles(*acc)
+		*acc = 0
+	}
+}
+
+// Read performs a timed read of the word at addr.
+func (p *Proc) Read(addr memory.Addr) {
+	var acc int64
+	p.accessOne(addr, false, &acc)
+	p.flush(&acc)
+}
+
+// Write performs a timed write of the word at addr.
+func (p *Proc) Write(addr memory.Addr) {
+	var acc int64
+	p.accessOne(addr, true, &acc)
+	p.flush(&acc)
+}
+
+// ReadWord performs a timed read and returns the stored value.
+func (p *Proc) ReadWord(addr memory.Addr) uint64 {
+	p.Read(addr)
+	return p.m.space.ReadWord(addr)
+}
+
+// WriteWord performs a timed write of v to addr. The stored value becomes
+// globally visible at the moment write ownership is granted (before the
+// writer's own cache-fill cycles are charged) — otherwise a spinner woken
+// by the invalidation could re-read the old value during the writer's fill
+// and miss the update forever.
+func (p *Proc) WriteWord(addr memory.Addr, v uint64) {
+	var acc int64
+	p.accessOne(addr, true, &acc)
+	p.m.space.WriteWord(addr, v)
+	p.flush(&acc)
+}
+
+// ReadRange performs count timed reads starting at base with the given
+// byte stride, batching local cycle charges into single Sleep calls so
+// that large kernel sweeps cost one simulation event per fabric
+// transaction rather than one per element.
+func (p *Proc) ReadRange(base memory.Addr, count, stride int64) {
+	p.accessRange(base, count, stride, false)
+}
+
+// WriteRange is the write analogue of ReadRange.
+func (p *Proc) WriteRange(base memory.Addr, count, stride int64) {
+	p.accessRange(base, count, stride, true)
+}
+
+func (p *Proc) accessRange(base memory.Addr, count, stride int64, write bool) {
+	if count <= 0 {
+		return
+	}
+	var acc int64
+	addr := base
+	for i := int64(0); i < count; i++ {
+		p.accessOne(addr, write, &acc)
+		addr += memory.Addr(stride)
+	}
+	p.flush(&acc)
+}
+
+// GetSubPage attempts the get_sub_page instruction on the sub-page holding
+// addr: acquire it in atomic (locked-exclusive) state. It reports success;
+// failure still costs the ring transit. Requires a coherent machine.
+func (p *Proc) GetSubPage(addr memory.Addr) bool {
+	p.requireCoherent("GetSubPage")
+	sp := addr.SubPage()
+	ok, lat := p.m.dir.GetSubPage(p.sp, p.cell.id, sp)
+	p.cell.mon.RemoteAccesses++
+	p.cell.mon.RingTime += lat
+	if !ok {
+		p.cell.mon.GSPRetries++
+		return false
+	}
+	// The sub-page arrives with the atomic grant: fill the caches.
+	_, ev := p.cell.local.Touch(addr)
+	p.handleEvictions(ev)
+	p.cell.sub.Touch(addr)
+	return true
+}
+
+// AcquireSubPage spins until GetSubPage succeeds. Contention behaves like
+// the hardware: every waiter retries on each release, pays a full ring
+// transit per failed attempt, and there is no FCFS guarantee — only the
+// ring's forward progress.
+func (p *Proc) AcquireSubPage(addr memory.Addr) {
+	p.requireCoherent("AcquireSubPage")
+	sp := addr.SubPage()
+	for {
+		ver := p.m.dir.Version(sp)
+		if p.GetSubPage(addr) {
+			return
+		}
+		p.m.dir.WaitChange(p.sp, sp, ver)
+	}
+}
+
+// ReleaseSubPage executes release_sub_page on the sub-page holding addr.
+func (p *Proc) ReleaseSubPage(addr memory.Addr) {
+	p.requireCoherent("ReleaseSubPage")
+	lat := p.m.dir.ReleaseSubPage(p.sp, p.cell.id, addr.SubPage())
+	p.cell.mon.RemoteAccesses++
+	p.cell.mon.RingTime += lat
+}
+
+// FetchAdd atomically adds delta to the word at addr and returns the
+// previous value. On the KSR machines it is built from get_sub_page (the
+// paper's footnote: "implemented using the get_sub_page primitive"); on
+// the cacheless butterfly it is a single remote memory operation, as on
+// the real BBN machine.
+func (p *Proc) FetchAdd(addr memory.Addr, delta uint64) uint64 {
+	if p.m.cfg.Coherent {
+		p.AcquireSubPage(addr)
+		old := p.ReadWord(addr)
+		p.WriteWord(addr, old+delta)
+		p.ReleaseSubPage(addr)
+		return old
+	}
+	home := p.m.homeOf(addr)
+	lat := p.m.fab.Access(p.sp, p.cell.id, home, addr)
+	p.cell.mon.RemoteAccesses++
+	p.cell.mon.RingTime += lat
+	old := p.m.space.ReadWord(addr)
+	p.m.space.WriteWord(addr, old+delta)
+	return old
+}
+
+// FetchStore atomically exchanges the word at addr with v, returning the
+// previous value (the swap primitive queue locks are built on). On KSR
+// machines it is synthesized from get_sub_page; on the butterfly it is
+// one remote operation at the home module.
+func (p *Proc) FetchStore(addr memory.Addr, v uint64) uint64 {
+	if p.m.cfg.Coherent {
+		p.AcquireSubPage(addr)
+		old := p.ReadWord(addr)
+		p.WriteWord(addr, v)
+		p.ReleaseSubPage(addr)
+		return old
+	}
+	home := p.m.homeOf(addr)
+	lat := p.m.fab.Access(p.sp, p.cell.id, home, addr)
+	p.cell.mon.RemoteAccesses++
+	p.cell.mon.RingTime += lat
+	old := p.m.space.ReadWord(addr)
+	p.m.space.WriteWord(addr, v)
+	return old
+}
+
+// CompareAndSwap atomically replaces the word at addr with new if it
+// currently holds old, reporting success.
+func (p *Proc) CompareAndSwap(addr memory.Addr, old, new uint64) bool {
+	if p.m.cfg.Coherent {
+		p.AcquireSubPage(addr)
+		cur := p.ReadWord(addr)
+		ok := cur == old
+		if ok {
+			p.WriteWord(addr, new)
+		}
+		p.ReleaseSubPage(addr)
+		return ok
+	}
+	home := p.m.homeOf(addr)
+	lat := p.m.fab.Access(p.sp, p.cell.id, home, addr)
+	p.cell.mon.RemoteAccesses++
+	p.cell.mon.RingTime += lat
+	if p.m.space.ReadWord(addr) != old {
+		return false
+	}
+	p.m.space.WriteWord(addr, new)
+	return true
+}
+
+// SpinUntilWord reads the word at addr until pred holds, returning the
+// value that satisfied it. On a coherent machine the spin runs entirely in
+// the cell's own caches — zero network traffic — and resumes when the
+// sub-page is invalidated or updated, exactly like hardware spinning on a
+// cached flag. On the cacheless butterfly every poll is a network access
+// to the flag's home module (the reason the paper says global-flag wakeup
+// "cannot be used" there).
+func (p *Proc) SpinUntilWord(addr memory.Addr, pred func(uint64) bool) uint64 {
+	if p.m.cfg.Coherent {
+		sp := addr.SubPage()
+		for {
+			ver := p.m.dir.Version(sp)
+			v := p.ReadWord(addr)
+			if pred(v) {
+				return v
+			}
+			p.m.dir.WaitChange(p.sp, sp, ver)
+		}
+	}
+	for {
+		v := p.ReadWord(addr)
+		if pred(v) {
+			return v
+		}
+		p.Compute(20) // poll gap between remote probes
+	}
+}
+
+// SpinUntilWords spins until pred holds over the n consecutive words
+// starting at addr, which must all lie in one sub-page (it is the
+// multi-word analogue of SpinUntilWord, used by the MCS barrier's packed
+// child-notready word). The values slice passed to pred is reused across
+// iterations.
+func (p *Proc) SpinUntilWords(addr memory.Addr, n int, pred func([]uint64) bool) {
+	if addr.SubPage() != (addr + memory.Addr(n*memory.WordSize) - 1).SubPage() {
+		panic("machine: SpinUntilWords range crosses a sub-page boundary")
+	}
+	vals := make([]uint64, n)
+	readAll := func() {
+		p.Read(addr) // one timed access fetches the sub-page
+		var acc int64
+		for i := 0; i < n; i++ {
+			a := addr + memory.Addr(i*memory.WordSize)
+			if i > 0 {
+				p.accessOne(a, false, &acc)
+			}
+			vals[i] = p.m.space.ReadWord(a)
+		}
+		p.flush(&acc)
+	}
+	if p.m.cfg.Coherent {
+		sp := addr.SubPage()
+		for {
+			ver := p.m.dir.Version(sp)
+			readAll()
+			if pred(vals) {
+				return
+			}
+			p.m.dir.WaitChange(p.sp, sp, ver)
+		}
+	}
+	for {
+		readAll()
+		if pred(vals) {
+			return
+		}
+		p.Compute(20)
+	}
+}
+
+// Poststore executes the poststore instruction for the sub-page holding
+// addr: the issuing processor stalls only until the update reaches its
+// local cache, then the new value circulates asynchronously, filling every
+// place-holder. The sub-page is left shared — the issuer pays an upgrade
+// on its next write, the interaction that made poststore a loss for SP.
+// On a non-coherent machine it is a no-op.
+func (p *Proc) Poststore(addr memory.Addr) {
+	if !p.m.cfg.Coherent {
+		return
+	}
+	var acc int64
+	sp := addr.SubPage()
+	if !p.m.dir.IsWritable(p.cell.id, sp) {
+		p.accessOne(addr, true, &acc)
+	}
+	acc += p.m.cfg.LocalCacheWriteCycles // stall: write-through to local cache
+	p.flush(&acc)
+	p.cell.mon.Poststores++
+	p.m.dir.Poststore(p.cell.id, sp, nil)
+}
+
+// Prefetch issues the prefetch instruction: fetch the sub-page holding
+// addr into the local cache without blocking. A later demand access that
+// beats the fill joins it instead of paying a second transaction. On a
+// non-coherent machine it is a no-op (the BBN has no caches to fetch
+// into).
+func (p *Proc) Prefetch(addr memory.Addr) {
+	if !p.m.cfg.Coherent {
+		return
+	}
+	p.chargeCycles(1) // issue slot
+	p.cell.mon.Prefetches++
+	cellID := p.cell.id
+	local := p.cell.local
+	dir := p.m.dir
+	m := p.m
+	dir.Prefetch(cellID, addr.SubPage(), func() {
+		_, ev := local.Touch(addr)
+		if ev != nil {
+			for _, u := range ev.Present {
+				base := local.TransferUnitBase(u)
+				dir.Drop(cellID, base.SubPage())
+				m.cells[cellID].sub.PurgeRange(base, memory.SubPageSize)
+			}
+		}
+	})
+}
+
+// PrefetchRange issues prefetches for every sub-page overlapping
+// [base, base+size), charging the issue cost as one batch so that large
+// slab prefetches (the SP optimization) cost one simulation event plus one
+// ring transaction per genuinely remote sub-page.
+func (p *Proc) PrefetchRange(base memory.Addr, size int64) {
+	if !p.m.cfg.Coherent {
+		return
+	}
+	first := int64(base) / memory.SubPageSize * memory.SubPageSize
+	issued := int64(0)
+	for a := first; a < int64(base)+size; a += memory.SubPageSize {
+		addr := memory.Addr(a)
+		issued++
+		p.cell.mon.Prefetches++
+		cellID := p.cell.id
+		local := p.cell.local
+		dir := p.m.dir
+		m := p.m
+		dir.Prefetch(cellID, addr.SubPage(), func() {
+			_, ev := local.Touch(addr)
+			if ev != nil {
+				for _, u := range ev.Present {
+					b := local.TransferUnitBase(u)
+					dir.Drop(cellID, b.SubPage())
+					m.cells[cellID].sub.PurgeRange(b, memory.SubPageSize)
+				}
+			}
+		})
+	}
+	if issued > 0 {
+		p.chargeCycles(issued)
+	}
+}
+
+func (p *Proc) requireCoherent(op string) {
+	if !p.m.cfg.Coherent {
+		panic(fmt.Sprintf("machine: %s requires a coherent machine (%s is not)",
+			op, p.m.cfg.Name))
+	}
+}
+
+// homeOf returns the home module of addr on a NUMA fabric.
+func (m *Machine) homeOf(addr memory.Addr) int {
+	return int(uint64(addr.SubPage()) % uint64(m.cfg.Cells))
+}

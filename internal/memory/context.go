@@ -1,0 +1,137 @@
+package memory
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The KSR-1 presents each process a private Context Address (CA) space
+// mapped onto the global System Virtual Address (SVA) space through
+// Segment Translation Tables (STT) — Section 2 of the paper. Context
+// implements that mapping: contiguous CA segments, each bound to an SVA
+// region, translated by table walk with a small TLB-like cache of the
+// last hit.
+//
+// The experiment programs address memory directly in SVA (every cell sees
+// the same shared space, which is what the paper's shared-memory programs
+// rely on); Context exists for completeness of the substrate and for
+// programs that want per-process address spaces on top of the machine.
+
+// CAddr is a context (per-process virtual) address.
+type CAddr uint64
+
+// Segment is one STT entry: [Base, Base+Size) in context space maps onto
+// [Target, Target+Size) in the SVA space.
+type Segment struct {
+	Base   CAddr
+	Size   int64
+	Target Addr
+	Name   string
+}
+
+// End returns one past the last context address of the segment.
+func (s Segment) End() CAddr { return s.Base + CAddr(s.Size) }
+
+// Context is one process's segment translation table.
+type Context struct {
+	id       int
+	segments []Segment // sorted by Base, non-overlapping
+
+	// One-entry translation cache (the hot path of a table walk).
+	lastIdx int
+
+	hits, misses uint64
+}
+
+// NewContext creates an empty context address space.
+func NewContext(id int) *Context {
+	return &Context{id: id, lastIdx: -1}
+}
+
+// ID returns the context identifier.
+func (c *Context) ID() int { return c.id }
+
+// Map installs a segment translating [base, base+size) to the SVA region
+// starting at target. Segments must be page-aligned on both sides and may
+// not overlap an existing segment.
+func (c *Context) Map(name string, base CAddr, size int64, target Addr) (Segment, error) {
+	if size <= 0 {
+		return Segment{}, fmt.Errorf("memory: Map %q: size %d must be positive", name, size)
+	}
+	if uint64(base)%PageSize != 0 || uint64(target)%PageSize != 0 {
+		return Segment{}, fmt.Errorf("memory: Map %q: base and target must be page-aligned", name)
+	}
+	seg := Segment{Base: base, Size: size, Target: target, Name: name}
+	for _, s := range c.segments {
+		if seg.Base < s.End() && s.Base < seg.End() {
+			return Segment{}, fmt.Errorf("memory: Map %q: overlaps segment %q", name, s.Name)
+		}
+	}
+	c.segments = append(c.segments, seg)
+	sort.Slice(c.segments, func(i, j int) bool { return c.segments[i].Base < c.segments[j].Base })
+	c.lastIdx = -1
+	return seg, nil
+}
+
+// MapRegion installs a segment exposing an SVA region at the given
+// context base.
+func (c *Context) MapRegion(base CAddr, r Region) (Segment, error) {
+	return c.Map(r.Name, base, r.Size, r.Base)
+}
+
+// Unmap removes the segment containing ca. It reports whether a segment
+// was removed.
+func (c *Context) Unmap(ca CAddr) bool {
+	for i, s := range c.segments {
+		if ca >= s.Base && ca < s.End() {
+			c.segments = append(c.segments[:i], c.segments[i+1:]...)
+			c.lastIdx = -1
+			return true
+		}
+	}
+	return false
+}
+
+// Translate walks the STT and returns the SVA for ca.
+func (c *Context) Translate(ca CAddr) (Addr, error) {
+	// Fast path: same segment as the last translation.
+	if c.lastIdx >= 0 && c.lastIdx < len(c.segments) {
+		s := c.segments[c.lastIdx]
+		if ca >= s.Base && ca < s.End() {
+			c.hits++
+			return s.Target + Addr(ca-s.Base), nil
+		}
+	}
+	c.misses++
+	// Binary search over the sorted table.
+	i := sort.Search(len(c.segments), func(i int) bool {
+		return c.segments[i].End() > ca
+	})
+	if i < len(c.segments) && ca >= c.segments[i].Base {
+		c.lastIdx = i
+		s := c.segments[i]
+		return s.Target + Addr(ca-s.Base), nil
+	}
+	return 0, fmt.Errorf("memory: context %d: unmapped context address %#x", c.id, uint64(ca))
+}
+
+// ReverseTranslate returns a context address mapping to the SVA a, if any
+// segment covers it.
+func (c *Context) ReverseTranslate(a Addr) (CAddr, bool) {
+	for _, s := range c.segments {
+		if a >= s.Target && a < s.Target+Addr(s.Size) {
+			return s.Base + CAddr(a-s.Target), true
+		}
+	}
+	return 0, false
+}
+
+// Segments returns the table in base order.
+func (c *Context) Segments() []Segment {
+	out := make([]Segment, len(c.segments))
+	copy(out, c.segments)
+	return out
+}
+
+// Stats returns translation-cache hits and table-walk misses.
+func (c *Context) Stats() (hits, misses uint64) { return c.hits, c.misses }

@@ -1,0 +1,161 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestContextMapTranslate(t *testing.T) {
+	s := NewSpace()
+	r := s.Alloc("data", 3*PageSize)
+	c := NewContext(1)
+	seg, err := c.MapRegion(0x10000000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Size != r.Size {
+		t.Errorf("segment size %d, want %d", seg.Size, r.Size)
+	}
+	got, err := c.Translate(0x10000000 + 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r.Base+100 {
+		t.Errorf("Translate = %#x, want %#x", uint64(got), uint64(r.Base+100))
+	}
+}
+
+func TestContextUnmappedFails(t *testing.T) {
+	c := NewContext(1)
+	if _, err := c.Translate(0x1234000); err == nil {
+		t.Error("translation of unmapped address succeeded")
+	}
+	s := NewSpace()
+	r := s.Alloc("d", PageSize)
+	c.MapRegion(0, r)
+	if _, err := c.Translate(CAddr(PageSize)); err == nil {
+		t.Error("translation past segment end succeeded")
+	}
+}
+
+func TestContextRejectsOverlapAndMisalignment(t *testing.T) {
+	s := NewSpace()
+	r1 := s.Alloc("a", 2*PageSize)
+	r2 := s.Alloc("b", 2*PageSize)
+	c := NewContext(1)
+	if _, err := c.MapRegion(0, r1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MapRegion(PageSize, r2); err == nil {
+		t.Error("overlapping segment accepted")
+	}
+	if _, err := c.Map("x", 7, PageSize, r2.Base); err == nil {
+		t.Error("unaligned base accepted")
+	}
+	if _, err := c.Map("x", 0x100000, 0, r2.Base); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestContextUnmap(t *testing.T) {
+	s := NewSpace()
+	r := s.Alloc("a", PageSize)
+	c := NewContext(1)
+	c.MapRegion(0x20000000, r)
+	if !c.Unmap(0x20000000 + 5) {
+		t.Fatal("Unmap missed the segment")
+	}
+	if _, err := c.Translate(0x20000000); err == nil {
+		t.Error("translation after unmap succeeded")
+	}
+	if c.Unmap(0x20000000) {
+		t.Error("double unmap reported success")
+	}
+}
+
+func TestContextReverseTranslate(t *testing.T) {
+	s := NewSpace()
+	r := s.Alloc("a", PageSize)
+	c := NewContext(1)
+	c.MapRegion(0x30000000, r)
+	ca, ok := c.ReverseTranslate(r.Base + 64)
+	if !ok || ca != 0x30000000+64 {
+		t.Errorf("ReverseTranslate = %#x, %v", uint64(ca), ok)
+	}
+	if _, ok := c.ReverseTranslate(r.End()); ok {
+		t.Error("reverse translation outside segments succeeded")
+	}
+}
+
+func TestContextTranslationCache(t *testing.T) {
+	s := NewSpace()
+	c := NewContext(1)
+	for i := 0; i < 4; i++ {
+		r := s.Alloc("seg", PageSize)
+		c.MapRegion(CAddr(i)*0x1000000, r)
+	}
+	// Repeated hits in one segment use the cache.
+	for i := 0; i < 10; i++ {
+		c.Translate(CAddr(8 * i))
+	}
+	hits, misses := c.Stats()
+	if hits < 9 {
+		t.Errorf("cache hits = %d, want >= 9", hits)
+	}
+	// Switching segments walks the table again.
+	c.Translate(0x1000000)
+	_, misses2 := c.Stats()
+	if misses2 <= misses {
+		t.Error("segment switch did not record a table walk")
+	}
+}
+
+func TestContextSegmentsSorted(t *testing.T) {
+	s := NewSpace()
+	c := NewContext(1)
+	r1 := s.Alloc("hi", PageSize)
+	r2 := s.Alloc("lo", PageSize)
+	c.MapRegion(0x40000000, r1)
+	c.MapRegion(0x10000000, r2)
+	segs := c.Segments()
+	if len(segs) != 2 || segs[0].Base != 0x10000000 {
+		t.Errorf("segments not sorted: %+v", segs)
+	}
+}
+
+func TestPropertyContextRoundTrip(t *testing.T) {
+	// For any mapped offset, Translate and ReverseTranslate invert.
+	f := func(segRaw []uint16, probe uint32) bool {
+		s := NewSpace()
+		c := NewContext(1)
+		base := CAddr(0)
+		var segs []Segment
+		for i, raw := range segRaw {
+			if i >= 6 {
+				break
+			}
+			size := int64(raw%4+1) * PageSize
+			r := s.Alloc("seg", size)
+			seg, err := c.Map("seg", base, r.Size, r.Base)
+			if err != nil {
+				return false
+			}
+			segs = append(segs, seg)
+			base += CAddr(r.Size) + PageSize // leave a hole
+		}
+		if len(segs) == 0 {
+			return true
+		}
+		seg := segs[int(probe)%len(segs)]
+		off := CAddr(int64(probe) % seg.Size)
+		sva, err := c.Translate(seg.Base + off)
+		if err != nil {
+			return false
+		}
+		ca, ok := c.ReverseTranslate(sva)
+		return ok && ca == seg.Base+off
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

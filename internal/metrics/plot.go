@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Plot renders series as an ASCII chart, the terminal analogue of the
+// paper's figures: processor count on the x axis, value on the y axis,
+// one mark per series. Series are assigned the marks '1'..'9' in order,
+// with a legend underneath; points from different series that collide on
+// the same cell show the later series' mark.
+//
+// width and height size the plotting area in character cells (sensible
+// minimums are enforced). A logY axis suits latency curves with outliers
+// like the counter barrier.
+func Plot(title, unit string, series []Series, width, height int, logY bool) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", title, unit)
+	if len(series) == 0 {
+		return b.String()
+	}
+
+	// Data ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i, p := range s.Procs {
+			if i >= len(s.Values) {
+				break
+			}
+			v := s.Values[i]
+			if logY && v <= 0 {
+				continue
+			}
+			minX = math.Min(minX, float64(p))
+			maxX = math.Max(maxX, float64(p))
+			minY = math.Min(minY, v)
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return b.String() // no plottable points
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	yOf := func(v float64) float64 {
+		if logY {
+			return math.Log(v)
+		}
+		return v
+	}
+	yLo, yHi := yOf(minY), yOf(maxY)
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := byte('1' + si%9)
+		for i, p := range s.Procs {
+			if i >= len(s.Values) {
+				break
+			}
+			v := s.Values[i]
+			if logY && v <= 0 {
+				continue
+			}
+			x := int(math.Round((float64(p) - minX) / (maxX - minX) * float64(width-1)))
+			y := int(math.Round((yOf(v) - yLo) / (yHi - yLo) * float64(height-1)))
+			row := height - 1 - y
+			grid[row][x] = mark
+		}
+	}
+
+	// Y-axis labels: top, middle, bottom.
+	label := func(frac float64) string {
+		y := yLo + frac*(yHi-yLo)
+		if logY {
+			y = math.Exp(y)
+		}
+		return fmt.Sprintf("%10.3g", y)
+	}
+	for r := 0; r < height; r++ {
+		switch r {
+		case 0:
+			b.WriteString(label(1))
+		case height / 2:
+			b.WriteString(label(0.5))
+		case height - 1:
+			b.WriteString(label(0))
+		default:
+			b.WriteString(strings.Repeat(" ", 10))
+		}
+		b.WriteString(" |")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", width) + "\n")
+	// X-axis labels at the extremes.
+	xLabel := fmt.Sprintf("%-*d%*d", width/2, int(minX), width-width/2, int(maxX))
+	b.WriteString(strings.Repeat(" ", 12) + xLabel + " procs\n")
+
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c = %s", '1'+si%9, s.Label)
+		if (si+1)%3 == 0 || si == len(series)-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// SpeedupPlot renders a speedup-vs-processors chart from table rows, with
+// an ideal-speedup reference series — the format of the paper's Figure 8.
+func SpeedupPlot(title string, curves map[string][]Row, width, height int) string {
+	names := make([]string, 0, len(curves))
+	for name := range curves {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var series []Series
+	var maxP int
+	for _, name := range names {
+		s := Series{Label: name}
+		for _, r := range curves[name] {
+			s.Procs = append(s.Procs, r.Procs)
+			s.Values = append(s.Values, r.Speedup)
+			if r.Procs > maxP {
+				maxP = r.Procs
+			}
+		}
+		series = append(series, s)
+	}
+	ideal := Series{Label: "ideal"}
+	for p := 1; p <= maxP; p *= 2 {
+		ideal.Procs = append(ideal.Procs, p)
+		ideal.Values = append(ideal.Values, float64(p))
+	}
+	series = append(series, ideal)
+	return Plot(title, "speedup", series, width, height, false)
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleSeries() []Series {
+	return []Series{
+		{Label: "counter", Procs: []int{2, 8, 16, 32}, Values: []float64{30, 130, 200, 480}},
+		{Label: "tournament(M)", Procs: []int{2, 8, 16, 32}, Values: []float64{36, 73, 92, 126}},
+	}
+}
+
+func TestPlotBasics(t *testing.T) {
+	out := Plot("Barriers", "us", sampleSeries(), 40, 10, false)
+	if !strings.Contains(out, "Barriers (us)") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "1 = counter") || !strings.Contains(out, "2 = tournament(M)") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "1") || !strings.Contains(out, "2") {
+		t.Error("missing data marks")
+	}
+	if !strings.Contains(out, "procs") {
+		t.Error("missing x axis label")
+	}
+	// The max y label should reflect the largest value.
+	if !strings.Contains(out, "480") {
+		t.Errorf("y axis not scaled to data:\n%s", out)
+	}
+}
+
+func TestPlotMarksOrdered(t *testing.T) {
+	// The worst counter point must land on a higher row than the best
+	// tournament point.
+	out := Plot("B", "us", sampleSeries(), 40, 12, false)
+	lines := strings.Split(out, "\n")
+	rowOf := func(mark string, fromTop bool) int {
+		if fromTop {
+			for i, l := range lines {
+				if strings.Contains(l, mark) && strings.Contains(l, "|") {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+	top1 := rowOf("1", true)
+	top2 := rowOf("2", true)
+	if top1 < 0 || top2 < 0 {
+		t.Fatalf("marks not found:\n%s", out)
+	}
+	if top1 >= top2 {
+		t.Errorf("counter's peak (row %d) not above tournament's (row %d):\n%s", top1, top2, out)
+	}
+}
+
+func TestPlotLogY(t *testing.T) {
+	series := []Series{{
+		Label: "wide", Procs: []int{1, 2, 4}, Values: []float64{1, 100, 10000},
+	}}
+	out := Plot("Log", "x", series, 30, 9, true)
+	if !strings.Contains(out, "1e+04") && !strings.Contains(out, "10000") {
+		t.Errorf("log plot missing top label:\n%s", out)
+	}
+	// Zero/negative values must be skipped, not crash.
+	series[0].Values[0] = 0
+	_ = Plot("Log", "x", series, 30, 9, true)
+}
+
+func TestPlotDegenerateInputs(t *testing.T) {
+	if out := Plot("empty", "u", nil, 40, 10, false); !strings.Contains(out, "empty") {
+		t.Error("empty plot missing title")
+	}
+	// Single point (zero ranges) must not divide by zero.
+	one := []Series{{Label: "p", Procs: []int{4}, Values: []float64{7}}}
+	out := Plot("one", "u", one, 40, 10, false)
+	if !strings.Contains(out, "1 = p") {
+		t.Errorf("single-point plot broken:\n%s", out)
+	}
+	// Tiny dimensions get clamped.
+	out = Plot("tiny", "u", one, 1, 1, false)
+	if len(out) == 0 {
+		t.Error("tiny plot empty")
+	}
+}
+
+func TestPlotSeriesLongerThanProcs(t *testing.T) {
+	bad := []Series{{Label: "short", Procs: []int{1, 2, 3}, Values: []float64{5}}}
+	out := Plot("mismatch", "u", bad, 30, 8, false)
+	if !strings.Contains(out, "short") {
+		t.Error("mismatched series dropped entirely")
+	}
+}
+
+func TestSpeedupPlot(t *testing.T) {
+	rows := BuildRows([]Point{{1, 1000}, {8, 150}, {32, 60}})
+	out := SpeedupPlot("Figure 8", map[string][]Row{"CG": rows}, 40, 12)
+	if !strings.Contains(out, "ideal") || !strings.Contains(out, "CG") {
+		t.Errorf("speedup plot missing series:\n%s", out)
+	}
+	if !strings.Contains(out, "speedup") {
+		t.Error("missing unit")
+	}
+}

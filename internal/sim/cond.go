@@ -1,0 +1,48 @@
+package sim
+
+// Cond is a broadcast-only condition: processes wait on it and a broadcast
+// wakes every waiter. The coherence layer uses one Cond per watched
+// sub-page to model processors spinning on a locally cached value — the
+// spin consumes no simulated events until an invalidation or update
+// arrives, exactly like hardware spinning on a coherent cache line.
+type Cond struct {
+	eng     *Engine
+	name    string
+	waiters []*Process
+
+	broadcasts uint64
+	woken      uint64
+}
+
+// NewCond creates a condition variable.
+func NewCond(e *Engine, name string) *Cond {
+	return &Cond{eng: e, name: name}
+}
+
+// Wait parks p until the next Broadcast.
+func (c *Cond) Wait(p *Process) {
+	c.waiters = append(c.waiters, p)
+	p.block("cond " + c.name)
+}
+
+// Broadcast wakes every current waiter, in wait order. New waiters that
+// arrive after the broadcast wait for the next one.
+func (c *Cond) Broadcast() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	c.broadcasts++
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		c.woken++
+		proc := p
+		c.eng.Schedule(0, func() { c.eng.resume(proc) })
+	}
+}
+
+// Waiters returns the number of processes currently waiting.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Stats returns the number of broadcasts issued and processes woken.
+func (c *Cond) Stats() (broadcasts, woken uint64) { return c.broadcasts, c.woken }

@@ -1,0 +1,267 @@
+// Package sim implements a deterministic process-oriented discrete-event
+// simulation engine.
+//
+// Simulated processes run as goroutines, but exactly one process executes at
+// any instant: the engine hands control to a process and blocks until that
+// process either parks (waiting for simulated time to pass or for a signal)
+// or terminates. Events with equal timestamps fire in the order they were
+// scheduled. All of this makes every simulation run bit-for-bit
+// reproducible for a given program and seed.
+//
+// The engine is the substrate for the KSR-1 machine model: each simulated
+// processor (cell) is a Process, and the ring, caches, and coherence
+// protocol express their latencies as Sleep calls, Resource acquisitions,
+// and Cond waits.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in simulated time, in nanoseconds.
+type Time int64
+
+const (
+	// Nanosecond is the base unit of simulated time.
+	Nanosecond Time = 1
+	// Microsecond is 1000 simulated nanoseconds.
+	Microsecond Time = 1000
+	// Millisecond is 1e6 simulated nanoseconds.
+	Millisecond Time = 1000 * 1000
+	// Second is 1e9 simulated nanoseconds.
+	Second Time = 1000 * 1000 * 1000
+)
+
+// Seconds converts a simulated duration to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts a simulated duration to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6gs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.6gms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	pq     eventHeap
+	parked chan struct{} // handshake: process -> engine ("I have parked")
+
+	procs   []*Process
+	running *Process // process currently executing, nil if engine itself
+	nlive   int      // spawned but not finished
+
+	stopped bool
+	maxTime Time // 0 = unlimited
+}
+
+// NewEngine returns an empty simulation at time zero.
+func NewEngine() *Engine {
+	return &Engine{parked: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// SetDeadline makes Run return once simulated time reaches t. A zero
+// deadline (the default) means no limit.
+func (e *Engine) SetDeadline(t Time) { e.maxTime = t }
+
+// Schedule runs fn at time Now()+d. fn executes in engine context: it must
+// not park, but it may schedule further events, release resources, and
+// broadcast conds. d must be non-negative.
+func (e *Engine) Schedule(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %d", d))
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: e.now + d, seq: e.seq, fn: fn})
+}
+
+// Process is a simulated thread of control.
+type Process struct {
+	eng  *Engine
+	wake chan struct{}
+	name string
+	id   int
+
+	done     bool
+	blocked  bool   // parked with no pending resume event
+	blockWhy string // human-readable reason, for deadlock reports
+}
+
+// Name returns the name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// ID returns the spawn-ordered process id (0, 1, ...).
+func (p *Process) ID() int { return p.id }
+
+// Engine returns the engine that owns p.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Process) Now() Time { return p.eng.now }
+
+// Spawn creates a process that starts running body at the current simulated
+// time. It may be called before Run or from inside a running process or
+// event.
+func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
+	p := &Process{
+		eng:  e,
+		wake: make(chan struct{}),
+		name: name,
+		id:   len(e.procs),
+	}
+	e.procs = append(e.procs, p)
+	e.nlive++
+	e.Schedule(0, func() {
+		go func() {
+			<-p.wake
+			body(p)
+			p.done = true
+			e.nlive--
+			e.parked <- struct{}{}
+		}()
+		e.runProcess(p)
+	})
+	return p
+}
+
+// runProcess transfers control to p and waits for it to park or finish.
+func (e *Engine) runProcess(p *Process) {
+	prev := e.running
+	e.running = p
+	p.blocked = false
+	p.wake <- struct{}{}
+	<-e.parked
+	e.running = prev
+}
+
+// park suspends the calling process until the engine resumes it.
+func (p *Process) park(why string) {
+	p.blockWhy = why
+	p.eng.parked <- struct{}{}
+	<-p.wake
+	p.blockWhy = ""
+}
+
+// Sleep advances the process's local view of time by d. Other events with
+// earlier timestamps run in between.
+func (p *Process) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Sleep with negative duration %d", d))
+	}
+	e := p.eng
+	e.Schedule(d, func() { e.resume(p) })
+	p.park("sleep")
+}
+
+// resume schedules-immediate continuation of p. Must execute in engine
+// context (inside an event).
+func (e *Engine) resume(p *Process) {
+	if p.done {
+		panic("sim: resuming finished process " + p.name)
+	}
+	e.runProcess(p)
+}
+
+// block parks p with no pending event; something else must wake it via a
+// Resource grant or Cond broadcast, otherwise the simulation deadlocks.
+func (p *Process) block(why string) {
+	p.blocked = true
+	p.park(why)
+}
+
+// DeadlockError reports that no events remain while processes are still
+// blocked.
+type DeadlockError struct {
+	At      Time
+	Blocked []string // "name: reason" for each blocked process
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%v with %d blocked processes: %v",
+		e.At, len(e.Blocked), e.Blocked)
+}
+
+// Run executes events until none remain, the deadline passes, or Stop is
+// called. It returns a *DeadlockError if processes remain blocked with an
+// empty event queue, and nil otherwise.
+func (e *Engine) Run() error {
+	for len(e.pq) > 0 && !e.stopped {
+		ev := heap.Pop(&e.pq).(*event)
+		if e.maxTime > 0 && ev.at > e.maxTime {
+			e.now = e.maxTime
+			return nil
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.stopped {
+		return nil
+	}
+	if e.nlive > 0 {
+		derr := &DeadlockError{At: e.now}
+		for _, p := range e.procs {
+			if !p.done && p.blocked {
+				derr.Blocked = append(derr.Blocked, p.name+": "+p.blockWhy)
+			}
+		}
+		sort.Strings(derr.Blocked)
+		if len(derr.Blocked) > 0 {
+			return derr
+		}
+	}
+	return nil
+}
+
+// Stop makes Run return after the current event completes. Callable from
+// events; a process calling Stop should subsequently park or return.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Live returns the number of spawned processes that have not finished —
+// recurring instrumentation events use it to retire themselves once the
+// simulated program is done.
+func (e *Engine) Live() int { return e.nlive }
