@@ -39,6 +39,7 @@ Commands:
   qlocks      extension: Anderson/MCS queue locks vs the hardware lock
   saturation  extension: offered-load sweep of the ring's slot capacity
   capacity    extension: the superunitary-speedup (cache capacity) effect
+  faults      extension: degradation sweep under injected faults (see docs/FAULTS.md)
   npb         run one kernel at an NPB class (S/W/A) and print its banner
   all         run everything at default sizes
 
@@ -56,6 +57,29 @@ func parseProcs(s string) ([]int, error) {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
 			return nil, fmt.Errorf("bad processor count %q", part)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("processor count must be at least 1 (got %d)", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseRates parses "0.001,0.01,0.05" into a slice, rejecting rates
+// outside [0, 1].
+func parseRates(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fault rate %q", part)
+		}
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("fault rate must be in [0, 1] (got %g)", v)
 		}
 		out = append(out, v)
 	}
@@ -126,6 +150,8 @@ func main() {
 		cmdSaturation(args)
 	case "capacity":
 		cmdCapacity(args)
+	case "faults":
+		cmdFaults(args)
 	case "npb":
 		cmdNPB(args)
 	case "all":
@@ -213,6 +239,9 @@ func cmdBarriers(args []string) {
 	algosFlag := fs.String("algos", "", "comma-separated algorithm subset")
 	plot := fs.Bool("plot", false, "render an ASCII chart of the curves")
 	fs.Parse(args)
+	if *cells < 0 {
+		fail(fmt.Errorf("-cells must be at least 1 (got %d)", *cells))
+	}
 	var cfg experiments.BarriersConfig
 	if *machineFlag == "ksr2" {
 		cfg = experiments.KSR2BarriersConfig()
@@ -238,7 +267,9 @@ func cmdBarriers(args []string) {
 		fail(err)
 	}
 	emit(res)
-	fmt.Printf("best at %d processors: %s\n", cfg.Procs[len(cfg.Procs)-1], res.Best())
+	if len(res.Procs) > 0 {
+		fmt.Printf("best at %d processors: %s\n", res.Procs[len(res.Procs)-1], res.Best())
+	}
 	if *plot {
 		var series []metrics.Series
 		for i, a := range res.Algos {
@@ -460,6 +491,56 @@ func cmdCapacity(args []string) {
 		fail(err)
 	}
 	emit(res)
+}
+
+func cmdFaults(args []string) {
+	fs := flag.NewFlagSet("faults", flag.ExitOnError)
+	machineFlag := fs.String("machine", "ksr1", "ksr1 | ksr2 | symmetry | butterfly")
+	cells := fs.Int("cells", 16, "machine size")
+	procs := fs.Int("procs", 8, "processor count")
+	episodes := fs.Int("episodes", 50, "barrier episodes per rate")
+	rate := fs.Float64("rate", 0, "single fault rate (shorthand for -rates with one value)")
+	ratesFlag := fs.String("rates", "", "comma-separated fault rates (default 0.001,0.01,0.05)")
+	seed := fs.Uint64("seed", 1, "fault-injection seed")
+	barrier := fs.String("barrier", "tournament(M)", "barrier algorithm")
+	checked := fs.Bool("checked", false, "run the coherence invariant checker after every run")
+	fs.Parse(args)
+	if *cells < 1 {
+		fail(fmt.Errorf("-cells must be at least 1 (got %d)", *cells))
+	}
+	if *procs < 1 {
+		fail(fmt.Errorf("-procs must be at least 1 (got %d)", *procs))
+	}
+	if *procs > *cells {
+		fail(fmt.Errorf("-procs %d exceeds -cells %d", *procs, *cells))
+	}
+	if *rate < 0 || *rate > 1 {
+		fail(fmt.Errorf("-rate must be in [0, 1] (got %g)", *rate))
+	}
+	cfg := experiments.DefaultDegradationConfig()
+	cfg.Machine = experiments.MachineKind(*machineFlag)
+	cfg.Cells = *cells
+	cfg.Procs = *procs
+	cfg.Episodes = *episodes
+	cfg.Seed = *seed
+	cfg.Barrier = *barrier
+	cfg.Checked = *checked
+	if r, err := parseRates(*ratesFlag); err != nil {
+		fail(err)
+	} else if r != nil {
+		cfg.Rates = r
+	}
+	if *rate > 0 {
+		cfg.Rates = []float64{*rate}
+	}
+	res, err := experiments.RunDegradation(cfg)
+	if err != nil {
+		fail(err)
+	}
+	emit(res)
+	if !res.Verified {
+		fail(fmt.Errorf("faulty runs computed different results than the fault-free baseline"))
+	}
 }
 
 func cmdNPB(args []string) {

@@ -22,8 +22,10 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/memory"
 	"repro/internal/sim"
 )
@@ -71,6 +73,13 @@ type Stats struct {
 	PoststoreFill uint64 // place-holders filled by poststores
 	Prefetches    uint64
 	Drops         uint64 // capacity evictions reported by caches
+
+	// Fault-injection aftermath: how often the protocol absorbed an
+	// injected NACK and retried, and the simulated time lost backing off.
+	NACKs       uint64
+	Retries     uint64
+	BackoffTime sim.Time
+	MaxRetryRun int // deepest consecutive retry run of one request
 }
 
 // bitset is a fixed-width set of cell ids.
@@ -160,6 +169,21 @@ type Directory struct {
 	// buys the global-wakeup-flag barriers. The real machine always
 	// snarfs; this exists to quantify the design choice.
 	DisableSnarfing bool
+
+	// Faults, if set, injects transient NACKs into protocol transactions:
+	// a NACKed request pays the full transit, backs off exponentially in
+	// simulated time, and retries. Consecutive NACKs of one request are
+	// bounded by the injector's MaxRetries, so every retry loop is
+	// finite. Nil disables injection.
+	Faults *faults.Injector
+
+	// Checked enables the invariant checker: after every protocol state
+	// change the affected entry is validated (single writable owner,
+	// holder/place-holder disjointness, no valid copy surviving an
+	// invalidation, bounded retries) and the first violation is recorded.
+	// CheckInvariants or Violation surfaces it.
+	Checked   bool
+	violation *InvariantError
 }
 
 // crossDomainTarget returns a cell from the affected set that lies outside
@@ -210,6 +234,150 @@ func (d *Directory) condOf(en *entry, sp memory.SubPageID) *sim.Cond {
 
 // Stats returns cumulative protocol counters.
 func (d *Directory) Stats() Stats { return d.stats }
+
+// access performs one synchronous protocol transaction for p, absorbing
+// injected NACKs: each NACK costs the full transit already paid plus an
+// exponential backoff in simulated time before the retry circulates
+// again. The loop is finite because the injector never NACKs one request
+// more than MaxRetries times in a row. It returns the total latency the
+// requester observed, retries and backoff included.
+func (d *Directory) access(p *sim.Process, src, dst int, addr memory.Addr) sim.Time {
+	start := d.eng.Now()
+	for attempt := 0; ; attempt++ {
+		d.fab.Access(p, src, dst, addr)
+		if !d.Faults.NACK(attempt) {
+			if attempt > d.stats.MaxRetryRun {
+				d.stats.MaxRetryRun = attempt
+			}
+			return d.eng.Now() - start
+		}
+		d.stats.NACKs++
+		d.stats.Retries++
+		delay := d.Faults.Backoff(attempt)
+		d.stats.BackoffTime += delay
+		p.Sleep(delay)
+	}
+}
+
+// accessAsync is the fire-and-forget analogue of access, used by
+// poststore and prefetch: a dropped (NACKed) packet is re-issued after
+// the same exponential backoff, scheduled on the engine since no process
+// waits on it.
+func (d *Directory) accessAsync(src, dst int, addr memory.Addr, done func()) {
+	attempt := 0
+	var try func()
+	try = func() {
+		d.fab.AccessAsync(src, dst, addr, func() {
+			if d.Faults.NACK(attempt) {
+				d.stats.NACKs++
+				d.stats.Retries++
+				delay := d.Faults.Backoff(attempt)
+				d.stats.BackoffTime += delay
+				attempt++
+				d.eng.Schedule(delay, try)
+				return
+			}
+			if attempt > d.stats.MaxRetryRun {
+				d.stats.MaxRetryRun = attempt
+			}
+			done()
+		})
+	}
+	try()
+}
+
+// InvariantError reports a violated protocol invariant: which sub-page,
+// when, and what broke.
+type InvariantError struct {
+	SubPage memory.SubPageID
+	At      sim.Time
+	Desc    string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("coherence: invariant violated at t=%v on sub-page %d: %s",
+		e.At, uint64(e.SubPage), e.Desc)
+}
+
+// checkEntry validates one directory entry against the protocol
+// invariants. It returns nil when the entry is consistent.
+func (d *Directory) checkEntry(sp memory.SubPageID, en *entry) *InvariantError {
+	fail := func(format string, args ...any) *InvariantError {
+		return &InvariantError{SubPage: sp, At: d.eng.Now(), Desc: fmt.Sprintf(format, args...)}
+	}
+	for c := 0; c < d.cells; c++ {
+		if en.holders.has(c) && en.placeholders.has(c) {
+			return fail("cell %d is simultaneously a holder and a place-holder", c)
+		}
+	}
+	if en.owner >= d.cells {
+		return fail("owner %d out of range", en.owner)
+	}
+	if en.atomic && en.owner < 0 {
+		return fail("atomic state with no owner")
+	}
+	// Exactly-one-exclusive-owner: a writable (exclusive or atomic) copy
+	// belongs to the recorded owner, the owner's copy is valid, and no
+	// other writable copy can exist because IsWritable additionally
+	// requires being the sole holder.
+	if en.owner >= 0 && !en.holders.has(en.owner) {
+		return fail("owner %d holds no valid copy (%d holders)", en.owner, en.holders.count())
+	}
+	if en.readsInFlight < 0 {
+		return fail("negative reads-in-flight counter %d", en.readsInFlight)
+	}
+	return nil
+}
+
+// record stores the first violation seen in checked mode.
+func (d *Directory) record(err *InvariantError) {
+	if err != nil && d.violation == nil {
+		d.violation = err
+	}
+}
+
+// checkpoint validates sp's entry if checked mode is on. Protocol
+// methods call it after every state change they complete.
+func (d *Directory) checkpoint(sp memory.SubPageID, en *entry) {
+	if !d.Checked {
+		return
+	}
+	d.record(d.checkEntry(sp, en))
+}
+
+// Violation returns the first invariant violation recorded in checked
+// mode, or nil.
+func (d *Directory) Violation() error {
+	if d.violation == nil {
+		return nil
+	}
+	return d.violation
+}
+
+// CheckInvariants sweeps every directory entry and validates the
+// protocol invariants, including any violation recorded earlier in
+// checked mode and the retry bound. It returns the first failure in
+// sub-page order, or nil when the directory is consistent.
+func (d *Directory) CheckInvariants() error {
+	if d.violation != nil {
+		return d.violation
+	}
+	ids := make([]memory.SubPageID, 0, len(d.entries))
+	for sp := range d.entries {
+		ids = append(ids, sp)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, sp := range ids {
+		if err := d.checkEntry(sp, d.entries[sp]); err != nil {
+			return err
+		}
+	}
+	if max := d.Faults.MaxRetries(); d.stats.MaxRetryRun > max {
+		return &InvariantError{At: d.eng.Now(),
+			Desc: fmt.Sprintf("retry run of %d exceeds the bound %d", d.stats.MaxRetryRun, max)}
+	}
+	return nil
+}
 
 // StateOf returns the current global state of sp.
 func (d *Directory) StateOf(sp memory.SubPageID) State {
@@ -298,6 +466,15 @@ func (d *Directory) invalidateOthers(en *entry, sp memory.SubPageID, keep int) i
 	if n > 0 {
 		d.stats.Invalidations += uint64(n)
 	}
+	if d.Checked {
+		// No valid copy survives an invalidation: only keep may remain.
+		for c := 0; c < d.cells; c++ {
+			if c != keep && en.holders.has(c) {
+				d.record(&InvariantError{SubPage: sp, At: d.eng.Now(),
+					Desc: fmt.Sprintf("cell %d's copy survived invalidation (keep=%d)", c, keep)})
+			}
+		}
+	}
 	en.version++
 	if en.cond != nil {
 		en.cond.Broadcast()
@@ -366,7 +543,7 @@ func (d *Directory) EnsureReadable(p *sim.Process, cell int, sp memory.SubPageID
 	d.stats.ReadFetches++
 	en.readsInFlight++
 	dst := d.responder(en, cell)
-	lat := d.fab.Access(p, cell, dst, sp.Base())
+	lat := d.access(p, cell, dst, sp.Base())
 	en.readsInFlight--
 	// Ownership dissolves on a read: exclusive/atomic data becomes shared
 	// (the atomic lock itself, if held, stays with the owner).
@@ -397,6 +574,7 @@ func (d *Directory) EnsureReadable(p *sim.Process, cell int, sp memory.SubPageID
 	if en.cond != nil {
 		en.cond.Broadcast()
 	}
+	d.checkpoint(sp, en)
 	return lat, true
 }
 
@@ -420,6 +598,7 @@ func (d *Directory) EnsureWritable(p *sim.Process, cell int, sp memory.SubPageID
 			d.condOf(en, sp).Wait(p)
 		}
 		if en.owner == cell && en.holders.has(cell) && en.holders.count() == 1 {
+			d.checkpoint(sp, en)
 			return d.eng.Now() - start, remote
 		}
 		d.stats.WriteFetches++
@@ -431,7 +610,7 @@ func (d *Directory) EnsureWritable(p *sim.Process, cell int, sp memory.SubPageID
 			dst = x
 		}
 		en.writeInFlight = true
-		d.fab.Access(p, cell, dst, sp.Base())
+		d.access(p, cell, dst, sp.Base())
 		en.writeInFlight = false
 		// Another cell's get_sub_page may have won the ring race while our
 		// packet was in flight; if so, stall and retry.
@@ -445,6 +624,7 @@ func (d *Directory) EnsureWritable(p *sim.Process, cell int, sp memory.SubPageID
 		en.holders.set(cell)
 		en.placeholders.clear(cell)
 		en.owner = cell
+		d.checkpoint(sp, en)
 		// Latency includes any time stalled on an atomic hold plus the
 		// fabric transaction itself.
 		return d.eng.Now() - start, true
@@ -462,7 +642,7 @@ func (d *Directory) GetSubPage(p *sim.Process, cell int, sp memory.SubPageID) (b
 	if x := d.crossDomainTarget(cell, en.holders); x >= 0 {
 		dst = x
 	}
-	lat := d.fab.Access(p, cell, dst, sp.Base())
+	lat := d.access(p, cell, dst, sp.Base())
 	if en.atomic {
 		if en.owner == cell {
 			return true, lat // re-acquire by owner is a no-op
@@ -475,6 +655,7 @@ func (d *Directory) GetSubPage(p *sim.Process, cell int, sp memory.SubPageID) (b
 	en.placeholders.clear(cell)
 	en.owner = cell
 	en.atomic = true
+	d.checkpoint(sp, en)
 	return true, lat
 }
 
@@ -488,12 +669,13 @@ func (d *Directory) ReleaseSubPage(p *sim.Process, cell int, sp memory.SubPageID
 			uint64(sp), cell))
 	}
 	d.stats.Releases++
-	lat := d.fab.Access(p, cell, (cell+1)%d.cells, sp.Base())
+	lat := d.access(p, cell, (cell+1)%d.cells, sp.Base())
 	en.atomic = false
 	en.version++
 	if en.cond != nil {
 		en.cond.Broadcast()
 	}
+	d.checkpoint(sp, en)
 	return lat
 }
 
@@ -510,7 +692,7 @@ func (d *Directory) Poststore(cell int, sp memory.SubPageID, done func()) {
 	if x := d.crossDomainTarget(cell, en.placeholders); x >= 0 {
 		dst = x
 	}
-	d.fab.AccessAsync(cell, dst, sp.Base(), func() {
+	d.accessAsync(cell, dst, sp.Base(), func() {
 		for c := 0; c < d.cells; c++ {
 			if en.placeholders.has(c) {
 				en.placeholders.clear(c)
@@ -525,6 +707,7 @@ func (d *Directory) Poststore(cell int, sp memory.SubPageID, done func()) {
 		if en.cond != nil {
 			en.cond.Broadcast()
 		}
+		d.checkpoint(sp, en)
 		if done != nil {
 			done()
 		}
@@ -547,7 +730,7 @@ func (d *Directory) Prefetch(cell int, sp memory.SubPageID, done func()) {
 	d.stats.Prefetches++
 	en.prefetching.set(cell)
 	dst := d.responder(en, cell)
-	d.fab.AccessAsync(cell, dst, sp.Base(), func() {
+	d.accessAsync(cell, dst, sp.Base(), func() {
 		en.prefetching.clear(cell)
 		if en.owner >= 0 && !en.atomic {
 			en.owner = -1
@@ -559,6 +742,7 @@ func (d *Directory) Prefetch(cell int, sp memory.SubPageID, done func()) {
 		if en.cond != nil {
 			en.cond.Broadcast()
 		}
+		d.checkpoint(sp, en)
 		if done != nil {
 			done()
 		}
@@ -582,4 +766,5 @@ func (d *Directory) Drop(cell int, sp memory.SubPageID) {
 	if en.owner == cell {
 		en.owner = -1
 	}
+	d.checkpoint(sp, en)
 }

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/memory"
 	"repro/internal/sim"
 )
@@ -580,5 +581,168 @@ func TestSnarfingDisabledIssuesSeparateFetches(t *testing.T) {
 	}
 	if d.Stats().Snarfs != 0 {
 		t.Errorf("Snarfs = %d with snarfing disabled", d.Stats().Snarfs)
+	}
+}
+
+// newFaultyDir builds a directory with NACK injection at the given rate.
+func newFaultyDir(rate float64, seed uint64) (*sim.Engine, *Directory, *faults.Injector) {
+	e := sim.NewEngine()
+	d := NewDirectory(e, fabric.NewRing(e, fabric.DefaultRingConfig(32)))
+	inj := faults.New(faults.Config{NACKRate: rate}, seed)
+	d.Faults = inj
+	return e, d, inj
+}
+
+func TestNACKRetryCostsTransitAndBackoff(t *testing.T) {
+	// Rate 1.0 with MaxRetries 3: every transaction absorbs exactly 3
+	// NACKs (the bound), so a cold read costs 4 transits plus backoff.
+	e := sim.NewEngine()
+	d := NewDirectory(e, fabric.NewRing(e, fabric.DefaultRingConfig(32)))
+	d.Faults = faults.New(faults.Config{NACKRate: 1.0, MaxRetries: 3}, 1)
+	inProc(t, e, func(p *sim.Process) {
+		lat, remote := d.EnsureReadable(p, 0, 0)
+		if !remote {
+			t.Fatal("cold read not remote")
+		}
+		st := d.Stats()
+		if st.NACKs != 3 || st.Retries != 3 {
+			t.Errorf("NACKs/Retries = %d/%d, want 3/3", st.NACKs, st.Retries)
+		}
+		want := 4*remoteLat + st.BackoffTime
+		if lat != want {
+			t.Errorf("latency = %v, want 4 transits + backoff = %v", lat, want)
+		}
+		if st.MaxRetryRun != 3 {
+			t.Errorf("MaxRetryRun = %d, want 3", st.MaxRetryRun)
+		}
+	})
+	if err := d.CheckInvariants(); err != nil {
+		t.Errorf("invariants after bounded retries: %v", err)
+	}
+}
+
+func TestNACKRetryAllPathsAndDeterminism(t *testing.T) {
+	run := func(seed uint64) (sim.Time, Stats) {
+		e, d, _ := newFaultyDir(0.3, seed)
+		var end sim.Time
+		d.Checked = true
+		e.Spawn("a", func(p *sim.Process) {
+			for k := 0; k < 20; k++ {
+				sp := memory.SubPageID(k % 4)
+				d.EnsureReadable(p, 0, sp)
+				d.EnsureWritable(p, 0, sp)
+				if ok, _ := d.GetSubPage(p, 0, sp); ok {
+					d.ReleaseSubPage(p, 0, sp)
+				}
+				d.Poststore(0, sp, nil)
+				d.Prefetch(0, memory.SubPageID(4+k%4), nil)
+			}
+			end = p.Now()
+		})
+		e.Spawn("b", func(p *sim.Process) {
+			for k := 0; k < 20; k++ {
+				sp := memory.SubPageID(k % 4)
+				d.EnsureReadable(p, 1, sp)
+				d.EnsureWritable(p, 1, sp)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatalf("invariants violated under faults: %v", err)
+		}
+		return end, d.Stats()
+	}
+	t1, s1 := run(9)
+	t2, s2 := run(9)
+	if t1 != t2 || s1 != s2 {
+		t.Errorf("same seed diverged: t=%v/%v stats=%+v/%+v", t1, t2, s1, s2)
+	}
+	if s1.NACKs == 0 || s1.BackoffTime == 0 {
+		t.Errorf("no NACKs injected at rate 0.3: %+v", s1)
+	}
+	if s1.MaxRetryRun > faults.DefaultMaxRetries {
+		t.Errorf("retry run %d exceeds bound", s1.MaxRetryRun)
+	}
+}
+
+func TestInvariantCheckerDetectsCorruption(t *testing.T) {
+	e, d := newDir()
+	inProc(t, e, func(p *sim.Process) {
+		d.EnsureWritable(p, 0, 0)
+		d.EnsureReadable(p, 1, 1)
+	})
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatalf("healthy directory flagged: %v", err)
+	}
+
+	// Corrupt: holder that is also a place-holder.
+	en := d.get(0)
+	en.placeholders.set(0)
+	err := d.CheckInvariants()
+	ie, ok := err.(*InvariantError)
+	if !ok {
+		t.Fatalf("CheckInvariants = %v, want *InvariantError", err)
+	}
+	if ie.SubPage != 0 {
+		t.Errorf("violation on sub-page %d, want 0", uint64(ie.SubPage))
+	}
+	en.placeholders.clear(0)
+
+	// Corrupt: atomic with no owner.
+	en.atomic = true
+	en.owner = -1
+	if err := d.CheckInvariants(); err == nil {
+		t.Error("atomic-without-owner not detected")
+	}
+	en.atomic = false
+
+	// Corrupt: owner without a valid copy.
+	en2 := d.get(1)
+	en2.owner = 5
+	if err := d.CheckInvariants(); err == nil {
+		t.Error("ownerless-copy corruption not detected")
+	}
+}
+
+func TestCheckedModeRecordsViolationAtMutation(t *testing.T) {
+	e, d := newDir()
+	d.Checked = true
+	inProc(t, e, func(p *sim.Process) {
+		d.EnsureReadable(p, 0, 0)
+		// Sabotage the entry, then trigger a checked mutation on it.
+		d.get(0).placeholders.set(0)
+		d.Drop(2, 0) // touches the entry; checkpoint must fire
+	})
+	if d.Violation() == nil {
+		t.Fatal("checked mode missed an invariant violation")
+	}
+	if err := d.CheckInvariants(); err == nil {
+		t.Error("CheckInvariants must surface the recorded violation")
+	}
+}
+
+func TestCheckedModeCleanOnHealthyWorkload(t *testing.T) {
+	e, d := newDir()
+	d.Checked = true
+	for c := 0; c < 4; c++ {
+		c := c
+		e.Spawn("w", func(p *sim.Process) {
+			for k := 0; k < 10; k++ {
+				sp := memory.SubPageID(k % 3)
+				d.EnsureReadable(p, c, sp)
+				d.EnsureWritable(p, c, sp)
+				if ok, _ := d.GetSubPage(p, c, sp); ok {
+					d.ReleaseSubPage(p, c, sp)
+				}
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Errorf("healthy contended workload flagged: %v", err)
 	}
 }

@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/kernels"
+	"repro/internal/ksync"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// DegradationConfig parameterizes the fault-injection degradation sweep:
+// the same barrier + EP + CG workloads run at each transient fault rate
+// (slot loss, link degradation, coherence NACKs all at that rate), and
+// the result reports how much each workload slows down relative to the
+// fault-free baseline alongside the injected-fault and retry counters.
+type DegradationConfig struct {
+	Machine MachineKind
+	Cells   int
+	Procs   int
+	// Rates are the fault rates to sweep; a 0 baseline row is always run
+	// first and is implicit (it need not be listed).
+	Rates []float64
+	Seed  uint64
+
+	Episodes int    // barrier episodes per rate
+	Barrier  string // barrier algorithm name (ksync.ByName)
+
+	LogPairs int // EP size: 2^LogPairs pairs
+
+	CGN     int // CG matrix order
+	CGNNZ   int // CG nonzeros
+	CGIters int // CG iterations
+
+	// Checked arms the coherence invariant checker on every run; any
+	// violation fails the sweep.
+	Checked bool
+}
+
+// DefaultDegradationConfig returns a test-scale sweep.
+func DefaultDegradationConfig() DegradationConfig {
+	return DegradationConfig{
+		Machine:  KSR1Kind,
+		Cells:    16,
+		Procs:    8,
+		Rates:    []float64{0.001, 0.01, 0.05},
+		Seed:     1,
+		Episodes: 50,
+		Barrier:  "tournament(M)",
+		LogPairs: 14,
+		CGN:      700,
+		CGNNZ:    10000,
+		CGIters:  5,
+	}
+}
+
+// DegradationRow is the measurement at one fault rate.
+type DegradationRow struct {
+	Rate float64
+
+	BarrierSec float64 // seconds per barrier episode
+	EPSec      float64 // EP elapsed seconds
+	CGSec      float64 // CG elapsed seconds
+
+	// Slowdowns relative to the rate-0 baseline row (1.0 = no change).
+	BarrierSlowdown float64
+	EPSlowdown      float64
+	CGSlowdown      float64
+
+	// Injected-fault and retry counters summed over the three workloads.
+	SlotLosses   uint64
+	LinkDegrades uint64
+	NACKs        uint64
+	Retries      uint64
+	BackoffSec   float64 // simulated seconds spent backing off
+	MaxRetryRun  int     // deepest consecutive retry run observed
+}
+
+// DegradationResult is the full sweep.
+type DegradationResult struct {
+	Title   string
+	Machine MachineKind
+	Cells   int
+	Procs   int
+	Barrier string
+	Checked bool
+	Rows    []DegradationRow
+
+	// Verified reports that every faulty run computed the same answers
+	// as the baseline (EP annuli and CG residual are bit-identical):
+	// fault injection perturbs timing, never results.
+	Verified bool
+}
+
+// String renders the sweep as a table.
+func (r DegradationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-8s %12s %10s %10s %8s %8s %8s %10s %9s %8s %8s\n",
+		"rate", "barrier s/ep", "EP s", "CG s",
+		"bar x", "EP x", "CG x", "NACKs", "retries", "losses", "degrades")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8.4g %12.3g %10.4g %10.4g %8.3f %8.3f %8.3f %10d %9d %8d %8d\n",
+			row.Rate, row.BarrierSec, row.EPSec, row.CGSec,
+			row.BarrierSlowdown, row.EPSlowdown, row.CGSlowdown,
+			row.NACKs, row.Retries, row.SlotLosses, row.LinkDegrades)
+	}
+	if r.Checked {
+		fmt.Fprintf(&b, "coherence invariant checker: clean on every run\n")
+	}
+	if r.Verified {
+		fmt.Fprintf(&b, "verification: all faulty runs computed baseline-identical results\n")
+	}
+	return b.String()
+}
+
+// RunDegradation executes the sweep. The rate-0 baseline always runs
+// first; each subsequent row reports slowdown relative to it. Zero-value
+// workload fields are filled from DefaultDegradationConfig.
+func RunDegradation(cfg DegradationConfig) (DegradationResult, error) {
+	c := cfg.orDefault()
+	if c.Cells < 1 {
+		return DegradationResult{}, fmt.Errorf("experiments: degradation needs at least one cell (got %d)", c.Cells)
+	}
+	if c.Procs < 1 || c.Procs > c.Cells {
+		return DegradationResult{}, fmt.Errorf("experiments: degradation needs 1..%d procs (got %d)", c.Cells, c.Procs)
+	}
+	for _, rate := range c.Rates {
+		if rate < 0 || rate > 1 {
+			return DegradationResult{}, fmt.Errorf("experiments: fault rate must be in [0, 1] (got %g)", rate)
+		}
+	}
+	bf, ok := ksync.ByName(c.Barrier)
+	if !ok {
+		return DegradationResult{}, fmt.Errorf("experiments: unknown barrier %q", c.Barrier)
+	}
+
+	res := DegradationResult{
+		Title: fmt.Sprintf("Degradation under injected faults: %d-cell %s, %d procs, seed %d",
+			c.Cells, strings.ToUpper(string(c.Machine)), c.Procs, c.Seed),
+		Machine: c.Machine,
+		Cells:   c.Cells,
+		Procs:   c.Procs,
+		Barrier: c.Barrier,
+		Checked: c.Checked,
+	}
+
+	rates := append([]float64{0}, c.Rates...)
+	var baseEP kernels.EPResult
+	var baseCG kernels.CGResult
+	resultsMatch := true
+
+	for ri, rate := range rates {
+		mk := func() (*machine.Machine, error) {
+			mc, err := ConfigFor(c.Machine, c.Cells)
+			if err != nil {
+				return nil, err
+			}
+			mc.Seed = c.Seed
+			if rate > 0 {
+				mc.Faults = faults.Uniform(rate)
+			}
+			mc.Checked = c.Checked
+			if err := mc.Validate(); err != nil {
+				return nil, err
+			}
+			return machine.New(mc), nil
+		}
+		var row DegradationRow
+		row.Rate = rate
+		var stats faults.Stats
+		var maxRun int
+		collect := func(m *machine.Machine) error {
+			if c.Checked {
+				if err := m.CheckInvariants(); err != nil {
+					return fmt.Errorf("rate %g: %w", rate, err)
+				}
+			}
+			fs := m.FaultStats()
+			stats.SlotLosses += fs.SlotLosses
+			stats.LinkDegrades += fs.LinkDegrades
+			if d := m.Directory(); d != nil {
+				ds := d.Stats()
+				stats.NACKs += ds.NACKs
+				stats.Retries += ds.Retries
+				stats.BackoffTime += ds.BackoffTime
+				if ds.MaxRetryRun > maxRun {
+					maxRun = ds.MaxRetryRun
+				}
+			}
+			return nil
+		}
+
+		// Barrier episodes.
+		m, err := mk()
+		if err != nil {
+			return res, err
+		}
+		b := bf.New(m, c.Procs)
+		episodes := c.Episodes
+		if episodes < 1 {
+			episodes = 1
+		}
+		var barrierTotal sim.Time
+		_, err = m.Run(c.Procs, func(p *machine.Proc) {
+			b.Wait(p) // warm-up episode
+			start := p.Now()
+			for ep := 0; ep < episodes; ep++ {
+				b.Wait(p)
+			}
+			if p.CellID() == 0 {
+				barrierTotal = p.Now() - start
+			}
+		})
+		if err != nil {
+			return res, fmt.Errorf("barrier at rate %g: %w", rate, err)
+		}
+		if err := collect(m); err != nil {
+			return res, err
+		}
+		row.BarrierSec = (barrierTotal / sim.Time(episodes)).Seconds()
+
+		// EP kernel.
+		m, err = mk()
+		if err != nil {
+			return res, err
+		}
+		epCfg := kernels.DefaultEPConfig(c.Procs)
+		epCfg.LogPairs = c.LogPairs
+		ep, err := kernels.RunEP(m, epCfg)
+		if err != nil {
+			return res, fmt.Errorf("EP at rate %g: %w", rate, err)
+		}
+		if err := collect(m); err != nil {
+			return res, err
+		}
+		row.EPSec = ep.Elapsed.Seconds()
+
+		// CG kernel.
+		m, err = mk()
+		if err != nil {
+			return res, err
+		}
+		cgCfg := kernels.DefaultCGConfig(c.Procs)
+		cgCfg.N, cgCfg.NNZ, cgCfg.Iterations = c.CGN, c.CGNNZ, c.CGIters
+		cg, err := kernels.RunCG(m, cgCfg)
+		if err != nil {
+			return res, fmt.Errorf("CG at rate %g: %w", rate, err)
+		}
+		if err := collect(m); err != nil {
+			return res, err
+		}
+		row.CGSec = cg.Elapsed.Seconds()
+
+		if ri == 0 {
+			baseEP, baseCG = ep, cg
+		} else {
+			// Faults may only stretch time; the computed answers must be
+			// bit-identical to the fault-free run.
+			if ep.Annuli != baseEP.Annuli || ep.Accepted != baseEP.Accepted ||
+				cg.Residual != baseCG.Residual || cg.Zeta != baseCG.Zeta {
+				resultsMatch = false
+			}
+		}
+
+		row.SlotLosses = stats.SlotLosses
+		row.LinkDegrades = stats.LinkDegrades
+		row.NACKs = stats.NACKs
+		row.Retries = stats.Retries
+		row.BackoffSec = stats.BackoffTime.Seconds()
+		row.MaxRetryRun = maxRun
+
+		base := res.Rows
+		slow := func(v, b float64) float64 {
+			if b <= 0 || math.IsNaN(v) {
+				return 0
+			}
+			return v / b
+		}
+		if ri == 0 {
+			row.BarrierSlowdown, row.EPSlowdown, row.CGSlowdown = 1, 1, 1
+		} else {
+			row.BarrierSlowdown = slow(row.BarrierSec, base[0].BarrierSec)
+			row.EPSlowdown = slow(row.EPSec, base[0].EPSec)
+			row.CGSlowdown = slow(row.CGSec, base[0].CGSec)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Verified = resultsMatch
+	return res, nil
+}
+
+// orDefault fills unset fields from DefaultDegradationConfig.
+func (c DegradationConfig) orDefault() DegradationConfig {
+	d := DefaultDegradationConfig()
+	if c.Machine == "" {
+		c.Machine = d.Machine
+	}
+	if c.Cells == 0 {
+		c.Cells = d.Cells
+	}
+	if c.Procs == 0 {
+		c.Procs = d.Procs
+	}
+	if c.Rates == nil {
+		c.Rates = d.Rates
+	}
+	if c.Episodes == 0 {
+		c.Episodes = d.Episodes
+	}
+	if c.Barrier == "" {
+		c.Barrier = d.Barrier
+	}
+	if c.LogPairs == 0 {
+		c.LogPairs = d.LogPairs
+	}
+	if c.CGN == 0 {
+		c.CGN = d.CGN
+	}
+	if c.CGNNZ == 0 {
+		c.CGNNZ = d.CGNNZ
+	}
+	if c.CGIters == 0 {
+		c.CGIters = d.CGIters
+	}
+	return c
+}

@@ -27,20 +27,36 @@ const (
 	ButterflyKind MachineKind = "butterfly"
 )
 
-// NewMachine builds a machine of the given kind with cells cells.
-func NewMachine(kind MachineKind, cells int) (*machine.Machine, error) {
+// ConfigFor returns the named machine model's configuration at the given
+// size, without building it — callers can adjust seeds, fault injection,
+// or checked mode before machine.New.
+func ConfigFor(kind MachineKind, cells int) (machine.Config, error) {
 	switch kind {
 	case KSR1Kind:
-		return machine.New(machine.KSR1(cells)), nil
+		return machine.KSR1(cells), nil
 	case KSR2Kind:
-		return machine.New(machine.KSR2(cells)), nil
+		return machine.KSR2(cells), nil
 	case SymmetryKind:
-		return machine.New(machine.Symmetry(cells)), nil
+		return machine.Symmetry(cells), nil
 	case ButterflyKind:
-		return machine.New(machine.Butterfly(cells)), nil
+		return machine.Butterfly(cells), nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown machine kind %q", kind)
+		return machine.Config{}, fmt.Errorf("experiments: unknown machine kind %q (want ksr1, ksr2, symmetry, or butterfly)", kind)
 	}
+}
+
+// NewMachine builds a machine of the given kind with cells cells. The
+// configuration is validated first, so CLI-supplied sizes produce
+// friendly errors instead of constructor panics.
+func NewMachine(kind MachineKind, cells int) (*machine.Machine, error) {
+	cfg, err := ConfigFor(kind, cells)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return machine.New(cfg), nil
 }
 
 // DefaultProcSweep returns the processor counts used for a machine of the

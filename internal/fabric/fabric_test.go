@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/memory"
 	"repro/internal/sim"
 )
@@ -326,5 +327,100 @@ func TestRingMaxInFlightTracked(t *testing.T) {
 	}
 	if r.Stats().MaxInFlight != 5 {
 		t.Errorf("MaxInFlight = %d, want 5", r.Stats().MaxInFlight)
+	}
+}
+
+func TestRingConfigValidate(t *testing.T) {
+	if err := DefaultRingConfig(32).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if err := DefaultRingConfig(64).Validate(); err != nil {
+		t.Errorf("two-leaf config invalid: %v", err)
+	}
+	bad := []RingConfig{
+		DefaultRingConfig(0),
+		DefaultRingConfig(-3),
+		{Cells: 4, LeafSize: 0, SubRings: 2, SlotsPerSubRing: 12},
+		{Cells: 4, LeafSize: 4, SubRings: 0, SlotsPerSubRing: 12},
+		{Cells: 4, LeafSize: 4, SubRings: 2, SlotsPerSubRing: 0},
+		DefaultRingConfig(40), // 40 cells do not divide into 32-cell leaves
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+}
+
+// faultyRingLatency runs accesses on a ring with the given fault config
+// and returns the total latency and injector stats.
+func faultyRingLatency(t *testing.T, fcfg faults.Config, seed uint64, accesses int) (sim.Time, faults.Stats) {
+	t.Helper()
+	e := sim.NewEngine()
+	r := NewRing(e, DefaultRingConfig(8))
+	inj := faults.New(fcfg, seed)
+	r.SetFaults(inj)
+	var total sim.Time
+	e.Spawn("req", func(p *sim.Process) {
+		for k := 0; k < accesses; k++ {
+			total += r.Access(p, 0, 1, 0)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return total, inj.Stats()
+}
+
+func TestRingSlotLossStretchesLatency(t *testing.T) {
+	clean, _ := faultyRingLatency(t, faults.Config{}, 1, 50)
+	lossy, st := faultyRingLatency(t, faults.Config{SlotLossRate: 0.5}, 1, 50)
+	if st.SlotLosses == 0 {
+		t.Fatal("no slot losses injected at rate 0.5")
+	}
+	// Every loss costs exactly one extra rotation (SlotHold).
+	want := clean + sim.Time(st.SlotLosses)*DefaultRingConfig(8).SlotHold
+	if lossy != want {
+		t.Errorf("lossy latency = %v, want clean %v + %d losses = %v", lossy, clean, st.SlotLosses, want)
+	}
+}
+
+func TestRingLinkDegradeStretchesLatency(t *testing.T) {
+	clean, _ := faultyRingLatency(t, faults.Config{}, 1, 50)
+	slow, st := faultyRingLatency(t, faults.Config{LinkDegradeRate: 0.5, LinkDegradeFactor: 3}, 1, 50)
+	if st.LinkDegrades == 0 {
+		t.Fatal("no link degrades injected at rate 0.5")
+	}
+	want := clean + sim.Time(st.LinkDegrades)*2*DefaultRingConfig(8).SlotHold
+	if slow != want {
+		t.Errorf("degraded latency = %v, want %v", slow, want)
+	}
+}
+
+func TestRingFaultsDeterministic(t *testing.T) {
+	a, sa := faultyRingLatency(t, faults.Uniform(0.2), 7, 100)
+	b, sb := faultyRingLatency(t, faults.Uniform(0.2), 7, 100)
+	if a != b || sa != sb {
+		t.Errorf("same seed diverged: %v/%+v vs %v/%+v", a, sa, b, sb)
+	}
+}
+
+func TestRingAsyncFaultsComplete(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRing(e, DefaultRingConfig(8))
+	inj := faults.New(faults.Config{SlotLossRate: 0.5, LinkDegradeRate: 0.5}, 3)
+	r.SetFaults(inj)
+	done := 0
+	for k := 0; k < 40; k++ {
+		r.AccessAsync(0, 1, 0, func() { done++ })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 40 {
+		t.Errorf("completed %d async transactions, want 40", done)
+	}
+	if inj.Stats().SlotLosses == 0 {
+		t.Error("async path injected no slot losses at rate 0.5")
 	}
 }

@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/memory"
 	"repro/internal/sim"
 )
@@ -46,6 +47,27 @@ func DefaultRingConfig(cells int) RingConfig {
 	}
 }
 
+// Validate reports, with an actionable message, why the configuration
+// cannot build a ring. It is the friendly front door for CLI input;
+// NewRing still panics on the same conditions for programmatic misuse.
+func (c RingConfig) Validate() error {
+	if c.Cells < 1 {
+		return fmt.Errorf("fabric: a ring needs at least one cell (got %d)", c.Cells)
+	}
+	if c.LeafSize < 1 {
+		return fmt.Errorf("fabric: ring leaf size must be at least 1 (got %d)", c.LeafSize)
+	}
+	if c.SubRings < 1 || c.SlotsPerSubRing < 1 {
+		return fmt.Errorf("fabric: ring needs at least one sub-ring and one slot (got %d sub-rings, %d slots)",
+			c.SubRings, c.SlotsPerSubRing)
+	}
+	if c.Cells > c.LeafSize && c.Cells%c.LeafSize != 0 {
+		return fmt.Errorf("fabric: %d cells do not divide into %d-cell leaf rings; pick a multiple of %d (or at most %d cells)",
+			c.Cells, c.LeafSize, c.LeafSize, c.LeafSize)
+	}
+	return nil
+}
+
 // Ring is a one- or two-level slotted ring. With Cells <= LeafSize it is a
 // single leaf ring; beyond that, leaf rings connect through ARDs to a
 // level-1 ring, and transactions between different leaf rings traverse
@@ -56,6 +78,7 @@ type Ring struct {
 	leaf [][]*sim.Resource // [leafRing][subRing]
 	top  []*sim.Resource   // [subRing], nil for single-level
 	trk  tracker
+	inj  *faults.Injector // nil = no fault injection
 
 	crossTransactions uint64
 }
@@ -89,6 +112,11 @@ func NewRing(e *sim.Engine, cfg RingConfig) *Ring {
 	}
 	return r
 }
+
+// SetFaults attaches a fault injector; nil (the default) disables
+// injection. Slot-loss and link-degradation draws come from the
+// injector's ring stream.
+func (r *Ring) SetFaults(inj *faults.Injector) { r.inj = inj }
 
 // Name implements Fabric.
 func (r *Ring) Name() string { return "ring" }
@@ -137,9 +165,18 @@ func (r *Ring) Access(p *sim.Process, src, dst int, addr memory.Addr) sim.Time {
 	}
 	var wait sim.Time
 	for _, res := range path {
-		wait += res.Acquire(p)
-		p.Sleep(r.cfg.SlotHold)
-		res.Release()
+		// One slot for one rotation; an injected slot loss corrupts the
+		// packet in transit and it re-circulates, claiming a fresh slot
+		// for another full rotation. A degraded link stretches the hold.
+		// Consecutive losses are bounded by the injector's MaxRetries.
+		for n := 0; ; n++ {
+			wait += res.Acquire(p)
+			p.Sleep(r.inj.DegradedHold(r.cfg.SlotHold))
+			res.Release()
+			if !r.inj.SlotLost(n) {
+				break
+			}
+		}
 		p.Sleep(r.cfg.Overhead)
 	}
 	lat := r.eng.Now() - start
@@ -155,8 +192,8 @@ func (r *Ring) AccessAsync(src, dst int, addr memory.Addr, done func()) {
 	if len(path) > 1 {
 		r.crossTransactions++
 	}
-	var step func(i int)
-	step = func(i int) {
+	var step func(i, losses int)
+	step = func(i, losses int) {
 		if i == len(path) {
 			r.trk.end(0, 0, false)
 			if done != nil {
@@ -166,13 +203,17 @@ func (r *Ring) AccessAsync(src, dst int, addr memory.Addr, done func()) {
 		}
 		res := path[i]
 		res.AcquireAsync(func() {
-			r.eng.Schedule(r.cfg.SlotHold, func() {
+			r.eng.Schedule(r.inj.DegradedHold(r.cfg.SlotHold), func() {
 				res.Release()
-				r.eng.Schedule(r.cfg.Overhead, func() { step(i + 1) })
+				if r.inj.SlotLost(losses) {
+					step(i, losses+1) // packet corrupted: re-circulate this hop
+					return
+				}
+				r.eng.Schedule(r.cfg.Overhead, func() { step(i+1, 0) })
 			})
 		})
 	}
-	step(0)
+	step(0, 0)
 }
 
 // Stats implements Fabric.

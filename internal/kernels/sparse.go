@@ -49,16 +49,22 @@ func RandomSPD(n int, nnzTarget int, seed uint64) *SparseMatrix {
 	a := &SparseMatrix{N: n}
 	a.RowStart = make([]int32, n+1)
 	for i := 0; i < n; i++ {
-		// Diagonal dominance: d = sum|offdiag| + 1.
-		d := 1.0
 		keys := make([]int32, 0, len(cols[i])+1)
-		for j, v := range cols[i] {
-			if v < 0 {
+		for j := range cols[i] {
+			keys = append(keys, j)
+		}
+		sort.Slice(keys, func(x, y int) bool { return keys[x] < keys[y] })
+		// Diagonal dominance: d = sum|offdiag| + 1, accumulated in sorted
+		// column order — summing in map-iteration order would make the
+		// diagonal differ by ULPs from run to run, breaking bit-exact
+		// reproducibility of every result downstream of the matrix.
+		d := 1.0
+		for _, j := range keys {
+			if v := cols[i][j]; v < 0 {
 				d -= v
 			} else {
 				d += v
 			}
-			keys = append(keys, j)
 		}
 		cols[i][int32(i)] = d
 		keys = append(keys, int32(i))

@@ -1,7 +1,10 @@
 package machine
 
 import (
+	"fmt"
+
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
@@ -72,9 +75,65 @@ type Config struct {
 	// random policy caused SP's first-level thrashing.
 	LRUCaches bool
 
+	// Faults configures deterministic fault injection (ring slot loss,
+	// link degradation, coherence NACKs, cell stalls, fail-stop). The
+	// zero value injects nothing. All fault randomness derives from Seed.
+	Faults faults.Config
+
+	// Checked arms the coherence invariant checker: the directory
+	// validates its bookkeeping after every protocol mutation and
+	// CheckInvariants reports the first violation. Costs a constant
+	// factor; off by default.
+	Checked bool
+
 	// Seed drives all machine-internal randomness (cache replacement,
 	// interrupt phase).
 	Seed uint64
+}
+
+// Validate reports, with an actionable message, why the configuration
+// cannot build a machine. It is the friendly front door for CLI input;
+// New still panics on the same conditions for programmatic misuse.
+func (c Config) Validate() error {
+	if c.Cells < 1 {
+		return fmt.Errorf("machine: %q needs at least one cell (got %d)", c.Name, c.Cells)
+	}
+	switch c.Fabric {
+	case FabricRing:
+		r := c.Ring
+		r.Cells = c.Cells
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	case FabricBus, FabricButterfly:
+		// Any positive cell count works.
+	default:
+		return fmt.Errorf("machine: unknown fabric kind %d", c.Fabric)
+	}
+	for _, rate := range []struct {
+		name string
+		v    float64
+	}{
+		{"slot-loss", c.Faults.SlotLossRate},
+		{"link-degrade", c.Faults.LinkDegradeRate},
+		{"NACK", c.Faults.NACKRate},
+	} {
+		if rate.v < 0 || rate.v > 1 {
+			return fmt.Errorf("machine: %s fault rate must be in [0, 1] (got %g)", rate.name, rate.v)
+		}
+	}
+	if c.Faults.CellStallMean < 0 {
+		return fmt.Errorf("machine: cell stall mean must be non-negative (got %v)", c.Faults.CellStallMean)
+	}
+	for cell, at := range c.Faults.FailStop {
+		if cell < 0 || cell >= c.Cells {
+			return fmt.Errorf("machine: fail-stop cell %d out of range [0, %d)", cell, c.Cells)
+		}
+		if at <= 0 {
+			return fmt.Errorf("machine: fail-stop time for cell %d must be positive (got %v)", cell, at)
+		}
+	}
+	return nil
 }
 
 // KSR1 returns the calibrated 20 MHz KSR-1 model with the given cell count
@@ -139,6 +198,13 @@ func Butterfly(cells int) Config {
 // WithSeed returns a copy of the config with a different seed.
 func (c Config) WithSeed(seed uint64) Config {
 	c.Seed = seed
+	return c
+}
+
+// WithFaults returns a copy of the config with the given fault injection
+// configuration.
+func (c Config) WithFaults(f faults.Config) Config {
+	c.Faults = f
 	return c
 }
 

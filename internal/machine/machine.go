@@ -16,6 +16,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/memory"
 	"repro/internal/sim"
 )
@@ -34,6 +35,7 @@ type Monitor struct {
 	Prefetches     uint64
 	GSPRetries     uint64 // failed get_sub_page attempts
 	Interrupts     uint64 // simulated timer interrupts taken
+	Stalls         uint64 // injected transient cell stalls taken
 }
 
 // Add accumulates other into m.
@@ -49,6 +51,7 @@ func (m *Monitor) Add(other Monitor) {
 	m.Prefetches += other.Prefetches
 	m.GSPRetries += other.GSPRetries
 	m.Interrupts += other.Interrupts
+	m.Stalls += other.Stalls
 }
 
 // Cell is one KSR processing node: CEU timing, two cache levels, and the
@@ -60,10 +63,20 @@ type Cell struct {
 	mon   Monitor
 
 	nextInterrupt sim.Time
+
+	// Fault-injection state, populated only when the machine's injector
+	// targets this cell.
+	stallRNG  *sim.RNG // private stall schedule stream, nil = no stalls
+	nextStall sim.Time
+	failAt    sim.Time // simulated time this cell halts, 0 = never
+	failed    bool
 }
 
 // ID returns the cell number.
 func (c *Cell) ID() int { return c.id }
+
+// Failed reports whether fault injection has permanently halted the cell.
+func (c *Cell) Failed() bool { return c.failed }
 
 // Monitor returns a copy of the cell's performance counters.
 func (c *Cell) Monitor() Monitor { return c.mon }
@@ -83,6 +96,7 @@ type Machine struct {
 	dir   *coherence.Directory // nil when !cfg.Coherent
 	cells []*Cell
 	rng   *sim.RNG
+	inj   *faults.Injector // nil when cfg.Faults injects nothing
 }
 
 // New builds a machine from a config.
@@ -97,11 +111,23 @@ func New(cfg Config) *Machine {
 		space: memory.NewSpace(),
 		rng:   sim.NewRNG(cfg.Seed),
 	}
+	if cfg.Faults.Enabled() {
+		m.inj = faults.New(cfg.Faults, cfg.Seed)
+	}
+	if m.inj != nil || cfg.Checked {
+		// Injected retries and checked-mode sweeps multiply zero-delay
+		// event bursts; arm the livelock watchdog so a protocol bug shows
+		// up as a LivelockError instead of a hung run. The limit is far
+		// above any legitimate per-instant burst.
+		e.SetWatchdog(1 << 20)
+	}
 	switch cfg.Fabric {
 	case FabricRing:
 		ring := cfg.Ring
 		ring.Cells = cfg.Cells
-		m.fab = fabric.NewRing(e, ring)
+		r := fabric.NewRing(e, ring)
+		r.SetFaults(m.inj)
+		m.fab = r
 	case FabricBus:
 		bus := cfg.Bus
 		bus.Cells = cfg.Cells
@@ -127,10 +153,17 @@ func New(cfg Config) *Machine {
 		if cfg.TimerInterrupts && cfg.InterruptEvery > 0 {
 			c.nextInterrupt = sim.Time(m.rng.Intn(int(cfg.InterruptEvery))) + 1
 		}
+		if m.inj.StallsEnabled() {
+			c.stallRNG = m.inj.StallRNG()
+			c.nextStall = m.inj.StallInterval(c.stallRNG)
+		}
+		c.failAt = m.inj.FailStopAt(i)
 		m.cells = append(m.cells, c)
 	}
 	if cfg.Coherent {
 		m.dir = coherence.NewDirectory(e, m.fab)
+		m.dir.Faults = m.inj
+		m.dir.Checked = cfg.Checked
 		m.dir.DisableSnarfing = cfg.DisableSnarfing
 		m.dir.OnInvalidate = func(cell int, sp memory.SubPageID) {
 			m.cells[cell].sub.PurgeRange(sp.Base(), memory.SubPageSize)
@@ -168,6 +201,35 @@ func (m *Machine) Cells() int { return m.cfg.Cells }
 
 // Now returns the current simulated time.
 func (m *Machine) Now() sim.Time { return m.eng.Now() }
+
+// Injector returns the machine's fault injector, or nil when no faults
+// are configured.
+func (m *Machine) Injector() *faults.Injector { return m.inj }
+
+// FaultStats returns cumulative fault-injection counters (zeros when no
+// faults are configured).
+func (m *Machine) FaultStats() faults.Stats { return m.inj.Stats() }
+
+// FailedCells lists the cells fault injection has halted, in id order.
+func (m *Machine) FailedCells() []int {
+	var ids []int
+	for _, c := range m.cells {
+		if c.failed {
+			ids = append(ids, c.id)
+		}
+	}
+	return ids
+}
+
+// CheckInvariants runs the coherence invariant checker (see
+// coherence.Directory.CheckInvariants). It returns nil on a non-coherent
+// machine.
+func (m *Machine) CheckInvariants() error {
+	if m.dir == nil {
+		return nil
+	}
+	return m.dir.CheckInvariants()
+}
 
 // TotalMonitor sums the per-cell monitors.
 func (m *Machine) TotalMonitor() Monitor {
@@ -238,6 +300,18 @@ func (m *Machine) Run(procs int, body func(p *Proc)) (sim.Time, error) {
 	for i := 0; i < procs; i++ {
 		i := i
 		m.eng.Spawn(fmt.Sprintf("cell%d", i), func(p *sim.Process) {
+			// A fail-stop unwinds the cell's program with a cellFailStop
+			// panic; the process simply ends. Peers synchronizing with the
+			// halted cell wedge, which Run reports as a DeadlockError
+			// naming them and what they were waiting on.
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(cellFailStop); ok {
+						return
+					}
+					panic(r)
+				}
+			}()
 			pr := &Proc{m: m, cell: m.cells[i], sp: p, procs: procs}
 			body(pr)
 		})

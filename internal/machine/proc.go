@@ -47,9 +47,29 @@ func (p *Proc) Compute(ops int64) {
 	p.chargeCycles(ops)
 }
 
+// cellFailStop is the panic sentinel that unwinds a cell's program when
+// fault injection halts it; Machine.Run recovers it.
+type cellFailStop struct{ cell int }
+
+// checkFailStop halts the cell if its configured fail-stop time has
+// arrived. Called at instruction boundaries (cycle charges, accesses),
+// so a cell never fails in the middle of a protocol transaction — the
+// hardware analogue being that a cell dies between ring interactions,
+// not halfway through owning a slot.
+func (p *Proc) checkFailStop() {
+	c := p.cell
+	if c.failAt > 0 && !c.failed && p.sp.Now() >= c.failAt {
+		c.failed = true
+		p.m.inj.NoteFailStop()
+		panic(cellFailStop{c.id})
+	}
+}
+
 // chargeCycles advances simulated time by n CPU cycles, injecting a timer
-// interrupt when one is due (if the machine models them).
+// interrupt or a transient stall when one is due (if the machine models
+// them).
 func (p *Proc) chargeCycles(n int64) {
+	p.checkFailStop()
 	d := sim.Time(n) * p.m.cfg.CPUCycle
 	cfg := &p.m.cfg
 	if cfg.TimerInterrupts && cfg.InterruptEvery > 0 {
@@ -57,6 +77,13 @@ func (p *Proc) chargeCycles(n int64) {
 			d += cfg.InterruptCost
 			p.cell.nextInterrupt += cfg.InterruptEvery
 			p.cell.mon.Interrupts++
+		}
+	}
+	if c := p.cell; c.stallRNG != nil {
+		for p.sp.Now()+d >= c.nextStall {
+			d += p.m.inj.StallTime()
+			c.nextStall += p.m.inj.StallInterval(c.stallRNG)
+			c.mon.Stalls++
 		}
 	}
 	p.sp.Sleep(d)
@@ -80,6 +107,7 @@ func (p *Proc) handleEvictions(ev *cache.Evicted) {
 // ordering stays faithful. Used by both the single-access methods and the
 // batched range methods.
 func (p *Proc) accessOne(addr memory.Addr, write bool, acc *int64) {
+	p.checkFailStop()
 	cfg := &p.m.cfg
 	c := p.cell
 	c.mon.Accesses++
@@ -275,6 +303,7 @@ func (p *Proc) accessRange(base memory.Addr, count, stride int64, write bool) {
 // failure still costs the ring transit. Requires a coherent machine.
 func (p *Proc) GetSubPage(addr memory.Addr) bool {
 	p.requireCoherent("GetSubPage")
+	p.checkFailStop()
 	sp := addr.SubPage()
 	ok, lat := p.m.dir.GetSubPage(p.sp, p.cell.id, sp)
 	p.cell.mon.RemoteAccesses++

@@ -18,6 +18,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Time is a point in simulated time, in nanoseconds.
@@ -95,6 +96,12 @@ type Engine struct {
 
 	stopped bool
 	maxTime Time // 0 = unlimited
+
+	// Livelock watchdog: trip when more than watchdogLimit events fire
+	// without simulated time advancing.
+	watchdogLimit int
+	watchAt       Time
+	watchCount    int
 }
 
 // NewEngine returns an empty simulation at time zero.
@@ -127,9 +134,10 @@ type Process struct {
 	name string
 	id   int
 
-	done     bool
-	blocked  bool   // parked with no pending resume event
-	blockWhy string // human-readable reason, for deadlock reports
+	done       bool
+	blocked    bool   // parked with no pending resume event
+	blockWhy   string // human-readable reason, for deadlock reports
+	blockSince Time   // when the process last parked without a resume event
 }
 
 // Name returns the name given at Spawn.
@@ -211,30 +219,85 @@ func (e *Engine) resume(p *Process) {
 // Resource grant or Cond broadcast, otherwise the simulation deadlocks.
 func (p *Process) block(why string) {
 	p.blocked = true
+	p.blockSince = p.eng.now
 	p.park(why)
 }
 
+// BlockedProc describes one wedged process in a DeadlockError: which
+// process, what it was waiting for, and since when.
+type BlockedProc struct {
+	Name   string // process name given at Spawn
+	ID     int    // spawn-ordered process id
+	Reason string // park reason ("resource ring0.0.sub0", "cond subpage 42")
+	Since  Time   // simulated time at which it parked
+}
+
+func (b BlockedProc) String() string {
+	return fmt.Sprintf("%s: %s (parked since t=%v)", b.Name, b.Reason, b.Since)
+}
+
 // DeadlockError reports that no events remain while processes are still
-// blocked.
+// blocked: the simulation has wedged. At is the simulated time of the
+// wedge; Blocked lists every parked process with its park reason and the
+// time it stopped making progress, in process-id order.
 type DeadlockError struct {
 	At      Time
-	Blocked []string // "name: reason" for each blocked process
+	Blocked []BlockedProc
 }
 
 func (e *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock at t=%v with %d blocked processes: %v",
-		e.At, len(e.Blocked), e.Blocked)
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock at t=%v: %d processes blocked with no pending events",
+		e.At, len(e.Blocked))
+	for _, p := range e.Blocked {
+		fmt.Fprintf(&b, "\n  %s", p)
+	}
+	return b.String()
 }
+
+// LivelockError reports that the progress watchdog tripped: more than
+// Limit events executed back-to-back without simulated time advancing,
+// which means some set of processes is re-waking itself in a zero-delay
+// cycle instead of progressing.
+type LivelockError struct {
+	At     Time // the instant time stopped advancing at
+	Events int  // events executed at that instant before tripping
+	Limit  int  // the armed threshold
+}
+
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("sim: livelock watchdog tripped at t=%v: %d events executed without time advancing (limit %d)",
+		e.At, e.Events, e.Limit)
+}
+
+// SetWatchdog arms the livelock watchdog: Run aborts with a
+// *LivelockError once more than limit events execute at a single instant
+// of simulated time. A genuine workload executes a bounded burst of
+// zero-delay events per instant (wakeups, resource handoffs); an
+// unbounded burst means processes are re-waking each other without time
+// advancing. 0 (the default) disarms the watchdog.
+func (e *Engine) SetWatchdog(limit int) { e.watchdogLimit = limit }
 
 // Run executes events until none remain, the deadline passes, or Stop is
 // called. It returns a *DeadlockError if processes remain blocked with an
-// empty event queue, and nil otherwise.
+// empty event queue, a *LivelockError if the armed watchdog trips, and
+// nil otherwise.
 func (e *Engine) Run() error {
 	for len(e.pq) > 0 && !e.stopped {
 		ev := heap.Pop(&e.pq).(*event)
 		if e.maxTime > 0 && ev.at > e.maxTime {
 			e.now = e.maxTime
 			return nil
+		}
+		if e.watchdogLimit > 0 {
+			if ev.at != e.watchAt {
+				e.watchAt, e.watchCount = ev.at, 0
+			}
+			e.watchCount++
+			if e.watchCount > e.watchdogLimit {
+				e.now = ev.at
+				return &LivelockError{At: ev.at, Events: e.watchCount, Limit: e.watchdogLimit}
+			}
 		}
 		e.now = ev.at
 		ev.fn()
@@ -246,10 +309,17 @@ func (e *Engine) Run() error {
 		derr := &DeadlockError{At: e.now}
 		for _, p := range e.procs {
 			if !p.done && p.blocked {
-				derr.Blocked = append(derr.Blocked, p.name+": "+p.blockWhy)
+				derr.Blocked = append(derr.Blocked, BlockedProc{
+					Name:   p.name,
+					ID:     p.id,
+					Reason: p.blockWhy,
+					Since:  p.blockSince,
+				})
 			}
 		}
-		sort.Strings(derr.Blocked)
+		sort.Slice(derr.Blocked, func(i, j int) bool {
+			return derr.Blocked[i].ID < derr.Blocked[j].ID
+		})
 		if len(derr.Blocked) > 0 {
 			return derr
 		}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -178,8 +179,100 @@ func TestDeadlockDetection(t *testing.T) {
 	if !ok {
 		t.Fatalf("Run() = %v, want *DeadlockError", err)
 	}
-	if len(derr.Blocked) != 1 || derr.Blocked[0] != "waiter: cond never" {
-		t.Errorf("blocked list = %v", derr.Blocked)
+	if len(derr.Blocked) != 1 {
+		t.Fatalf("blocked list = %v", derr.Blocked)
+	}
+	b := derr.Blocked[0]
+	if b.Name != "waiter" || b.ID != 0 || b.Reason != "cond never" {
+		t.Errorf("blocked proc = %+v", b)
+	}
+}
+
+func TestDeadlockErrorDetail(t *testing.T) {
+	// The report must carry per-process park reasons, park times, and the
+	// wedge time, ordered by process id.
+	e := NewEngine()
+	c := NewCond(e, "flag")
+	r := NewResource(e, "slot", 1)
+	e.Spawn("spinner", func(p *Process) {
+		p.Sleep(30)
+		c.Wait(p)
+	})
+	e.Spawn("holder", func(p *Process) {
+		r.Acquire(p)
+		p.Sleep(100) // sim advances to 100, then holder blocks too
+		c.Wait(p)
+	})
+	e.Spawn("queued", func(p *Process) {
+		p.Sleep(10)
+		r.Acquire(p) // waits forever behind holder
+	})
+	err := e.Run()
+	derr, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("Run() = %v, want *DeadlockError", err)
+	}
+	if derr.At != 100 {
+		t.Errorf("wedge time = %v, want 100", derr.At)
+	}
+	if len(derr.Blocked) != 3 {
+		t.Fatalf("blocked = %v", derr.Blocked)
+	}
+	want := []BlockedProc{
+		{Name: "spinner", ID: 0, Reason: "cond flag", Since: 30},
+		{Name: "holder", ID: 1, Reason: "cond flag", Since: 100},
+		{Name: "queued", ID: 2, Reason: "resource slot", Since: 10},
+	}
+	for i, w := range want {
+		if derr.Blocked[i] != w {
+			t.Errorf("Blocked[%d] = %+v, want %+v", i, derr.Blocked[i], w)
+		}
+	}
+	msg := derr.Error()
+	for _, frag := range []string{"deadlock at t=100ns", "spinner: cond flag (parked since t=30ns)",
+		"queued: resource slot (parked since t=10ns)"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("Error() = %q missing %q", msg, frag)
+		}
+	}
+}
+
+func TestWatchdogTripsOnZeroDelayLoop(t *testing.T) {
+	e := NewEngine()
+	e.SetWatchdog(1000)
+	var loop func()
+	loop = func() { e.Schedule(0, loop) }
+	e.Schedule(5, loop)
+	err := e.Run()
+	lerr, ok := err.(*LivelockError)
+	if !ok {
+		t.Fatalf("Run() = %v, want *LivelockError", err)
+	}
+	if lerr.At != 5 || lerr.Events != 1001 || lerr.Limit != 1000 {
+		t.Errorf("livelock = %+v", lerr)
+	}
+	if !strings.Contains(lerr.Error(), "without time advancing") {
+		t.Errorf("Error() = %q", lerr.Error())
+	}
+}
+
+func TestWatchdogQuietOnProgress(t *testing.T) {
+	// Many events per instant are fine as long as each instant's burst
+	// stays under the limit.
+	e := NewEngine()
+	e.SetWatchdog(50)
+	fired := 0
+	for tick := Time(0); tick < 100; tick++ {
+		tick := tick
+		for k := 0; k < 40; k++ {
+			e.Schedule(tick, func() { fired++ })
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run() = %v", err)
+	}
+	if fired != 4000 {
+		t.Errorf("fired = %d", fired)
 	}
 }
 
