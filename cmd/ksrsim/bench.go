@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// BenchReport is the performance trajectory record written to
+// BENCH_sim.json: engine micro-costs plus wall-clock times for the
+// paper's main sweeps. Future engine changes regress against it.
+type BenchReport struct {
+	GoVersion   string `json:"go_version"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	Parallelism int    `json:"parallelism"`
+
+	// Engine micro-costs (steady state).
+	NsPerEvent      float64 `json:"ns_per_event"`
+	AllocsPerEvent  float64 `json:"allocs_per_event"`
+	NsPerSwitch     float64 `json:"ns_per_context_switch"`
+	AllocsPerSwitch float64 `json:"allocs_per_context_switch"`
+
+	// Wall-clock seconds for the experiment sweeps (scaled-down sizes).
+	Sweeps map[string]float64 `json:"sweep_wall_seconds"`
+}
+
+// benchLoop runs fn once for warmup-free measurement of wall time and
+// heap allocations, returning per-op values.
+func benchLoop(n int, build func(n int) *sim.Engine) (nsPerOp, allocsPerOp float64) {
+	e := build(n)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	if err := e.Run(); err != nil {
+		fail(err)
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	return float64(wall.Nanoseconds()) / float64(n),
+		float64(after.Mallocs-before.Mallocs) / float64(n)
+}
+
+// cmdBench measures the engine's event-dispatch and context-switch costs
+// and times the Figure-2/barrier/EP/faults sweeps, writing the result to
+// BENCH_sim.json (and stdout).
+func cmdBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("o", "BENCH_sim.json", "output file (empty = stdout only)")
+	events := fs.Int("events", 2_000_000, "events for the micro-measurements")
+	fs.Parse(args)
+
+	rep := BenchReport{
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Parallelism: experiments.Parallelism(),
+		Sweeps:      map[string]float64{},
+	}
+
+	// Warm both paths once so pool growth doesn't count as steady state.
+	warm := *events / 10
+	if warm < 1000 {
+		warm = 1000
+	}
+	benchEvents := func(n int) *sim.Engine {
+		e := sim.NewEngine()
+		count := 0
+		var tick func()
+		tick = func() {
+			count++
+			if count < n {
+				e.Schedule(10, tick)
+			}
+		}
+		e.Schedule(10, tick)
+		return e
+	}
+	benchSwitch := func(n int) *sim.Engine {
+		e := sim.NewEngine()
+		e.Spawn("p", func(p *sim.Process) {
+			for i := 0; i < n; i++ {
+				p.Sleep(1)
+			}
+		})
+		return e
+	}
+	benchLoop(warm, benchEvents)
+	rep.NsPerEvent, rep.AllocsPerEvent = benchLoop(*events, benchEvents)
+	benchLoop(warm, benchSwitch)
+	rep.NsPerSwitch, rep.AllocsPerSwitch = benchLoop(*events, benchSwitch)
+
+	timeSweep := func(name string, run func() error) {
+		t0 := time.Now()
+		if err := run(); err != nil {
+			fail(fmt.Errorf("bench sweep %s: %w", name, err))
+		}
+		rep.Sweeps[name] = time.Since(t0).Seconds()
+	}
+	timeSweep("fig2_latency", func() error {
+		cfg := experiments.DefaultLatencyConfig()
+		cfg.Cells = 16
+		cfg.Procs = []int{1, 2, 4, 8, 16}
+		cfg.RegionBytes = 128 * 1024
+		_, err := experiments.RunLatency(cfg)
+		return err
+	})
+	timeSweep("barriers", func() error {
+		cfg := experiments.DefaultBarriersConfig()
+		cfg.Episodes = 20
+		_, err := experiments.RunBarriers(cfg)
+		return err
+	})
+	timeSweep("ep", func() error {
+		cfg := experiments.DefaultEPExperiment()
+		cfg.LogPairs = 14
+		_, err := experiments.RunEPExperiment(cfg)
+		return err
+	})
+	timeSweep("faults", func() error {
+		_, err := experiments.RunDegradation(experiments.DefaultDegradationConfig())
+		return err
+	})
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	b = append(b, '\n')
+	os.Stdout.Write(b)
+	if *out != "" {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fail(err)
+		}
+	}
+}

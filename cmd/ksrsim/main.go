@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -21,9 +23,14 @@ import (
 func usage() {
 	fmt.Fprintf(os.Stderr, `ksrsim — KSR-1 scalability study reproduction
 
-Usage: ksrsim [-json] <command> [flags]
+Usage: ksrsim [global flags] <command> [flags]
 
-With -json, results are emitted as JSON instead of formatted tables.
+Global flags:
+  -json              emit results as JSON instead of formatted tables
+  -parallel n        run up to n sweep points concurrently (0 = all cores;
+                     default 1 = sequential; output is identical either way)
+  -cpuprofile file   write a CPU profile of the whole invocation
+  -memprofile file   write a heap profile at exit
 
 Commands:
   latency     Figure 2: read/write latencies per memory-hierarchy level
@@ -41,6 +48,7 @@ Commands:
   capacity    extension: the superunitary-speedup (cache capacity) effect
   faults      extension: degradation sweep under injected faults (see docs/FAULTS.md)
   npb         run one kernel at an NPB class (S/W/A) and print its banner
+  bench       measure engine micro-costs and sweep wall-clocks (BENCH_sim.json)
   all         run everything at default sizes
 
 Run 'ksrsim <command> -h' for per-command flags.
@@ -87,12 +95,59 @@ func parseRates(s string) ([]float64, error) {
 }
 
 func fail(err error) {
+	stopProfiles() // os.Exit skips defers; flush profiles explicitly
 	fmt.Fprintln(os.Stderr, "ksrsim:", err)
 	os.Exit(1)
 }
 
-// jsonOut switches result rendering to JSON (the -json global flag).
-var jsonOut bool
+// Global flags.
+var (
+	jsonOut     bool   // render results as JSON
+	parallelN   int    // sweep-point concurrency (0 = all cores)
+	cpuProfile  string // pprof CPU profile path
+	memProfile  string // pprof heap profile path
+	cpuProfileF *os.File
+)
+
+// startProfiles begins CPU profiling if requested.
+func startProfiles() {
+	if cpuProfile == "" {
+		return
+	}
+	f, err := os.Create(cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ksrsim:", err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "ksrsim:", err)
+		os.Exit(1)
+	}
+	cpuProfileF = f
+}
+
+// stopProfiles flushes the CPU profile and writes the heap profile. Safe
+// to call more than once.
+func stopProfiles() {
+	if cpuProfileF != nil {
+		pprof.StopCPUProfile()
+		cpuProfileF.Close()
+		cpuProfileF = nil
+	}
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ksrsim:", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ksrsim:", err)
+		}
+		f.Close()
+		memProfile = ""
+	}
+}
 
 // emit prints a result either as its formatted table/figure or as JSON.
 func emit(res any) {
@@ -109,19 +164,20 @@ func emit(res any) {
 }
 
 func main() {
-	if len(os.Args) < 2 {
+	flag.Usage = usage
+	flag.BoolVar(&jsonOut, "json", false, "emit results as JSON")
+	flag.IntVar(&parallelN, "parallel", 1, "concurrent sweep points (0 = all cores)")
+	flag.StringVar(&cpuProfile, "cpuprofile", "", "write CPU profile to file")
+	flag.StringVar(&memProfile, "memprofile", "", "write heap profile to file")
+	flag.Parse()
+	argv := flag.Args()
+	if len(argv) == 0 {
 		usage()
 		os.Exit(2)
 	}
-	argv := os.Args[1:]
-	if argv[0] == "-json" || argv[0] == "--json" {
-		jsonOut = true
-		argv = argv[1:]
-		if len(argv) == 0 {
-			usage()
-			os.Exit(2)
-		}
-	}
+	experiments.SetParallelism(parallelN)
+	startProfiles()
+	defer stopProfiles()
 	cmd, args := argv[0], argv[1:]
 	switch cmd {
 	case "latency":
@@ -154,6 +210,8 @@ func main() {
 		cmdFaults(args)
 	case "npb":
 		cmdNPB(args)
+	case "bench":
+		cmdBench(args)
 	case "all":
 		cmdAll(args)
 	case "-h", "--help", "help":

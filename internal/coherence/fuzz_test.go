@@ -34,6 +34,7 @@ func FuzzDirectoryInvariants(f *testing.F) {
 		e := sim.NewEngine()
 		e.SetWatchdog(1 << 20)
 		e.SetDeadline(30 * sim.Second)
+		defer e.Shutdown() // deadline-bounded: release parked cells
 		ring := fabric.NewRing(e, fabric.DefaultRingConfig(cells))
 		inj := faults.New(faults.Config{
 			NACKRate:        0.25,

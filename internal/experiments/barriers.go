@@ -117,15 +117,19 @@ func RunBarriers(cfg BarriersConfig) (BarriersResult, error) {
 	res.Times = make([][]float64, len(algos))
 	for i, f := range algos {
 		res.Algos = append(res.Algos, f.Name)
-		for _, pn := range procs {
-			per, err := barrierPoint(cfg, f, pn)
-			if err != nil {
-				return res, fmt.Errorf("%s at %d procs: %w", f.Name, pn, err)
-			}
-			res.Times[i] = append(res.Times[i], per.Seconds())
-		}
+		res.Times[i] = make([]float64, len(procs))
 	}
-	return res, nil
+	// One job per (algorithm, P) point; each builds its own machine.
+	err := forEachIndex(len(algos)*len(procs), func(k int) error {
+		i, j := k/len(procs), k%len(procs)
+		per, err := barrierPoint(cfg, algos[i], procs[j])
+		if err != nil {
+			return fmt.Errorf("%s at %d procs: %w", algos[i].Name, procs[j], err)
+		}
+		res.Times[i][j] = per.Seconds()
+		return nil
+	})
+	return res, err
 }
 
 // barrierPoint measures mean time per episode for one (algorithm, P).

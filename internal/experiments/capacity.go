@@ -58,11 +58,13 @@ func (r CapacityResult) String() string {
 // superunitary effect.
 func RunCapacityEffect(cfg CapacityConfig) (CapacityResult, error) {
 	var res CapacityResult
-	var points []metrics.Point
-	for _, pn := range cfg.Procs {
+	points := make([]metrics.Point, len(cfg.Procs))
+	res.Evictions = make([]uint64, len(cfg.Procs))
+	err := forEachIndex(len(cfg.Procs), func(j int) error {
+		pn := cfg.Procs[j]
 		m, err := NewMachine(cfg.Machine, cfg.Cells)
 		if err != nil {
-			return res, err
+			return err
 		}
 		data := m.Alloc("capacity.data", cfg.TotalBytes)
 		share := cfg.TotalBytes / int64(pn)
@@ -77,14 +79,18 @@ func RunCapacityEffect(cfg CapacityConfig) (CapacityResult, error) {
 			}
 		})
 		if err != nil {
-			return res, err
+			return err
 		}
-		points = append(points, metrics.Point{Procs: pn, Elapsed: el})
+		points[j] = metrics.Point{Procs: pn, Elapsed: el}
 		var ev uint64
 		for c := 0; c < pn; c++ {
 			ev += m.CellAt(c).LocalCache().Stats().Evictions
 		}
-		res.Evictions = append(res.Evictions, ev)
+		res.Evictions[j] = ev
+		return nil
+	})
+	if err != nil {
+		return res, err
 	}
 	res.Rows = metrics.BuildRows(points)
 	for i := 1; i < len(points); i++ {

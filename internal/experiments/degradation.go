@@ -149,144 +149,150 @@ func RunDegradation(cfg DegradationConfig) (DegradationResult, error) {
 	}
 
 	rates := append([]float64{0}, c.Rates...)
-	var baseEP kernels.EPResult
-	var baseCG kernels.CGResult
-	resultsMatch := true
+	mk := func(rate float64) (*machine.Machine, error) {
+		mc, err := ConfigFor(c.Machine, c.Cells)
+		if err != nil {
+			return nil, err
+		}
+		mc.Seed = c.Seed
+		if rate > 0 {
+			mc.Faults = faults.Uniform(rate)
+		}
+		mc.Checked = c.Checked
+		if err := mc.Validate(); err != nil {
+			return nil, err
+		}
+		return machine.New(mc), nil
+	}
 
-	for ri, rate := range rates {
-		mk := func() (*machine.Machine, error) {
-			mc, err := ConfigFor(c.Machine, c.Cells)
+	// One job per (rate, workload) pair — the 12-job grain balances the
+	// worker pool better than per-rate jobs would. Each job records its
+	// measurement and fault counters into its own slot; rows are assembled
+	// in a deterministic post-pass.
+	type jobOut struct {
+		sec    float64 // the workload's measurement
+		ep     kernels.EPResult
+		cg     kernels.CGResult
+		stats  faults.Stats
+		maxRun int
+	}
+	const nWork = 3 // 0 = barrier, 1 = EP, 2 = CG
+	outs := make([]jobOut, len(rates)*nWork)
+	collect := func(m *machine.Machine, rate float64, out *jobOut) error {
+		if c.Checked {
+			if err := m.CheckInvariants(); err != nil {
+				return fmt.Errorf("rate %g: %w", rate, err)
+			}
+		}
+		fs := m.FaultStats()
+		out.stats.SlotLosses += fs.SlotLosses
+		out.stats.LinkDegrades += fs.LinkDegrades
+		if d := m.Directory(); d != nil {
+			ds := d.Stats()
+			out.stats.NACKs += ds.NACKs
+			out.stats.Retries += ds.Retries
+			out.stats.BackoffTime += ds.BackoffTime
+			if ds.MaxRetryRun > out.maxRun {
+				out.maxRun = ds.MaxRetryRun
+			}
+		}
+		return nil
+	}
+	err := forEachIndex(len(outs), func(k int) error {
+		rate, work := rates[k/nWork], k%nWork
+		out := &outs[k]
+		m, err := mk(rate)
+		if err != nil {
+			return err
+		}
+		switch work {
+		case 0: // barrier episodes
+			b := bf.New(m, c.Procs)
+			episodes := c.Episodes
+			if episodes < 1 {
+				episodes = 1
+			}
+			var barrierTotal sim.Time
+			_, err = m.Run(c.Procs, func(p *machine.Proc) {
+				b.Wait(p) // warm-up episode
+				start := p.Now()
+				for ep := 0; ep < episodes; ep++ {
+					b.Wait(p)
+				}
+				if p.CellID() == 0 {
+					barrierTotal = p.Now() - start
+				}
+			})
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("barrier at rate %g: %w", rate, err)
 			}
-			mc.Seed = c.Seed
-			if rate > 0 {
-				mc.Faults = faults.Uniform(rate)
+			out.sec = (barrierTotal / sim.Time(episodes)).Seconds()
+		case 1: // EP kernel
+			epCfg := kernels.DefaultEPConfig(c.Procs)
+			epCfg.LogPairs = c.LogPairs
+			out.ep, err = kernels.RunEP(m, epCfg)
+			if err != nil {
+				return fmt.Errorf("EP at rate %g: %w", rate, err)
 			}
-			mc.Checked = c.Checked
-			if err := mc.Validate(); err != nil {
-				return nil, err
+			out.sec = out.ep.Elapsed.Seconds()
+		case 2: // CG kernel
+			cgCfg := kernels.DefaultCGConfig(c.Procs)
+			cgCfg.N, cgCfg.NNZ, cgCfg.Iterations = c.CGN, c.CGNNZ, c.CGIters
+			out.cg, err = kernels.RunCG(m, cgCfg)
+			if err != nil {
+				return fmt.Errorf("CG at rate %g: %w", rate, err)
 			}
-			return machine.New(mc), nil
+			out.sec = out.cg.Elapsed.Seconds()
 		}
-		var row DegradationRow
-		row.Rate = rate
-		var stats faults.Stats
-		var maxRun int
-		collect := func(m *machine.Machine) error {
-			if c.Checked {
-				if err := m.CheckInvariants(); err != nil {
-					return fmt.Errorf("rate %g: %w", rate, err)
-				}
-			}
-			fs := m.FaultStats()
-			stats.SlotLosses += fs.SlotLosses
-			stats.LinkDegrades += fs.LinkDegrades
-			if d := m.Directory(); d != nil {
-				ds := d.Stats()
-				stats.NACKs += ds.NACKs
-				stats.Retries += ds.Retries
-				stats.BackoffTime += ds.BackoffTime
-				if ds.MaxRetryRun > maxRun {
-					maxRun = ds.MaxRetryRun
-				}
-			}
-			return nil
-		}
+		return collect(m, rate, out)
+	})
+	if err != nil {
+		return res, err
+	}
 
-		// Barrier episodes.
-		m, err := mk()
-		if err != nil {
-			return res, err
+	baseEP, baseCG := outs[1].ep, outs[2].cg
+	resultsMatch := true
+	slow := func(v, b float64) float64 {
+		if b <= 0 || math.IsNaN(v) {
+			return 0
 		}
-		b := bf.New(m, c.Procs)
-		episodes := c.Episodes
-		if episodes < 1 {
-			episodes = 1
-		}
-		var barrierTotal sim.Time
-		_, err = m.Run(c.Procs, func(p *machine.Proc) {
-			b.Wait(p) // warm-up episode
-			start := p.Now()
-			for ep := 0; ep < episodes; ep++ {
-				b.Wait(p)
-			}
-			if p.CellID() == 0 {
-				barrierTotal = p.Now() - start
-			}
-		})
-		if err != nil {
-			return res, fmt.Errorf("barrier at rate %g: %w", rate, err)
-		}
-		if err := collect(m); err != nil {
-			return res, err
-		}
-		row.BarrierSec = (barrierTotal / sim.Time(episodes)).Seconds()
-
-		// EP kernel.
-		m, err = mk()
-		if err != nil {
-			return res, err
-		}
-		epCfg := kernels.DefaultEPConfig(c.Procs)
-		epCfg.LogPairs = c.LogPairs
-		ep, err := kernels.RunEP(m, epCfg)
-		if err != nil {
-			return res, fmt.Errorf("EP at rate %g: %w", rate, err)
-		}
-		if err := collect(m); err != nil {
-			return res, err
-		}
-		row.EPSec = ep.Elapsed.Seconds()
-
-		// CG kernel.
-		m, err = mk()
-		if err != nil {
-			return res, err
-		}
-		cgCfg := kernels.DefaultCGConfig(c.Procs)
-		cgCfg.N, cgCfg.NNZ, cgCfg.Iterations = c.CGN, c.CGNNZ, c.CGIters
-		cg, err := kernels.RunCG(m, cgCfg)
-		if err != nil {
-			return res, fmt.Errorf("CG at rate %g: %w", rate, err)
-		}
-		if err := collect(m); err != nil {
-			return res, err
-		}
-		row.CGSec = cg.Elapsed.Seconds()
-
+		return v / b
+	}
+	for ri, rate := range rates {
+		bar, ep, cg := outs[ri*nWork], outs[ri*nWork+1], outs[ri*nWork+2]
+		row := DegradationRow{Rate: rate, BarrierSec: bar.sec, EPSec: ep.sec, CGSec: cg.sec}
 		if ri == 0 {
-			baseEP, baseCG = ep, cg
+			row.BarrierSlowdown, row.EPSlowdown, row.CGSlowdown = 1, 1, 1
 		} else {
 			// Faults may only stretch time; the computed answers must be
 			// bit-identical to the fault-free run.
-			if ep.Annuli != baseEP.Annuli || ep.Accepted != baseEP.Accepted ||
-				cg.Residual != baseCG.Residual || cg.Zeta != baseCG.Zeta {
+			if ep.ep.Annuli != baseEP.Annuli || ep.ep.Accepted != baseEP.Accepted ||
+				cg.cg.Residual != baseCG.Residual || cg.cg.Zeta != baseCG.Zeta {
 				resultsMatch = false
 			}
+			row.BarrierSlowdown = slow(row.BarrierSec, outs[0].sec)
+			row.EPSlowdown = slow(row.EPSec, outs[1].sec)
+			row.CGSlowdown = slow(row.CGSec, outs[2].sec)
 		}
-
+		var stats faults.Stats
+		maxRun := 0
+		for w := 0; w < nWork; w++ {
+			o := outs[ri*nWork+w]
+			stats.SlotLosses += o.stats.SlotLosses
+			stats.LinkDegrades += o.stats.LinkDegrades
+			stats.NACKs += o.stats.NACKs
+			stats.Retries += o.stats.Retries
+			stats.BackoffTime += o.stats.BackoffTime
+			if o.maxRun > maxRun {
+				maxRun = o.maxRun
+			}
+		}
 		row.SlotLosses = stats.SlotLosses
 		row.LinkDegrades = stats.LinkDegrades
 		row.NACKs = stats.NACKs
 		row.Retries = stats.Retries
 		row.BackoffSec = stats.BackoffTime.Seconds()
 		row.MaxRetryRun = maxRun
-
-		base := res.Rows
-		slow := func(v, b float64) float64 {
-			if b <= 0 || math.IsNaN(v) {
-				return 0
-			}
-			return v / b
-		}
-		if ri == 0 {
-			row.BarrierSlowdown, row.EPSlowdown, row.CGSlowdown = 1, 1, 1
-		} else {
-			row.BarrierSlowdown = slow(row.BarrierSec, base[0].BarrierSec)
-			row.EPSlowdown = slow(row.EPSec, base[0].EPSec)
-			row.CGSlowdown = slow(row.CGSec, base[0].CGSec)
-		}
 		res.Rows = append(res.Rows, row)
 	}
 	res.Verified = resultsMatch

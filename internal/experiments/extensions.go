@@ -82,35 +82,38 @@ func RunQueueLocks(cfg QueueLocksConfig) (QueueLocksResult, error) {
 	res.Txns = make([][]uint64, len(kinds))
 	for i, k := range kinds {
 		res.Locks = append(res.Locks, k.name)
-		for _, pn := range cfg.Procs {
-			m, err := NewMachine(cfg.Machine, cfg.Cells)
-			if err != nil {
-				return res, err
-			}
-			// The butterfly's gsp-free locks still work; the hardware
-			// exclusive lock does not exist there.
-			if cfg.Machine == ButterflyKind && k.name == "hw-exclusive" {
-				res.Times[i] = append(res.Times[i], 0)
-				res.Txns[i] = append(res.Txns[i], 0)
-				continue
-			}
-			l := k.mk(m)
-			el, err := m.Run(pn, func(p *machine.Proc) {
-				for op := 0; op < cfg.OpsPerProc; op++ {
-					l.Acquire(p)
-					p.Compute(cfg.HoldOps)
-					l.Release(p)
-					p.Compute(cfg.HoldOps / 2)
-				}
-			})
-			if err != nil {
-				return res, err
-			}
-			res.Times[i] = append(res.Times[i], el.Seconds())
-			res.Txns[i] = append(res.Txns[i], m.Fabric().Stats().Transactions)
-		}
+		res.Times[i] = make([]float64, len(cfg.Procs))
+		res.Txns[i] = make([]uint64, len(cfg.Procs))
 	}
-	return res, nil
+	err := forEachIndex(len(kinds)*len(cfg.Procs), func(idx int) error {
+		i, j := idx/len(cfg.Procs), idx%len(cfg.Procs)
+		k, pn := kinds[i], cfg.Procs[j]
+		// The butterfly's gsp-free locks still work; the hardware
+		// exclusive lock does not exist there.
+		if cfg.Machine == ButterflyKind && k.name == "hw-exclusive" {
+			return nil
+		}
+		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		if err != nil {
+			return err
+		}
+		l := k.mk(m)
+		el, err := m.Run(pn, func(p *machine.Proc) {
+			for op := 0; op < cfg.OpsPerProc; op++ {
+				l.Acquire(p)
+				p.Compute(cfg.HoldOps)
+				l.Release(p)
+				p.Compute(cfg.HoldOps / 2)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		res.Times[i][j] = el.Seconds()
+		res.Txns[i][j] = m.Fabric().Stats().Transactions
+		return nil
+	})
+	return res, err
 }
 
 // SaturationConfig parameterizes the offered-load sweep: every processor
@@ -162,10 +165,12 @@ func (r SaturationResult) String() string {
 // target region (all distinct sub-pages: no sharing, pure bandwidth).
 func RunSaturation(cfg SaturationConfig) (SaturationResult, error) {
 	res := SaturationResult{Procs: cfg.Procs}
-	for _, gap := range cfg.GapCycles {
+	res.Points = make([]SaturationPoint, len(cfg.GapCycles))
+	err := forEachIndex(len(cfg.GapCycles), func(gi int) error {
+		gap := cfg.GapCycles[gi]
 		m, err := NewMachine(cfg.Machine, cfg.Cells)
 		if err != nil {
-			return res, err
+			return err
 		}
 		size := cfg.Accesses * memory.SubPageSize
 		targets := make([]memory.Region, cfg.Procs+1)
@@ -192,7 +197,7 @@ func RunSaturation(cfg SaturationConfig) (SaturationResult, error) {
 			}
 		})
 		if err != nil {
-			return res, err
+			return err
 		}
 		var total sim.Time
 		for _, t := range perProc {
@@ -205,14 +210,14 @@ func RunSaturation(cfg SaturationConfig) (SaturationResult, error) {
 		gapTime := sim.Time(gap) * 50 // KSR-1 cycle
 		latency := mean - gapTime
 		stats := m.Fabric().Stats()
-		pt := SaturationPoint{
+		res.Points[gi] = SaturationPoint{
 			GapCycles: gap,
 			MeanUs:    latency.Micros(),
 			SlotWaitUs: (sim.Time(stats.TotalWait) /
 				sim.Time(stats.Transactions)).Micros(),
 			Throughput: float64(cfg.Procs) * float64(cfg.Accesses) / window.Seconds(),
 		}
-		res.Points = append(res.Points, pt)
-	}
-	return res, nil
+		return nil
+	})
+	return res, err
 }

@@ -85,17 +85,20 @@ func RunLatency(cfg LatencyConfig) (LatencyResult, error) {
 		res.SubCacheRead = per.Micros()
 	}
 
-	for _, pn := range procs {
-		lr, lw, nr, nw, err := latencyPoint(cfg, pn)
+	res.LocalRead = make([]float64, len(procs))
+	res.LocalWrite = make([]float64, len(procs))
+	res.NetRead = make([]float64, len(procs))
+	res.NetWrite = make([]float64, len(procs))
+	err := forEachIndex(len(procs), func(j int) error {
+		lr, lw, nr, nw, err := latencyPoint(cfg, procs[j])
 		if err != nil {
-			return res, err
+			return err
 		}
-		res.LocalRead = append(res.LocalRead, lr)
-		res.LocalWrite = append(res.LocalWrite, lw)
-		res.NetRead = append(res.NetRead, nr)
-		res.NetWrite = append(res.NetWrite, nw)
-	}
-	return res, nil
+		res.LocalRead[j], res.LocalWrite[j] = lr, lw
+		res.NetRead[j], res.NetWrite[j] = nr, nw
+		return nil
+	})
+	return res, err
 }
 
 // latencyPoint measures all four curves at one processor count.

@@ -70,23 +70,32 @@ func RunLocks(cfg LocksConfig) (LocksResult, error) {
 		procs = DefaultProcSweep(cfg.Cells)
 	}
 	res := LocksResult{Procs: procs, ReadFrac: cfg.ReadFractions}
+	res.Exclusive = make([]float64, len(procs))
 	res.Shared = make([][]float64, len(cfg.ReadFractions))
-
-	for _, pn := range procs {
-		el, err := runHWLockPoint(cfg, pn)
-		if err != nil {
-			return res, err
-		}
-		res.Exclusive = append(res.Exclusive, el.Seconds())
-		for fi, frac := range cfg.ReadFractions {
-			el, err := runRWLockPoint(cfg, pn, frac)
-			if err != nil {
-				return res, err
-			}
-			res.Shared[fi] = append(res.Shared[fi], el.Seconds())
-		}
+	for fi := range res.Shared {
+		res.Shared[fi] = make([]float64, len(procs))
 	}
-	return res, nil
+	// One job per (P, lock-variant) point: variant 0 is the hardware lock,
+	// variant fi+1 the software RW lock at ReadFractions[fi].
+	variants := 1 + len(cfg.ReadFractions)
+	err := forEachIndex(len(procs)*variants, func(k int) error {
+		j, v := k/variants, k%variants
+		if v == 0 {
+			el, err := runHWLockPoint(cfg, procs[j])
+			if err != nil {
+				return err
+			}
+			res.Exclusive[j] = el.Seconds()
+			return nil
+		}
+		el, err := runRWLockPoint(cfg, procs[j], cfg.ReadFractions[v-1])
+		if err != nil {
+			return err
+		}
+		res.Shared[v-1][j] = el.Seconds()
+		return nil
+	})
+	return res, err
 }
 
 func lockMachine(cfg LocksConfig) (*machine.Machine, error) {

@@ -38,27 +38,34 @@ func (r EPExperimentResult) String() string {
 // RunEPExperiment sweeps EP over processor counts.
 func RunEPExperiment(cfg EPConfig) (EPExperimentResult, error) {
 	var res EPExperimentResult
-	var points []metrics.Point
-	var ref kernels.EPResult
 	res.Verified = true
-	for i, pn := range cfg.Procs {
+	points := make([]metrics.Point, len(cfg.Procs))
+	outs := make([]kernels.EPResult, len(cfg.Procs))
+	err := forEachIndex(len(cfg.Procs), func(i int) error {
 		m, err := NewMachine(cfg.Machine, cfg.Cells)
 		if err != nil {
-			return res, err
+			return err
 		}
-		kcfg := kernels.DefaultEPConfig(pn)
+		kcfg := kernels.DefaultEPConfig(cfg.Procs[i])
 		kcfg.LogPairs = cfg.LogPairs
 		out, err := kernels.RunEP(m, kcfg)
 		if err != nil {
-			return res, err
+			return err
 		}
+		outs[i] = out
+		points[i] = metrics.Point{Procs: cfg.Procs[i], Elapsed: out.Elapsed}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	// Verification against the first point is a deterministic post-pass.
+	for i, out := range outs {
 		if i == 0 {
-			ref = out
 			res.MFLOPSAtOne = out.MFLOPS
-		} else if out.Annuli != ref.Annuli {
+		} else if out.Annuli != outs[0].Annuli {
 			res.Verified = false
 		}
-		points = append(points, metrics.Point{Procs: pn, Elapsed: out.Elapsed})
 	}
 	res.Rows = metrics.BuildRows(points)
 	return res, nil
@@ -117,28 +124,37 @@ func RunCGExperiment(cfg CGExperimentConfig) (KernelTableResult, error) {
 		Title:    fmt.Sprintf("Table 1: Conjugate Gradient, n=%d, nonzeros~%d", cfg.N, cfg.NNZ),
 		Verified: true,
 	}
-	var points []metrics.Point
-	var refResidual float64
-	for i, pn := range cfg.Procs {
+	points := make([]metrics.Point, len(cfg.Procs))
+	residuals := make([]float64, len(cfg.Procs))
+	err := forEachIndex(len(cfg.Procs), func(i int) error {
 		m, err := NewMachine(cfg.Machine, cfg.Cells)
 		if err != nil {
-			return res, err
+			return err
 		}
-		kcfg := kernels.DefaultCGConfig(pn)
+		kcfg := kernels.DefaultCGConfig(cfg.Procs[i])
 		kcfg.N, kcfg.NNZ, kcfg.Iterations = cfg.N, cfg.NNZ, cfg.Iterations
 		kcfg.UsePoststore = cfg.Poststore
 		out, err := kernels.RunCG(m, kcfg)
 		if err != nil {
-			return res, err
+			return err
 		}
-		if i == 0 {
-			refResidual = out.Residual
-		} else if diff := out.Residual - refResidual; diff > 1e-6*(1+refResidual) || diff < -1e-6*(1+refResidual) {
+		residuals[i] = out.Residual
+		points[i] = metrics.Point{Procs: cfg.Procs[i], Elapsed: out.Elapsed}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if len(residuals) == 0 {
+		return res, nil
+	}
+	refResidual := residuals[0]
+	for _, r := range residuals[1:] {
+		if diff := r - refResidual; diff > 1e-6*(1+refResidual) || diff < -1e-6*(1+refResidual) {
 			// Relative tolerance: reduction order differs across processor
 			// counts, so bit-exact equality is not expected.
 			res.Verified = false
 		}
-		points = append(points, metrics.Point{Procs: pn, Elapsed: out.Elapsed})
 	}
 	res.Rows = metrics.BuildRows(points)
 	return res, nil
@@ -148,24 +164,30 @@ func RunCGExperiment(cfg CGExperimentConfig) (KernelTableResult, error) {
 // (~3% at 16 processors, fading at 32). It returns the percentage
 // improvement per processor count.
 func RunCGPoststoreAblation(cfg CGExperimentConfig) (map[int]float64, error) {
-	improvement := map[int]float64{}
-	for _, pn := range cfg.Procs {
-		var times [2]sim.Time
-		for v, ps := range []bool{false, true} {
-			m, err := NewMachine(cfg.Machine, cfg.Cells)
-			if err != nil {
-				return nil, err
-			}
-			kcfg := kernels.DefaultCGConfig(pn)
-			kcfg.N, kcfg.NNZ, kcfg.Iterations = cfg.N, cfg.NNZ, cfg.Iterations
-			kcfg.UsePoststore = ps
-			out, err := kernels.RunCG(m, kcfg)
-			if err != nil {
-				return nil, err
-			}
-			times[v] = out.Elapsed
+	// One job per (P, poststore on/off) pair.
+	times := make([]sim.Time, 2*len(cfg.Procs))
+	err := forEachIndex(len(times), func(k int) error {
+		pn, ps := cfg.Procs[k/2], k%2 == 1
+		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		if err != nil {
+			return err
 		}
-		improvement[pn] = 100 * (1 - float64(times[1])/float64(times[0]))
+		kcfg := kernels.DefaultCGConfig(pn)
+		kcfg.N, kcfg.NNZ, kcfg.Iterations = cfg.N, cfg.NNZ, cfg.Iterations
+		kcfg.UsePoststore = ps
+		out, err := kernels.RunCG(m, kcfg)
+		if err != nil {
+			return err
+		}
+		times[k] = out.Elapsed
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	improvement := map[int]float64{}
+	for i, pn := range cfg.Procs {
+		improvement[pn] = 100 * (1 - float64(times[2*i+1])/float64(times[2*i]))
 	}
 	return improvement, nil
 }
@@ -193,22 +215,30 @@ func RunISExperiment(cfg ISExperimentConfig) (KernelTableResult, error) {
 		Title:    fmt.Sprintf("Table 2: Integer Sort, keys=2^%d", cfg.LogKeys),
 		Verified: true,
 	}
-	var points []metrics.Point
-	for _, pn := range cfg.Procs {
+	points := make([]metrics.Point, len(cfg.Procs))
+	sorted := make([]bool, len(cfg.Procs))
+	err := forEachIndex(len(cfg.Procs), func(i int) error {
 		m, err := NewMachine(cfg.Machine, cfg.Cells)
 		if err != nil {
-			return res, err
+			return err
 		}
-		kcfg := kernels.DefaultISConfig(pn)
+		kcfg := kernels.DefaultISConfig(cfg.Procs[i])
 		kcfg.LogKeys, kcfg.LogMaxKey = cfg.LogKeys, cfg.LogMaxKey
 		out, err := kernels.RunIS(m, kcfg)
 		if err != nil {
-			return res, err
+			return err
 		}
-		if !out.Sorted {
+		sorted[i] = out.Sorted
+		points[i] = metrics.Point{Procs: cfg.Procs[i], Elapsed: out.Elapsed}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, ok := range sorted {
+		if !ok {
 			res.Verified = false
 		}
-		points = append(points, metrics.Point{Procs: pn, Elapsed: out.Elapsed})
 	}
 	res.Rows = metrics.BuildRows(points)
 	return res, nil
@@ -278,25 +308,33 @@ func RunSPExperiment(cfg SPExperimentConfig) (SPTableResult, error) {
 		Nx: cfg.Nx, Ny: cfg.Ny, Nz: cfg.Nz, Iterations: cfg.Iterations,
 		Procs: 1, Eps: 0.05, FlopsPerPoint: 80,
 	})
-	var points []metrics.Point
-	for _, pn := range cfg.Procs {
+	points := make([]metrics.Point, len(cfg.Procs))
+	sums := make([]float64, len(cfg.Procs))
+	err := forEachIndex(len(cfg.Procs), func(i int) error {
 		m, err := NewMachine(cfg.Machine, cfg.Cells)
 		if err != nil {
-			return res, err
+			return err
 		}
 		kcfg := kernels.SPConfig{
 			Nx: cfg.Nx, Ny: cfg.Ny, Nz: cfg.Nz, Iterations: cfg.Iterations,
-			Procs: pn, Eps: 0.05, FlopsPerPoint: 80,
+			Procs: cfg.Procs[i], Eps: 0.05, FlopsPerPoint: 80,
 			Padding: true, Prefetch: true,
 		}
 		out, err := kernels.RunSP(m, kcfg)
 		if err != nil {
-			return res, err
+			return err
 		}
-		if d := out.Checksum - ref; d > 1e-9 || d < -1e-9 {
+		sums[i] = out.Checksum
+		points[i] = metrics.Point{Procs: cfg.Procs[i], Elapsed: out.PerIteration}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, sum := range sums {
+		if d := sum - ref; d > 1e-9 || d < -1e-9 {
 			res.Verified = false
 		}
-		points = append(points, metrics.Point{Procs: pn, Elapsed: out.PerIteration})
 	}
 	res.Rows = metrics.BuildRows(points)
 	return res, nil
@@ -331,21 +369,30 @@ func RunBTExperiment(cfg BTExperimentConfig) (SPTableResult, error) {
 	kcfg := kernels.DefaultBTConfig(1)
 	kcfg.Nx, kcfg.Ny, kcfg.Nz, kcfg.Iterations = cfg.Nx, cfg.Ny, cfg.Nz, cfg.Iterations
 	ref := kernels.BTReference(kcfg)
-	var points []metrics.Point
-	for _, pn := range cfg.Procs {
+	points := make([]metrics.Point, len(cfg.Procs))
+	sums := make([]float64, len(cfg.Procs))
+	err := forEachIndex(len(cfg.Procs), func(i int) error {
 		m, err := NewMachine(cfg.Machine, cfg.Cells)
 		if err != nil {
-			return res, err
+			return err
 		}
-		kcfg.Procs = pn
-		out, err := kernels.RunBT(m, kcfg)
+		kc := kcfg // per-job copy: jobs run concurrently
+		kc.Procs = cfg.Procs[i]
+		out, err := kernels.RunBT(m, kc)
 		if err != nil {
-			return res, err
+			return err
 		}
-		if d := out.Checksum - ref; d > 1e-9 || d < -1e-9 {
+		sums[i] = out.Checksum
+		points[i] = metrics.Point{Procs: cfg.Procs[i], Elapsed: out.PerIteration}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, sum := range sums {
+		if d := sum - ref; d > 1e-9 || d < -1e-9 {
 			res.Verified = false
 		}
-		points = append(points, metrics.Point{Procs: pn, Elapsed: out.PerIteration})
 	}
 	res.Rows = metrics.BuildRows(points)
 	return res, nil
@@ -393,18 +440,21 @@ func RunSPOptimizations(cfg SPExperimentConfig, procs int) (SPOptsResult, error)
 		}
 		return out.PerIteration.Seconds(), nil
 	}
-	var err error
-	if res.Base, err = run(false, false, false); err != nil {
+	variants := []struct{ pad, pre, post bool }{
+		{false, false, false}, {true, false, false}, {true, true, false}, {true, true, true},
+	}
+	out := make([]float64, len(variants))
+	err := forEachIndex(len(variants), func(i int) error {
+		v, err := run(variants[i].pad, variants[i].pre, variants[i].post)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
 		return res, err
 	}
-	if res.Padded, err = run(true, false, false); err != nil {
-		return res, err
-	}
-	if res.Prefetch, err = run(true, true, false); err != nil {
-		return res, err
-	}
-	if res.Poststore, err = run(true, true, true); err != nil {
-		return res, err
-	}
+	res.Base, res.Padded, res.Prefetch, res.Poststore = out[0], out[1], out[2], out[3]
 	return res, nil
 }

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Each point of an experiment sweep (one processor count, one fault rate,
+// one barrier algorithm) is an independent simulation with its own engine,
+// memory space, and RNG streams, so points can run on separate OS cores.
+// Determinism is preserved by construction: workers write each point's
+// result into a preallocated, index-addressed slot, and error selection
+// mimics the sequential runner (the error reported is the one the
+// sequential loop would have hit first). The rendered output is therefore
+// byte-identical to a sequential run.
+
+// parallelism is the worker count for sweep loops; 1 = sequential.
+var parallelism int64 = 1
+
+// SetParallelism sets how many experiment sweep points run concurrently.
+// n <= 0 selects GOMAXPROCS. The default is 1 (sequential). It returns
+// the value actually set.
+func SetParallelism(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	atomic.StoreInt64(&parallelism, int64(n))
+	return n
+}
+
+// Parallelism returns the current sweep worker count.
+func Parallelism() int { return int(atomic.LoadInt64(&parallelism)) }
+
+// forEachIndex runs fn(0..n-1), fanning across Parallelism() workers.
+// fn must write its result into a preallocated index-addressed slot and
+// must not touch shared state. All indices run even when some fail (a
+// sweep's cost is dominated by its largest configurations; finishing the
+// rest costs little and keeps worker shutdown simple). The returned error
+// is the lowest-index one — exactly the error a sequential loop returns.
+func forEachIndex(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

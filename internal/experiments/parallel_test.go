@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// withParallelism runs f with the sweep worker count set to n, restoring
+// the sequential default afterwards.
+func withParallelism(t *testing.T, n int, f func()) {
+	t.Helper()
+	SetParallelism(n)
+	defer SetParallelism(1)
+	f()
+}
+
+// TestParallelBarriersByteIdentical runs the barrier sweep sequentially
+// and with the parallel runner at several worker counts and GOMAXPROCS
+// settings, asserting byte-identical rendered output.
+func TestParallelBarriersByteIdentical(t *testing.T) {
+	cfg := BarriersConfig{
+		Machine: KSR1Kind, Cells: 16, Episodes: 5,
+		Procs:      []int{2, 4, 8, 16},
+		Algorithms: []string{"tournament(M)", "dissemination", "counter"},
+	}
+	seq, err := RunBarriers(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.String()
+	for _, workers := range []int{2, 4, 8} {
+		for _, maxprocs := range []int{1, 2, 4} {
+			prev := runtime.GOMAXPROCS(maxprocs)
+			withParallelism(t, workers, func() {
+				got, err := RunBarriers(cfg)
+				if err != nil {
+					t.Errorf("workers=%d GOMAXPROCS=%d: %v", workers, maxprocs, err)
+					return
+				}
+				if got.String() != want {
+					t.Errorf("workers=%d GOMAXPROCS=%d: output differs from sequential:\n%s\nvs\n%s",
+						workers, maxprocs, got.String(), want)
+				}
+			})
+			runtime.GOMAXPROCS(prev)
+		}
+	}
+}
+
+// TestParallelDegradationByteIdentical extends the PR-1 seed-stability
+// test across the parallel runner: the fault-injection sweep must render
+// byte-identically at every worker count.
+func TestParallelDegradationByteIdentical(t *testing.T) {
+	cfg := testDegradationConfig()
+	cfg.Checked = true
+	seq, err := RunDegradation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.String()
+	for _, workers := range []int{2, 4, 8} {
+		withParallelism(t, workers, func() {
+			got, err := RunDegradation(cfg)
+			if err != nil {
+				t.Errorf("workers=%d: %v", workers, err)
+				return
+			}
+			if got.String() != want {
+				t.Errorf("workers=%d: output differs from sequential:\n%s\nvs\n%s",
+					workers, got.String(), want)
+			}
+		})
+	}
+}
+
+// TestParallelKernelSweepsByteIdentical covers the EP and queue-lock
+// sweeps (different job shapes: per-P and per-(lock, P)).
+func TestParallelKernelSweepsByteIdentical(t *testing.T) {
+	epCfg := EPConfig{Machine: KSR1Kind, Cells: 8, Procs: []int{1, 2, 4, 8}, LogPairs: 10}
+	qlCfg := QueueLocksConfig{
+		Machine: KSR1Kind, Cells: 8, Procs: []int{1, 4, 8}, OpsPerProc: 5, HoldOps: 500,
+	}
+	epSeq, err := RunEPExperiment(epCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qlSeq, err := RunQueueLocks(qlCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withParallelism(t, 4, func() {
+		epPar, err := RunEPExperiment(epCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epPar.String() != epSeq.String() {
+			t.Errorf("EP output differs:\n%s\nvs\n%s", epPar.String(), epSeq.String())
+		}
+		qlPar, err := RunQueueLocks(qlCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qlPar.String() != qlSeq.String() {
+			t.Errorf("queue locks output differs:\n%s\nvs\n%s", qlPar.String(), qlSeq.String())
+		}
+	})
+}
+
+// TestParallelErrorMatchesSequential checks that the parallel runner
+// reports the same (first) error a sequential sweep would.
+func TestParallelErrorMatchesSequential(t *testing.T) {
+	cfg := BarriersConfig{
+		Machine: KSR1Kind, Cells: 16, Episodes: 1,
+		Procs:      []int{2, 99}, // 99 > cells: the second point fails
+		Algorithms: []string{"tournament(M)"},
+	}
+	_, seqErr := RunBarriers(cfg)
+	if seqErr == nil {
+		t.Fatal("expected an error from the oversized point")
+	}
+	withParallelism(t, 4, func() {
+		_, parErr := RunBarriers(cfg)
+		if parErr == nil || parErr.Error() != seqErr.Error() {
+			t.Errorf("parallel error %q, sequential %q", parErr, seqErr)
+		}
+	})
+}
+
+// TestSetParallelism checks the GOMAXPROCS default and getter.
+func TestSetParallelism(t *testing.T) {
+	defer SetParallelism(1)
+	if got := SetParallelism(3); got != 3 || Parallelism() != 3 {
+		t.Errorf("SetParallelism(3) = %d, Parallelism() = %d", got, Parallelism())
+	}
+	if got := SetParallelism(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("SetParallelism(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestParallelSpeedup asserts the wall-clock win on multi-core hosts.
+// The acceptance bar (2x on the faults sweep with 4+ cores) is meaningful
+// only where the hardware can actually run sweep points concurrently.
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need 4+ CPUs for a meaningful speedup test, have %d", runtime.NumCPU())
+	}
+	cfg := testDegradationConfig()
+	cfg.Rates = []float64{0.001, 0.01, 0.05}
+	start := time.Now()
+	if _, err := RunDegradation(cfg); err != nil {
+		t.Fatal(err)
+	}
+	seqWall := time.Since(start)
+	var parWall time.Duration
+	withParallelism(t, 0, func() {
+		start = time.Now()
+		if _, err := RunDegradation(cfg); err != nil {
+			t.Fatal(err)
+		}
+		parWall = time.Since(start)
+	})
+	if parWall > seqWall/2 {
+		t.Errorf("parallel sweep %.2fs vs sequential %.2fs: speedup %.2fx < 2x",
+			parWall.Seconds(), seqWall.Seconds(), seqWall.Seconds()/parWall.Seconds())
+	}
+}

@@ -317,7 +317,18 @@ func (m *Machine) Run(procs int, body func(p *Proc)) (sim.Time, error) {
 		})
 	}
 	if err := m.eng.Run(); err != nil {
+		// The run was abandoned mid-flight (deadlock, livelock): release
+		// the parked cell goroutines before handing the error up, so sweeps
+		// that tolerate failed configurations don't accumulate leaked
+		// goroutines run after run.
+		m.eng.Shutdown()
 		return 0, err
 	}
 	return m.eng.Now() - start, nil
 }
+
+// Close releases any process goroutines still parked in the engine.
+// Call it when abandoning a machine whose last Run returned without
+// error but left processes alive — a deadline-bounded run, or a machine
+// discarded mid-experiment. The machine must not be used afterwards.
+func (m *Machine) Close() { m.eng.Shutdown() }

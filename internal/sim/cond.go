@@ -6,9 +6,10 @@ package sim
 // spin consumes no simulated events until an invalidation or update
 // arrives, exactly like hardware spinning on a coherent cache line.
 type Cond struct {
-	eng     *Engine
-	name    string
-	waiters []*Process
+	eng      *Engine
+	name     string
+	blockWhy string // precomputed park reason, so Wait never allocates
+	waiters  []*Process
 
 	broadcasts uint64
 	woken      uint64
@@ -16,13 +17,13 @@ type Cond struct {
 
 // NewCond creates a condition variable.
 func NewCond(e *Engine, name string) *Cond {
-	return &Cond{eng: e, name: name}
+	return &Cond{eng: e, name: name, blockWhy: "cond " + name}
 }
 
 // Wait parks p until the next Broadcast.
 func (c *Cond) Wait(p *Process) {
 	c.waiters = append(c.waiters, p)
-	p.block("cond " + c.name)
+	p.block(c.blockWhy)
 }
 
 // Broadcast wakes every current waiter, in wait order. New waiters that
@@ -36,8 +37,7 @@ func (c *Cond) Broadcast() {
 	c.waiters = nil
 	for _, p := range ws {
 		c.woken++
-		proc := p
-		c.eng.Schedule(0, func() { c.eng.resume(proc) })
+		c.eng.scheduleResume(0, p)
 	}
 }
 

@@ -1,0 +1,162 @@
+package sim
+
+import "math/bits"
+
+// The event queue is a calendar (ladder) queue tuned for the short-delay
+// distribution the machine models generate: most events land within a few
+// microseconds of now (cache fills, ring hops, zero-delay wakeups), with a
+// long tail of far-future events (Compute blocks, watchdog-scale sleeps).
+//
+// Near-future events go into a wheel of wheelSize one-nanosecond buckets
+// covering the fixed window [base, base+wheelSize). One bucket holds
+// exactly one instant of simulated time, so a bucket's intrusive FIFO list
+// is automatically in schedule (seq) order — the engine's same-time
+// tie-break comes for free. A 64-bit occupancy bitmap per 64 buckets lets
+// pop skip empty buckets a word at a time instead of scanning.
+//
+// Events beyond the window go to a concrete-typed binary min-heap ordered
+// by (at, seq). Whenever the wheel drains, the window jumps forward to the
+// heap's minimum and every heap event inside the new window is transferred
+// into the wheel — in heap order, which preserves FIFO within buckets.
+//
+// Everything is intrusive (events chain through their own next pointers),
+// so the queue performs no allocation on push or pop.
+
+const (
+	wheelBits = 12
+	wheelSize = 1 << wheelBits // window width in simulated nanoseconds
+	wheelMask = wheelSize - 1
+)
+
+type bucket struct{ head, tail *event }
+
+type eventQueue struct {
+	size       int
+	base       Time // window start, aligned to wheelSize
+	cursor     int  // bucket index scanning resumes from
+	wheelCount int
+	buckets    [wheelSize]bucket
+	occ        [wheelSize / 64]uint64
+	overflow   []*event // min-heap by (at, seq)
+}
+
+func eventBefore(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// push inserts ev. ev.at must be >= the at of the most recently popped
+// event (the engine never schedules into the past).
+func (q *eventQueue) push(ev *event) {
+	ev.next = nil
+	ev.queued = true
+	q.size++
+	if ev.at < q.base+wheelSize {
+		q.bucketAppend(ev)
+		return
+	}
+	q.heapPush(ev)
+}
+
+func (q *eventQueue) bucketAppend(ev *event) {
+	i := int(ev.at) & wheelMask
+	b := &q.buckets[i]
+	if b.tail == nil {
+		b.head = ev
+		q.occ[i>>6] |= 1 << (i & 63)
+	} else {
+		b.tail.next = ev
+	}
+	b.tail = ev
+	q.wheelCount++
+}
+
+// pop removes and returns the earliest event by (at, seq), or nil when the
+// queue is empty.
+func (q *eventQueue) pop() *event {
+	if q.size == 0 {
+		return nil
+	}
+	for {
+		if q.wheelCount > 0 {
+			i := q.nextOccupied()
+			b := &q.buckets[i]
+			ev := b.head
+			b.head = ev.next
+			if b.head == nil {
+				b.tail = nil
+				q.occ[i>>6] &^= 1 << (i & 63)
+			}
+			q.cursor = i
+			q.wheelCount--
+			q.size--
+			ev.next = nil
+			ev.queued = false
+			return ev
+		}
+		// Wheel drained: jump the window to the earliest far-future event
+		// and pull everything inside the new window into the wheel.
+		min := q.overflow[0].at
+		q.base = min &^ Time(wheelMask)
+		q.cursor = int(min) & wheelMask
+		limit := q.base + wheelSize
+		for len(q.overflow) > 0 && q.overflow[0].at < limit {
+			q.bucketAppend(q.heapPop())
+		}
+	}
+}
+
+// nextOccupied returns the first non-empty bucket index at or after cursor.
+// The caller guarantees wheelCount > 0; within a window, event times only
+// move forward, so the bucket is always at or after cursor.
+func (q *eventQueue) nextOccupied() int {
+	w := q.cursor >> 6
+	if word := q.occ[w] &^ (1<<(q.cursor&63) - 1); word != 0 {
+		return w<<6 + bits.TrailingZeros64(word)
+	}
+	for w++; ; w++ {
+		if word := q.occ[w]; word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+	}
+}
+
+func (q *eventQueue) heapPush(ev *event) {
+	h := append(q.overflow, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	q.overflow = h
+}
+
+func (q *eventQueue) heapPop() *event {
+	h := q.overflow
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && eventBefore(h[l], h[least]) {
+			least = l
+		}
+		if r < n && eventBefore(h[r], h[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	q.overflow = h
+	return ev
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestQueueMatchesReference drives the calendar queue with a randomized
+// mix of near-future pushes, far-future pushes (overflow heap), and pops,
+// and checks every pop against a sorted reference ordered by (at, seq).
+// Delays are drawn from the machine model's real distribution shape:
+// mostly sub-microsecond with a heavy tail far past the wheel window.
+func TestQueueMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q eventQueue
+	var ref []*event
+	var now Time
+	var seq uint64
+
+	push := func(d Time) {
+		seq++
+		ev := &event{at: now + d, seq: seq}
+		q.push(ev)
+		ref = append(ref, ev)
+	}
+	randDelay := func() Time {
+		switch rng.Intn(10) {
+		case 0, 1, 2: // zero-delay wakeup burst
+			return 0
+		case 3, 4, 5, 6: // ring hop / cache fill scale
+			return Time(rng.Intn(2000))
+		case 7, 8: // beyond one window
+			return wheelSize + Time(rng.Intn(4*wheelSize))
+		default: // compute-block scale, deep in the overflow heap
+			return Time(rng.Int63n(int64(10 * Millisecond)))
+		}
+	}
+
+	for round := 0; round < 200; round++ {
+		for i, n := 0, 1+rng.Intn(40); i < n; i++ {
+			push(randDelay())
+		}
+		sort.SliceStable(ref, func(i, j int) bool { return eventBefore(ref[i], ref[j]) })
+		for i, n := 0, 1+rng.Intn(len(ref)); i < n && len(ref) > 0; i++ {
+			got := q.pop()
+			want := ref[0]
+			ref = ref[1:]
+			if got != want {
+				t.Fatalf("round %d: pop = (at=%d seq=%d), want (at=%d seq=%d)",
+					round, got.at, got.seq, want.at, want.seq)
+			}
+			if got.at < now {
+				t.Fatalf("round %d: time went backwards: %d < %d", round, got.at, now)
+			}
+			now = got.at
+		}
+	}
+	for len(ref) > 0 {
+		got := q.pop()
+		want := ref[0]
+		ref = ref[1:]
+		if got != want {
+			t.Fatalf("drain: pop = (at=%d seq=%d), want (at=%d seq=%d)",
+				got.at, got.seq, want.at, want.seq)
+		}
+		now = got.at
+	}
+	if ev := q.pop(); ev != nil {
+		t.Fatalf("pop on empty queue = (at=%d seq=%d), want nil", ev.at, ev.seq)
+	}
+	if q.size != 0 || q.wheelCount != 0 || len(q.overflow) != 0 {
+		t.Fatalf("drained queue not empty: size=%d wheel=%d overflow=%d",
+			q.size, q.wheelCount, len(q.overflow))
+	}
+}
+
+// TestQueueSameInstantFIFO checks that events at one instant pop in
+// schedule order even when they arrive via different paths: direct wheel
+// pushes and transfers from the overflow heap after a window jump.
+func TestQueueSameInstantFIFO(t *testing.T) {
+	var q eventQueue
+	const at = 3 * wheelSize / 2 // beyond the initial window
+	var evs []*event
+	for i := 0; i < 16; i++ {
+		ev := &event{at: at, seq: uint64(i + 1)}
+		evs = append(evs, ev)
+		q.push(ev) // all go to the overflow heap
+	}
+	// Drain: the window jumps to `at`, transferring the heap run.
+	for i, want := range evs {
+		if got := q.pop(); got != want {
+			t.Fatalf("pop %d: seq=%d, want seq=%d", i, got.seq, want.seq)
+		}
+	}
+	// Now the window covers `at`: same-instant pushes go straight to the
+	// wheel and must still pop FIFO.
+	for i := 0; i < 16; i++ {
+		evs[i] = &event{at: at, seq: uint64(100 + i)}
+		q.push(evs[i])
+	}
+	for i, want := range evs {
+		if got := q.pop(); got != want {
+			t.Fatalf("wheel pop %d: seq=%d, want seq=%d", i, got.seq, want.seq)
+		}
+	}
+}
+
+// BenchmarkQueueShortDelays exercises the pure wheel path.
+func BenchmarkQueueShortDelays(b *testing.B) {
+	var q eventQueue
+	var now Time
+	evs := make([]event, 64)
+	for i := range evs {
+		evs[i].at = Time(i * 7 % 100)
+		evs[i].seq = uint64(i)
+		q.push(&evs[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := q.pop()
+		now = ev.at
+		ev.at = now + Time(i%100)
+		ev.seq = uint64(i + 64)
+		q.push(ev)
+	}
+}

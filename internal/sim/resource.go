@@ -7,6 +7,7 @@ package sim
 type Resource struct {
 	eng      *Engine
 	name     string
+	blockWhy string // precomputed park reason, so Acquire never allocates
 	capacity int
 	inUse    int
 	q        []waiter
@@ -28,7 +29,7 @@ func NewResource(e *Engine, name string, capacity int) *Resource {
 	if capacity < 1 {
 		panic("sim: resource capacity must be >= 1: " + name)
 	}
-	return &Resource{eng: e, name: name, capacity: capacity}
+	return &Resource{eng: e, name: name, blockWhy: "resource " + name, capacity: capacity}
 }
 
 // Name returns the resource's name.
@@ -56,7 +57,7 @@ func (r *Resource) Acquire(p *Process) Time {
 	if len(r.q) > r.maxQueue {
 		r.maxQueue = len(r.q)
 	}
-	p.block("resource " + r.name)
+	p.block(r.blockWhy)
 	w := r.eng.now - start
 	r.waitTotal += w
 	return w
@@ -105,8 +106,7 @@ func (r *Resource) Release() {
 	r.q = r.q[:len(r.q)-1]
 	r.grants++
 	if w.proc != nil {
-		proc := w.proc
-		r.eng.Schedule(0, func() { r.eng.resume(proc) })
+		r.eng.scheduleResume(0, w.proc)
 	} else {
 		r.eng.Schedule(0, w.fn)
 	}

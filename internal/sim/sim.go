@@ -1,12 +1,19 @@
 // Package sim implements a deterministic process-oriented discrete-event
 // simulation engine.
 //
-// Simulated processes run as goroutines, but exactly one process executes at
-// any instant: the engine hands control to a process and blocks until that
-// process either parks (waiting for simulated time to pass or for a signal)
-// or terminates. Events with equal timestamps fire in the order they were
-// scheduled. All of this makes every simulation run bit-for-bit
-// reproducible for a given program and seed.
+// Simulated processes run as goroutines, but exactly one goroutine executes
+// at any instant: a single control token passes between the engine and the
+// processes. A process that parks runs the event dispatch loop itself until
+// an event resumes another process (or itself — in which case no goroutine
+// switch happens at all), so a context switch costs one channel rendezvous
+// rather than a round-trip through a scheduler goroutine. Events with equal
+// timestamps fire in the order they were scheduled. All of this makes every
+// simulation run bit-for-bit reproducible for a given program and seed.
+//
+// The event queue is a calendar queue (see queue.go) with pooled event
+// records and one intrusive, reusable resume event per process, so the
+// steady-state hot paths — Schedule of a plain callback, Sleep, resource
+// handoff, cond broadcast — allocate nothing.
 //
 // The engine is the substrate for the KSR-1 machine model: each simulated
 // processor (cell) is a Process, and the ring, caches, and coherence
@@ -15,8 +22,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -54,48 +61,37 @@ func (t Time) String() string {
 	}
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback or process resumption. proc != nil marks a
+// resume event, which is the process's own intrusive timer record; plain
+// callback events are pooled on the engine's free list.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	at     Time
+	seq    uint64
+	fn     func()
+	proc   *Process
+	next   *event // bucket chain / free list
+	queued bool
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	pq     eventHeap
-	parked chan struct{} // handshake: process -> engine ("I have parked")
+	now  Time
+	seq  uint64
+	q    eventQueue
+	free *event // pooled callback events
+
+	mainWake chan struct{} // wakes the Run caller when the loop ends
+	reaped   chan struct{} // Shutdown handshake: one unwound goroutine
 
 	procs   []*Process
 	running *Process // process currently executing, nil if engine itself
 	nlive   int      // spawned but not finished
 
-	stopped bool
-	maxTime Time // 0 = unlimited
+	stopped  bool
+	shutdown bool
+	maxTime  Time // 0 = unlimited
+	runErr   error
 
 	// Livelock watchdog: trip when more than watchdogLimit events fire
 	// without simulated time advancing.
@@ -106,15 +102,42 @@ type Engine struct {
 
 // NewEngine returns an empty simulation at time zero.
 func NewEngine() *Engine {
-	return &Engine{parked: make(chan struct{})}
+	return &Engine{
+		mainWake: make(chan struct{}, 1),
+		reaped:   make(chan struct{}),
+	}
 }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
 // SetDeadline makes Run return once simulated time reaches t. A zero
-// deadline (the default) means no limit.
+// deadline (the default) means no limit. A Run abandoned at its deadline
+// leaves parked process goroutines behind; call Shutdown to release them.
 func (e *Engine) SetDeadline(t Time) { e.maxTime = t }
+
+// alloc takes a callback event from the pool.
+func (e *Engine) alloc() *event {
+	ev := e.free
+	if ev == nil {
+		return &event{}
+	}
+	e.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// release returns a popped event to the pool. Resume events are owned by
+// their process and only have their queued flag cleared.
+func (e *Engine) release(ev *event) {
+	ev.queued = false
+	if ev.proc != nil {
+		return
+	}
+	ev.fn = nil
+	ev.next = e.free
+	e.free = ev
+}
 
 // Schedule runs fn at time Now()+d. fn executes in engine context: it must
 // not park, but it may schedule further events, release resources, and
@@ -123,18 +146,39 @@ func (e *Engine) Schedule(d Time, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: Schedule with negative delay %d", d))
 	}
+	ev := e.alloc()
+	ev.at = e.now + d
 	e.seq++
-	heap.Push(&e.pq, &event{at: e.now + d, seq: e.seq, fn: fn})
+	ev.seq = e.seq
+	ev.fn = fn
+	e.q.push(ev)
+}
+
+// scheduleResume queues p's intrusive resume event at Now()+d. A process
+// has at most one pending resumption (it is either sleeping on its timer
+// or parked waiting for exactly one grant/broadcast), so the single
+// per-process record suffices and no allocation happens.
+func (e *Engine) scheduleResume(d Time, p *Process) {
+	t := &p.timer
+	if t.queued {
+		panic("sim: process " + p.name + " resumed while a resume is already pending")
+	}
+	t.at = e.now + d
+	e.seq++
+	t.seq = e.seq
+	e.q.push(t)
 }
 
 // Process is a simulated thread of control.
 type Process struct {
-	eng  *Engine
-	wake chan struct{}
-	name string
-	id   int
+	eng   *Engine
+	wake  chan struct{} // control-token handoff, capacity 1
+	name  string
+	id    int
+	timer event // intrusive resume event; timer.proc == the process itself
 
 	done       bool
+	reap       bool   // set (by the goroutine itself) when unwinding for Shutdown
 	blocked    bool   // parked with no pending resume event
 	blockWhy   string // human-readable reason, for deadlock reports
 	blockSince Time   // when the process last parked without a resume event
@@ -156,42 +200,122 @@ func (p *Process) Now() Time { return p.eng.now }
 // time. It may be called before Run or from inside a running process or
 // event.
 func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
+	if e.shutdown {
+		panic("sim: Spawn on a shut-down engine")
+	}
 	p := &Process{
 		eng:  e,
-		wake: make(chan struct{}),
+		wake: make(chan struct{}, 1),
 		name: name,
 		id:   len(e.procs),
 	}
+	p.timer.proc = p
 	e.procs = append(e.procs, p)
 	e.nlive++
-	e.Schedule(0, func() {
-		go func() {
-			<-p.wake
-			body(p)
-			p.done = true
-			e.nlive--
-			e.parked <- struct{}{}
+	go func() {
+		// p.reap is only ever touched by this goroutine, at points where it
+		// holds the control token — reading e.shutdown here after the final
+		// handoff would race with a later Shutdown.
+		defer func() {
+			if p.reap {
+				e.reaped <- struct{}{}
+			}
 		}()
-		e.runProcess(p)
-	})
+		<-p.wake
+		if e.shutdown {
+			p.reap = true
+			return
+		}
+		body(p)
+		p.done = true
+		e.nlive--
+		// The finishing goroutine keeps dispatching until control moves on.
+		if next := e.dispatch(nil); next != nil {
+			next.wake <- struct{}{}
+		} else {
+			e.mainWake <- struct{}{}
+		}
+	}()
+	e.scheduleResume(0, p)
 	return p
 }
 
-// runProcess transfers control to p and waits for it to park or finish.
-func (e *Engine) runProcess(p *Process) {
-	prev := e.running
-	e.running = p
-	p.blocked = false
-	p.wake <- struct{}{}
-	<-e.parked
-	e.running = prev
+// dispatch runs the event loop in the calling goroutine, which must hold
+// the engine's control token. self is the parking process whose goroutine
+// is executing the loop (nil when called from Run or a finishing process).
+// It returns the process control should transfer to, or nil when the run
+// is over (with the outcome recorded in e.runErr); when it returns self,
+// control has come straight back and no goroutine switch is needed.
+func (e *Engine) dispatch(self *Process) *Process {
+	e.running = nil
+	for {
+		if e.stopped {
+			e.runErr = nil
+			return nil
+		}
+		ev := e.q.pop()
+		if ev == nil {
+			e.runErr = e.deadlockErr()
+			return nil
+		}
+		if e.maxTime > 0 && ev.at > e.maxTime {
+			e.release(ev)
+			e.now = e.maxTime
+			e.runErr = nil
+			return nil
+		}
+		if e.watchdogLimit > 0 {
+			if ev.at != e.watchAt {
+				e.watchAt, e.watchCount = ev.at, 0
+			}
+			e.watchCount++
+			if e.watchCount > e.watchdogLimit {
+				e.now = ev.at
+				e.release(ev)
+				e.runErr = &LivelockError{At: ev.at, Events: e.watchCount, Limit: e.watchdogLimit}
+				return nil
+			}
+		}
+		e.now = ev.at
+		if p := ev.proc; p != nil {
+			if p.done {
+				panic("sim: resuming finished process " + p.name)
+			}
+			p.blocked = false
+			e.running = p
+			return p
+		}
+		fn := ev.fn
+		e.release(ev)
+		fn()
+	}
 }
 
-// park suspends the calling process until the engine resumes it.
+// park suspends the calling process until the engine resumes it. The
+// parking goroutine dispatches further events itself; control returns
+// either directly (the next event resumed this same process) or through
+// the wake channel.
 func (p *Process) park(why string) {
+	e := p.eng
+	if e.shutdown {
+		// A deferred call parked again while unwinding for Shutdown.
+		p.reap = true
+		runtime.Goexit()
+	}
 	p.blockWhy = why
-	p.eng.parked <- struct{}{}
-	<-p.wake
+	next := e.dispatch(p)
+	if next != p {
+		if next != nil {
+			next.wake <- struct{}{}
+		} else {
+			e.mainWake <- struct{}{}
+		}
+		<-p.wake
+		if e.shutdown {
+			p.reap = true
+			runtime.Goexit()
+		}
+	}
 	p.blockWhy = ""
 }
 
@@ -201,18 +325,8 @@ func (p *Process) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: Sleep with negative duration %d", d))
 	}
-	e := p.eng
-	e.Schedule(d, func() { e.resume(p) })
+	p.eng.scheduleResume(d, p)
 	p.park("sleep")
-}
-
-// resume schedules-immediate continuation of p. Must execute in engine
-// context (inside an event).
-func (e *Engine) resume(p *Process) {
-	if p.done {
-		panic("sim: resuming finished process " + p.name)
-	}
-	e.runProcess(p)
 }
 
 // block parks p with no pending event; something else must wake it via a
@@ -255,6 +369,33 @@ func (e *DeadlockError) Error() string {
 	return b.String()
 }
 
+// deadlockErr builds the end-of-run error for an empty event queue: nil
+// when every process finished, a *DeadlockError naming the wedged
+// processes otherwise.
+func (e *Engine) deadlockErr() error {
+	if e.nlive == 0 {
+		return nil
+	}
+	derr := &DeadlockError{At: e.now}
+	for _, p := range e.procs {
+		if !p.done && p.blocked {
+			derr.Blocked = append(derr.Blocked, BlockedProc{
+				Name:   p.name,
+				ID:     p.id,
+				Reason: p.blockWhy,
+				Since:  p.blockSince,
+			})
+		}
+	}
+	sort.Slice(derr.Blocked, func(i, j int) bool {
+		return derr.Blocked[i].ID < derr.Blocked[j].ID
+	})
+	if len(derr.Blocked) == 0 {
+		return nil
+	}
+	return derr
+}
+
 // LivelockError reports that the progress watchdog tripped: more than
 // Limit events executed back-to-back without simulated time advancing,
 // which means some set of processes is re-waking itself in a zero-delay
@@ -282,54 +423,55 @@ func (e *Engine) SetWatchdog(limit int) { e.watchdogLimit = limit }
 // called. It returns a *DeadlockError if processes remain blocked with an
 // empty event queue, a *LivelockError if the armed watchdog trips, and
 // nil otherwise.
+//
+// A Run that ends with processes still parked (deadline, deadlock,
+// livelock, Stop) leaves their goroutines alive; call Shutdown to release
+// them once the engine is abandoned.
 func (e *Engine) Run() error {
-	for len(e.pq) > 0 && !e.stopped {
-		ev := heap.Pop(&e.pq).(*event)
-		if e.maxTime > 0 && ev.at > e.maxTime {
-			e.now = e.maxTime
-			return nil
-		}
-		if e.watchdogLimit > 0 {
-			if ev.at != e.watchAt {
-				e.watchAt, e.watchCount = ev.at, 0
-			}
-			e.watchCount++
-			if e.watchCount > e.watchdogLimit {
-				e.now = ev.at
-				return &LivelockError{At: ev.at, Events: e.watchCount, Limit: e.watchdogLimit}
-			}
-		}
-		e.now = ev.at
-		ev.fn()
+	if e.shutdown {
+		panic("sim: Run on a shut-down engine")
 	}
-	if e.stopped {
-		return nil
+	e.runErr = nil
+	if next := e.dispatch(nil); next != nil {
+		next.wake <- struct{}{}
+		<-e.mainWake
 	}
-	if e.nlive > 0 {
-		derr := &DeadlockError{At: e.now}
-		for _, p := range e.procs {
-			if !p.done && p.blocked {
-				derr.Blocked = append(derr.Blocked, BlockedProc{
-					Name:   p.name,
-					ID:     p.id,
-					Reason: p.blockWhy,
-					Since:  p.blockSince,
-				})
-			}
-		}
-		sort.Slice(derr.Blocked, func(i, j int) bool {
-			return derr.Blocked[i].ID < derr.Blocked[j].ID
-		})
-		if len(derr.Blocked) > 0 {
-			return derr
-		}
-	}
-	return nil
+	err := e.runErr
+	e.runErr = nil
+	return err
 }
 
 // Stop makes Run return after the current event completes. Callable from
 // events; a process calling Stop should subsequently park or return.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Shutdown releases every parked process goroutine and marks the engine
+// dead. It must be called only when the engine is not running (before Run,
+// or after Run has returned): engines abandoned after a deadline, a
+// deadlock or livelock error, or a Stop would otherwise leak one goroutine
+// per unfinished process for the life of the program. Unfinished process
+// bodies are unwound via runtime.Goexit (their deferred calls run; bodies
+// that have not started yet never do). Shutdown is idempotent, and the
+// engine must not be used afterwards.
+func (e *Engine) Shutdown() {
+	if e.shutdown {
+		return
+	}
+	e.shutdown = true
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		// Wake the goroutine (parked in park or waiting to start in the
+		// Spawn wrapper); it observes e.shutdown, unwinds, and its deferred
+		// handshake confirms the exit before the next one is woken, so
+		// user-level deferred calls never run concurrently.
+		p.wake <- struct{}{}
+		<-e.reaped
+		p.done = true
+		e.nlive--
+	}
+}
 
 // Live returns the number of spawned processes that have not finished —
 // recurring instrumentation events use it to retire themselves once the
