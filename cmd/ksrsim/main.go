@@ -28,9 +28,20 @@ Usage: ksrsim [global flags] <command> [flags]
 Global flags:
   -json              emit results as JSON instead of formatted tables
   -parallel n        run up to n sweep points concurrently (0 = all cores;
-                     default 1 = sequential; output is identical either way)
+                     default 1 = sequential; output is identical either way,
+                     and a progress heartbeat goes to stderr when n > 1)
   -cpuprofile file   write a CPU profile of the whole invocation
   -memprofile file   write a heap profile at exit
+
+Observability (see docs/OBSERVABILITY.md):
+  -trace file        write a Chrome trace_event JSON of the simulated run
+                     (load in Perfetto / chrome://tracing)
+  -trace-cats list   trace category filter: sim,ring,coh,cache,sync or "all"
+  -sample ns         sample telemetry counters every ns of simulated time
+                     (prints ASCII sparklines to stderr at exit)
+  -sample-csv file   write the sampled telemetry as CSV
+  -manifest file     write a JSON run manifest: config, seeds, fault plans,
+                     git revision, wall-clock, results, final counters
 
 Commands:
   latency     Figure 2: read/write latencies per memory-hierarchy level
@@ -95,6 +106,7 @@ func parseRates(s string) ([]float64, error) {
 }
 
 func fail(err error) {
+	finishObs()    // flush trace/manifest artifacts for the partial run
 	stopProfiles() // os.Exit skips defers; flush profiles explicitly
 	fmt.Fprintln(os.Stderr, "ksrsim:", err)
 	os.Exit(1)
@@ -149,8 +161,10 @@ func stopProfiles() {
 	}
 }
 
-// emit prints a result either as its formatted table/figure or as JSON.
+// emit prints a result either as its formatted table/figure or as JSON,
+// and captures it for the run manifest when one was requested.
 func emit(res any) {
+	captureResult(res)
 	if !jsonOut {
 		fmt.Print(res)
 		return
@@ -169,16 +183,23 @@ func main() {
 	flag.IntVar(&parallelN, "parallel", 1, "concurrent sweep points (0 = all cores)")
 	flag.StringVar(&cpuProfile, "cpuprofile", "", "write CPU profile to file")
 	flag.StringVar(&memProfile, "memprofile", "", "write heap profile to file")
+	flag.StringVar(&traceFile, "trace", "", "write Chrome trace_event JSON to file")
+	flag.StringVar(&traceCats, "trace-cats", "all", "trace categories (sim,ring,coh,cache,sync or all)")
+	flag.Int64Var(&sampleNs, "sample", 0, "telemetry sampling interval in simulated ns (0 = off)")
+	flag.StringVar(&sampleCSV, "sample-csv", "", "write sampled telemetry CSV to file")
+	flag.StringVar(&manifestFile, "manifest", "", "write a JSON run manifest to file")
 	flag.Parse()
 	argv := flag.Args()
 	if len(argv) == 0 {
 		usage()
 		os.Exit(2)
 	}
-	experiments.SetParallelism(parallelN)
+	workers := experiments.SetParallelism(parallelN)
+	experiments.SetProgress(workers > 1)
 	startProfiles()
 	defer stopProfiles()
 	cmd, args := argv[0], argv[1:]
+	startObs(cmd, args)
 	switch cmd {
 	case "latency":
 		cmdLatency(args)
@@ -220,6 +241,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ksrsim: unknown command %q\n\n", cmd)
 		usage()
 		os.Exit(2)
+	}
+	if !finishObs() {
+		stopProfiles()
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Observability flags (see docs/OBSERVABILITY.md).
+var (
+	traceFile    string // Chrome trace_event JSON output path
+	traceCats    string // category filter for -trace ("ring,coh", "all", ...)
+	sampleNs     int64  // telemetry sampling interval in simulated ns
+	sampleCSV    string // telemetry CSV output path
+	manifestFile string // run-manifest JSON output path
+)
+
+// obsState is the per-invocation observability context, populated by
+// startObs and flushed exactly once by finishObs (also on the fail()
+// path, so aborted runs still leave a manifest of what completed).
+var obsState struct {
+	session  *obs.Session
+	cmd      string
+	args     []string
+	started  time.Time
+	results  []obs.NamedResult
+	finished bool
+	err      bool // an artifact failed to validate or write
+}
+
+// obsActive reports whether any observability output was requested.
+func obsActive() bool { return obsState.session != nil }
+
+// startObs validates the observability flags and installs the session
+// that labeled sweep machines will record into.
+func startObs(cmd string, args []string) {
+	if traceFile == "" && manifestFile == "" && sampleCSV == "" && sampleNs == 0 {
+		return
+	}
+	if sampleNs < 0 {
+		fail(fmt.Errorf("-sample must be a non-negative interval in simulated ns (got %d)", sampleNs))
+	}
+	var opts obs.Options
+	if traceFile != "" {
+		cats, err := obs.ParseCategories(traceCats)
+		if err != nil {
+			fail(err)
+		}
+		opts.Cats = cats
+	}
+	if sampleNs == 0 && sampleCSV != "" {
+		// CSV output needs samples; default to a coarse interval rather
+		// than silently emitting an empty file. Manifests alone don't:
+		// final counters are snapshotted at end of run regardless.
+		sampleNs = 1_000_000 // 1 simulated ms
+	}
+	opts.SampleEvery = sim.Time(sampleNs)
+	obsState.session = obs.NewSession(opts)
+	obsState.cmd = cmd
+	obsState.args = args
+	obsState.started = time.Now()
+	experiments.SetSession(obsState.session)
+}
+
+// captureResult records one emitted experiment result for the manifest.
+func captureResult(res any) {
+	if !obsActive() || manifestFile == "" {
+		return
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ksrsim: manifest result:", err)
+		return
+	}
+	name := fmt.Sprintf("%d/%T", len(obsState.results), res)
+	obsState.results = append(obsState.results, obs.NamedResult{Name: name, Data: data})
+}
+
+// gitRevision returns the VCS revision stamped into the binary, or ""
+// (e.g. under `go run` or a non-VCS build).
+func gitRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
+}
+
+// finishObs writes every requested observability artifact, validating
+// the trace and manifest against their schemas before they land on
+// disk. Safe to call more than once; errors are reported but do not
+// recurse into fail(). Returns false when any artifact failed, so main
+// can exit nonzero (the CI smoke run depends on this).
+func finishObs() bool {
+	if !obsActive() || obsState.finished {
+		return !obsState.err
+	}
+	obsState.finished = true
+	report := func(what string, err error) {
+		if err != nil {
+			obsState.err = true
+			fmt.Fprintf(os.Stderr, "ksrsim: %s: %v\n", what, err)
+		}
+	}
+	writeFile := func(what, path string, b []byte) {
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			report(what, err)
+		}
+	}
+	s := obsState.session
+	if traceFile != "" {
+		b := s.TraceJSON()
+		if err := obs.ValidateTrace(b); err != nil {
+			report("trace validation", err)
+		}
+		writeFile("trace", traceFile, b)
+	}
+	if sampleCSV != "" {
+		writeFile("telemetry csv", sampleCSV, s.TelemetryCSV())
+	}
+	if sampleNs > 0 {
+		fmt.Fprint(os.Stderr, s.RenderTelemetry(60))
+	}
+	if manifestFile != "" {
+		m := obs.Manifest{
+			Schema:      obs.ManifestSchema,
+			Command:     obsState.cmd,
+			Args:        obsState.args,
+			GoVersion:   runtime.Version(),
+			GitRevision: gitRevision(),
+			StartedAt:   obsState.started.UTC().Format(time.RFC3339),
+			WallSeconds: time.Since(obsState.started).Seconds(),
+			Parallelism: experiments.Parallelism(),
+			TraceFile:   traceFile,
+			SampleNs:    sampleNs,
+			Machines:    s.MachineRecords(),
+			Results:     obsState.results,
+		}
+		if traceFile != "" {
+			m.TraceCats = traceCats
+		}
+		b, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			report("manifest", err)
+			return !obsState.err
+		}
+		b = append(b, '\n')
+		if _, err := obs.ValidateManifest(b); err != nil {
+			report("manifest validation", err)
+		}
+		writeFile("manifest", manifestFile, b)
+	}
+	return !obsState.err
+}

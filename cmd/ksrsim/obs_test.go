@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+// resetObsGlobals restores the flag globals and session state a test
+// perturbs; the CLI is single-shot so production code never needs this.
+func resetObsGlobals(t *testing.T) {
+	t.Helper()
+	oldTrace, oldCats, oldNs, oldCSV, oldMan := traceFile, traceCats, sampleNs, sampleCSV, manifestFile
+	t.Cleanup(func() {
+		traceFile, traceCats, sampleNs, sampleCSV, manifestFile = oldTrace, oldCats, oldNs, oldCSV, oldMan
+		obsState.session = nil
+		obsState.results = nil
+		obsState.finished = false
+		obsState.err = false
+		experiments.SetSession(nil)
+	})
+}
+
+// TestObsEndToEnd drives the full CLI observability path in-process: a
+// real (tiny) latency sweep with trace, telemetry CSV, and manifest all
+// requested, then validates every artifact the way CI's smoke run does.
+func TestObsEndToEnd(t *testing.T) {
+	resetObsGlobals(t)
+	dir := t.TempDir()
+	traceFile = filepath.Join(dir, "trace.json")
+	traceCats = "ring,coh,sync"
+	sampleNs = 500_000
+	sampleCSV = filepath.Join(dir, "telemetry.csv")
+	manifestFile = filepath.Join(dir, "manifest.json")
+
+	startObs("latency", []string{"-cells", "3"})
+	if !obsActive() {
+		t.Fatal("session not armed")
+	}
+	res, err := experiments.RunLatency(experiments.LatencyConfig{
+		Machine: experiments.KSR1Kind, Cells: 3, Procs: []int{1, 2}, RegionBytes: 16 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	captureResult(res)
+	if !finishObs() {
+		t.Fatal("finishObs reported artifact errors")
+	}
+
+	trace, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTrace(trace); err != nil {
+		t.Fatalf("emitted trace invalid: %v", err)
+	}
+	mb, err := os.ReadFile(manifestFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.ValidateManifest(mb)
+	if err != nil {
+		t.Fatalf("emitted manifest invalid: %v", err)
+	}
+	if m.Command != "latency" || m.TraceCats != "ring,coh,sync" || m.SampleNs != 500_000 {
+		t.Fatalf("manifest fields wrong: %+v", m)
+	}
+	// One machine per sweep point plus the sub-cache probe.
+	if len(m.Machines) != 3 {
+		t.Fatalf("manifest has %d machines, want 3", len(m.Machines))
+	}
+	if len(m.Results) != 1 {
+		t.Fatalf("manifest has %d results, want 1", len(m.Results))
+	}
+	var back experiments.LatencyResult
+	if err := json.Unmarshal(m.Results[0].Data, &back); err != nil {
+		t.Fatalf("embedded result does not round-trip: %v", err)
+	}
+	if len(back.Procs) != 2 {
+		t.Fatalf("embedded result lost data: %+v", back)
+	}
+	csv, err := os.ReadFile(sampleCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(csv) == 0 {
+		t.Fatal("telemetry CSV empty")
+	}
+}
+
+// TestStartObsNoFlagsIsInert pins the zero-overhead default: without
+// observability flags no session exists and finishObs is a no-op.
+func TestStartObsNoFlagsIsInert(t *testing.T) {
+	resetObsGlobals(t)
+	traceFile, sampleCSV, manifestFile, sampleNs = "", "", "", 0
+	startObs("latency", nil)
+	if obsActive() {
+		t.Fatal("session armed with no flags")
+	}
+	if !finishObs() {
+		t.Fatal("inert finishObs reported an error")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -148,6 +149,9 @@ type Cache struct {
 	lastFrame *frame
 
 	clock uint64 // access stamp source for LRU
+
+	rec *obs.Recorder // nil = no tracing
+	tid int           // trace lane (owning cell id)
 }
 
 // New builds a cache. rng drives random replacement.
@@ -176,6 +180,17 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // ResetStats zeroes the counters (contents stay).
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// SetObs attaches a trace recorder; misses and evictions are emitted on
+// lane tid (the owning cell) when the cache category is enabled. The
+// recorder is kept only when that category is on, so the Touch hot path
+// pays one nil check.
+func (c *Cache) SetObs(rec *obs.Recorder, tid int) {
+	c.rec = nil
+	if rec.Enabled(obs.CatCache) {
+		c.rec, c.tid = rec, tid
+	}
+}
 
 func (c *Cache) setOf(unit uint64) int64 { return int64(unit % uint64(c.nsets)) }
 
@@ -227,6 +242,9 @@ func (c *Cache) Touch(a memory.Addr) (Outcome, *Evicted) {
 		f.present[ti] = true
 		f.nset++
 		c.stats.TransferMisses++
+		if c.rec != nil {
+			c.rec.Instant(obs.CatCache, c.tid, c.cfg.Name+".miss", obs.Arg{Key: "addr", Val: int64(a)})
+		}
 		return TransferMiss, nil
 	}
 	// Allocation miss: claim a frame in the set.
@@ -270,6 +288,13 @@ func (c *Cache) Touch(a memory.Addr) (Outcome, *Evicted) {
 	f.lastUse = c.clock
 	c.lastUnit = unit
 	c.lastFrame = f
+	if c.rec != nil {
+		c.rec.Instant(obs.CatCache, c.tid, c.cfg.Name+".alloc", obs.Arg{Key: "addr", Val: int64(a)})
+		if ev != nil {
+			c.rec.Instant(obs.CatCache, c.tid, c.cfg.Name+".evict",
+				obs.Arg{Key: "unit", Val: int64(ev.Unit)}, obs.Arg{Key: "present", Val: int64(len(ev.Present))})
+		}
+	}
 	return AllocMiss, ev
 }
 

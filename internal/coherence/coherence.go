@@ -27,6 +27,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -184,6 +185,12 @@ type Directory struct {
 	// CheckInvariants or Violation surfaces it.
 	Checked   bool
 	violation *InvariantError
+
+	// Obs, if set, receives coherence trace events (fills, invalidations,
+	// NACK/retry, atomic sub-page transitions). The machine layer only
+	// sets it when the recorder's coh category is enabled, so the
+	// disabled cost is one nil check per protocol action.
+	Obs *obs.Recorder
 }
 
 // crossDomainTarget returns a cell from the affected set that lies outside
@@ -235,6 +242,16 @@ func (d *Directory) condOf(en *entry, sp memory.SubPageID) *sim.Cond {
 // Stats returns cumulative protocol counters.
 func (d *Directory) Stats() Stats { return d.stats }
 
+// ResetStats zeroes the cumulative protocol counters so experiments can
+// measure per-phase deltas (warm-up vs. measured region), symmetric with
+// Cache.ResetStats and Fabric.ResetStats. Directory state (entries,
+// holders, recorded invariant violations) is untouched.
+func (d *Directory) ResetStats() { d.stats = Stats{} }
+
+// Entries returns the number of sub-pages the directory tracks — its
+// occupancy, sampled by the telemetry collector.
+func (d *Directory) Entries() int { return len(d.entries) }
+
 // access performs one synchronous protocol transaction for p, absorbing
 // injected NACKs: each NACK costs the full transit already paid plus an
 // exponential backoff in simulated time before the retry circulates
@@ -255,6 +272,10 @@ func (d *Directory) access(p *sim.Process, src, dst int, addr memory.Addr) sim.T
 		d.stats.Retries++
 		delay := d.Faults.Backoff(attempt)
 		d.stats.BackoffTime += delay
+		if d.Obs != nil {
+			d.Obs.Instant(obs.CatCoh, src, "nack",
+				obs.Arg{Key: "attempt", Val: int64(attempt)}, obs.Arg{Key: "backoff_ns", Val: int64(delay)})
+		}
 		p.Sleep(delay)
 	}
 }
@@ -273,6 +294,10 @@ func (d *Directory) accessAsync(src, dst int, addr memory.Addr, done func()) {
 				d.stats.Retries++
 				delay := d.Faults.Backoff(attempt)
 				d.stats.BackoffTime += delay
+				if d.Obs != nil {
+					d.Obs.Instant(obs.CatCoh, src, "nack.async",
+						obs.Arg{Key: "attempt", Val: int64(attempt)}, obs.Arg{Key: "backoff_ns", Val: int64(delay)})
+				}
 				attempt++
 				d.eng.Schedule(delay, try)
 				return
@@ -465,6 +490,10 @@ func (d *Directory) invalidateOthers(en *entry, sp memory.SubPageID, keep int) i
 	}
 	if n > 0 {
 		d.stats.Invalidations += uint64(n)
+		if d.Obs != nil {
+			d.Obs.Instant(obs.CatCoh, keep, "inv",
+				obs.Arg{Key: "sp", Val: int64(sp)}, obs.Arg{Key: "copies", Val: int64(n)})
+		}
 	}
 	if d.Checked {
 		// No valid copy survives an invalidation: only keep may remain.
@@ -574,6 +603,10 @@ func (d *Directory) EnsureReadable(p *sim.Process, cell int, sp memory.SubPageID
 	if en.cond != nil {
 		en.cond.Broadcast()
 	}
+	if d.Obs != nil {
+		d.Obs.CompleteAt(obs.CatCoh, cell, "fill.read", d.eng.Now()-lat, d.eng.Now(),
+			obs.Arg{Key: "sp", Val: int64(sp)}, obs.Arg{Key: "state", Val: int64(d.StateOf(sp))})
+	}
 	d.checkpoint(sp, en)
 	return lat, true
 }
@@ -624,6 +657,10 @@ func (d *Directory) EnsureWritable(p *sim.Process, cell int, sp memory.SubPageID
 		en.holders.set(cell)
 		en.placeholders.clear(cell)
 		en.owner = cell
+		if d.Obs != nil {
+			d.Obs.CompleteAt(obs.CatCoh, cell, "fill.write", start, d.eng.Now(),
+				obs.Arg{Key: "sp", Val: int64(sp)})
+		}
 		d.checkpoint(sp, en)
 		// Latency includes any time stalled on an atomic hold plus the
 		// fabric transaction itself.
@@ -648,6 +685,10 @@ func (d *Directory) GetSubPage(p *sim.Process, cell int, sp memory.SubPageID) (b
 			return true, lat // re-acquire by owner is a no-op
 		}
 		d.stats.GSPFailures++
+		if d.Obs != nil {
+			d.Obs.Instant(obs.CatCoh, cell, "gsp.fail", obs.Arg{Key: "sp", Val: int64(sp)},
+				obs.Arg{Key: "owner", Val: int64(en.owner)})
+		}
 		return false, lat
 	}
 	d.invalidateOthers(en, sp, cell)
@@ -655,6 +696,10 @@ func (d *Directory) GetSubPage(p *sim.Process, cell int, sp memory.SubPageID) (b
 	en.placeholders.clear(cell)
 	en.owner = cell
 	en.atomic = true
+	if d.Obs != nil {
+		d.Obs.CompleteAt(obs.CatCoh, cell, "gsp.acquire", d.eng.Now()-lat, d.eng.Now(),
+			obs.Arg{Key: "sp", Val: int64(sp)})
+	}
 	d.checkpoint(sp, en)
 	return true, lat
 }
@@ -675,6 +720,9 @@ func (d *Directory) ReleaseSubPage(p *sim.Process, cell int, sp memory.SubPageID
 	if en.cond != nil {
 		en.cond.Broadcast()
 	}
+	if d.Obs != nil {
+		d.Obs.Instant(obs.CatCoh, cell, "gsp.release", obs.Arg{Key: "sp", Val: int64(sp)})
+	}
 	d.checkpoint(sp, en)
 	return lat
 }
@@ -693,12 +741,18 @@ func (d *Directory) Poststore(cell int, sp memory.SubPageID, done func()) {
 		dst = x
 	}
 	d.accessAsync(cell, dst, sp.Base(), func() {
+		filled := 0
 		for c := 0; c < d.cells; c++ {
 			if en.placeholders.has(c) {
 				en.placeholders.clear(c)
 				en.holders.set(c)
 				d.stats.PoststoreFill++
+				filled++
 			}
+		}
+		if d.Obs != nil {
+			d.Obs.Instant(obs.CatCoh, cell, "poststore.fill",
+				obs.Arg{Key: "sp", Val: int64(sp)}, obs.Arg{Key: "filled", Val: int64(filled)})
 		}
 		if en.owner == cell && !en.atomic {
 			en.owner = -1 // now shared
@@ -765,6 +819,9 @@ func (d *Directory) Drop(cell int, sp memory.SubPageID) {
 	en.placeholders.clear(cell)
 	if en.owner == cell {
 		en.owner = -1
+	}
+	if d.Obs != nil {
+		d.Obs.Instant(obs.CatCoh, cell, "drop", obs.Arg{Key: "sp", Val: int64(sp)})
 	}
 	d.checkpoint(sp, en)
 }

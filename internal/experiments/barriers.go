@@ -134,7 +134,8 @@ func RunBarriers(cfg BarriersConfig) (BarriersResult, error) {
 
 // barrierPoint measures mean time per episode for one (algorithm, P).
 func barrierPoint(cfg BarriersConfig, f ksync.Factory, pn int) (sim.Time, error) {
-	m, err := NewMachine(cfg.Machine, cfg.Cells)
+	m, err := NewMachineObs(cfg.Machine, cfg.Cells,
+		fmt.Sprintf("barriers/%s/%s/p=%d", cfg.Machine, f.Name, pn))
 	if err != nil {
 		return 0, err
 	}

@@ -62,7 +62,7 @@ func RunCapacityEffect(cfg CapacityConfig) (CapacityResult, error) {
 	res.Evictions = make([]uint64, len(cfg.Procs))
 	err := forEachIndex(len(cfg.Procs), func(j int) error {
 		pn := cfg.Procs[j]
-		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("capacity/p=%d", pn))
 		if err != nil {
 			return err
 		}

@@ -149,7 +149,7 @@ func RunDegradation(cfg DegradationConfig) (DegradationResult, error) {
 	}
 
 	rates := append([]float64{0}, c.Rates...)
-	mk := func(rate float64) (*machine.Machine, error) {
+	mk := func(rate float64, label string) (*machine.Machine, error) {
 		mc, err := ConfigFor(c.Machine, c.Cells)
 		if err != nil {
 			return nil, err
@@ -159,10 +159,7 @@ func RunDegradation(cfg DegradationConfig) (DegradationResult, error) {
 			mc.Faults = faults.Uniform(rate)
 		}
 		mc.Checked = c.Checked
-		if err := mc.Validate(); err != nil {
-			return nil, err
-		}
-		return machine.New(mc), nil
+		return newMachineObs(mc, label)
 	}
 
 	// One job per (rate, workload) pair — the 12-job grain balances the
@@ -198,10 +195,11 @@ func RunDegradation(cfg DegradationConfig) (DegradationResult, error) {
 		}
 		return nil
 	}
+	workNames := [nWork]string{"barrier", "ep", "cg"}
 	err := forEachIndex(len(outs), func(k int) error {
 		rate, work := rates[k/nWork], k%nWork
 		out := &outs[k]
-		m, err := mk(rate)
+		m, err := mk(rate, fmt.Sprintf("faults/rate=%g/%s", rate, workNames[work]))
 		if err != nil {
 			return err
 		}

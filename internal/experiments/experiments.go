@@ -12,8 +12,10 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // MachineKind names a machine model for experiment configs.
@@ -56,6 +58,45 @@ func NewMachine(kind MachineKind, cells int) (*machine.Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	return machine.New(cfg), nil
+}
+
+// obsSession is the observability session sweep machines attach to. Nil
+// (the default) means unobserved: NewMachineObs then behaves exactly
+// like NewMachine.
+var obsSession atomic.Pointer[obs.Session]
+
+// SetSession installs the observability session that every subsequent
+// labeled machine (NewMachineObs / newMachineObs) records into. Pass nil
+// to detach. The CLI sets this once before running a command; sweeps may
+// then run points on any number of workers — each point gets its own
+// recorder keyed by a deterministic label, so merged trace output does
+// not depend on scheduling.
+func SetSession(s *obs.Session) { obsSession.Store(s) }
+
+// ObsSession returns the current observability session, or nil.
+func ObsSession() *obs.Session { return obsSession.Load() }
+
+// NewMachineObs is NewMachine plus observability: when a session is
+// installed, the machine records under the given label (one recorder per
+// label; labels must be unique per machine within a run). Without a
+// session it is identical to NewMachine.
+func NewMachineObs(kind MachineKind, cells int, label string) (*machine.Machine, error) {
+	cfg, err := ConfigFor(kind, cells)
+	if err != nil {
+		return nil, err
+	}
+	return newMachineObs(cfg, label)
+}
+
+// newMachineObs validates cfg, attaches the session recorder for label,
+// and builds the machine. Config adjustments (seeds, faults, timer
+// interrupts) must be applied by the caller before this point.
+func newMachineObs(cfg machine.Config, label string) (*machine.Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Obs = ObsSession().Recorder(label)
 	return machine.New(cfg), nil
 }
 

@@ -93,7 +93,8 @@ func RunQueueLocks(cfg QueueLocksConfig) (QueueLocksResult, error) {
 		if cfg.Machine == ButterflyKind && k.name == "hw-exclusive" {
 			return nil
 		}
-		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		m, err := NewMachineObs(cfg.Machine, cfg.Cells,
+			fmt.Sprintf("qlocks/%s/%s/p=%d", cfg.Machine, k.name, pn))
 		if err != nil {
 			return err
 		}
@@ -168,7 +169,7 @@ func RunSaturation(cfg SaturationConfig) (SaturationResult, error) {
 	res.Points = make([]SaturationPoint, len(cfg.GapCycles))
 	err := forEachIndex(len(cfg.GapCycles), func(gi int) error {
 		gap := cfg.GapCycles[gi]
-		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("saturation/gap=%d", gap))
 		if err != nil {
 			return err
 		}
@@ -177,7 +178,7 @@ func RunSaturation(cfg SaturationConfig) (SaturationResult, error) {
 		for i := range targets {
 			targets[i] = m.Alloc(fmt.Sprintf("t%d", i), size)
 		}
-		bar := ksync.NewTournament(m, cfg.Procs, true)
+		bar := ksync.Traced(m, ksync.NewTournament(m, cfg.Procs, true))
 		perProc := make([]sim.Time, cfg.Procs)
 		var window sim.Time
 		_, err = m.Run(cfg.Procs, func(p *machine.Proc) {

@@ -65,7 +65,7 @@ func RunLatency(cfg LatencyConfig) (LatencyResult, error) {
 
 	// Sub-cache latency: one processor re-reading one cached word.
 	{
-		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		m, err := NewMachineObs(cfg.Machine, cfg.Cells, "latency/subcache")
 		if err != nil {
 			return res, err
 		}
@@ -103,7 +103,7 @@ func RunLatency(cfg LatencyConfig) (LatencyResult, error) {
 
 // latencyPoint measures all four curves at one processor count.
 func latencyPoint(cfg LatencyConfig, pn int) (lr, lw, nr, nw float64, err error) {
-	m, err := NewMachine(cfg.Machine, cfg.Cells)
+	m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("latency/p=%d", pn))
 	if err != nil {
 		return
 	}
@@ -127,7 +127,7 @@ func latencyPoint(cfg LatencyConfig, pn int) (lr, lw, nr, nw float64, err error)
 	for i := 0; i < pn; i++ {
 		flood[i] = m.Alloc(fmt.Sprintf("flood.%d", i), floodSize)
 	}
-	bar := ksync.NewTournament(m, pn, true)
+	bar := ksync.Traced(m, ksync.NewTournament(m, pn, true))
 	localReads := make([]sim.Time, pn)
 	localWrites := make([]sim.Time, pn)
 	netReads := make([]sim.Time, pn)
@@ -209,7 +209,7 @@ func (r AllocOverheadResult) String() string {
 // a fresh 16 KB local-cache page (remote case).
 func RunAllocOverhead(mk MachineKind) (AllocOverheadResult, error) {
 	var res AllocOverheadResult
-	m, err := NewMachine(mk, 4)
+	m, err := NewMachineObs(mk, 4, "alloc")
 	if err != nil {
 		return res, err
 	}

@@ -98,21 +98,17 @@ func RunLocks(cfg LocksConfig) (LocksResult, error) {
 	return res, err
 }
 
-func lockMachine(cfg LocksConfig) (*machine.Machine, error) {
-	m, err := NewMachine(cfg.Machine, cfg.Cells)
+func lockMachine(cfg LocksConfig, label string) (*machine.Machine, error) {
+	mc, err := ConfigFor(cfg.Machine, cfg.Cells)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.TimerInterrupts {
-		c := m.Config()
-		c.TimerInterrupts = true
-		m = machine.New(c)
-	}
-	return m, nil
+	mc.TimerInterrupts = cfg.TimerInterrupts
+	return newMachineObs(mc, label)
 }
 
 func runHWLockPoint(cfg LocksConfig, pn int) (sim.Time, error) {
-	m, err := lockMachine(cfg)
+	m, err := lockMachine(cfg, fmt.Sprintf("locks/hw/p=%d", pn))
 	if err != nil {
 		return 0, err
 	}
@@ -128,7 +124,7 @@ func runHWLockPoint(cfg LocksConfig, pn int) (sim.Time, error) {
 }
 
 func runRWLockPoint(cfg LocksConfig, pn, readFrac int) (sim.Time, error) {
-	m, err := lockMachine(cfg)
+	m, err := lockMachine(cfg, fmt.Sprintf("locks/rw%d/p=%d", readFrac, pn))
 	if err != nil {
 		return 0, err
 	}

@@ -42,7 +42,7 @@ func RunEPExperiment(cfg EPConfig) (EPExperimentResult, error) {
 	points := make([]metrics.Point, len(cfg.Procs))
 	outs := make([]kernels.EPResult, len(cfg.Procs))
 	err := forEachIndex(len(cfg.Procs), func(i int) error {
-		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("ep/p=%d", cfg.Procs[i]))
 		if err != nil {
 			return err
 		}
@@ -127,7 +127,7 @@ func RunCGExperiment(cfg CGExperimentConfig) (KernelTableResult, error) {
 	points := make([]metrics.Point, len(cfg.Procs))
 	residuals := make([]float64, len(cfg.Procs))
 	err := forEachIndex(len(cfg.Procs), func(i int) error {
-		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("cg/p=%d", cfg.Procs[i]))
 		if err != nil {
 			return err
 		}
@@ -168,7 +168,7 @@ func RunCGPoststoreAblation(cfg CGExperimentConfig) (map[int]float64, error) {
 	times := make([]sim.Time, 2*len(cfg.Procs))
 	err := forEachIndex(len(times), func(k int) error {
 		pn, ps := cfg.Procs[k/2], k%2 == 1
-		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("cg-poststore/p=%d/ps=%v", pn, ps))
 		if err != nil {
 			return err
 		}
@@ -218,7 +218,7 @@ func RunISExperiment(cfg ISExperimentConfig) (KernelTableResult, error) {
 	points := make([]metrics.Point, len(cfg.Procs))
 	sorted := make([]bool, len(cfg.Procs))
 	err := forEachIndex(len(cfg.Procs), func(i int) error {
-		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("is/p=%d", cfg.Procs[i]))
 		if err != nil {
 			return err
 		}
@@ -311,7 +311,7 @@ func RunSPExperiment(cfg SPExperimentConfig) (SPTableResult, error) {
 	points := make([]metrics.Point, len(cfg.Procs))
 	sums := make([]float64, len(cfg.Procs))
 	err := forEachIndex(len(cfg.Procs), func(i int) error {
-		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("sp/p=%d", cfg.Procs[i]))
 		if err != nil {
 			return err
 		}
@@ -372,7 +372,7 @@ func RunBTExperiment(cfg BTExperimentConfig) (SPTableResult, error) {
 	points := make([]metrics.Point, len(cfg.Procs))
 	sums := make([]float64, len(cfg.Procs))
 	err := forEachIndex(len(cfg.Procs), func(i int) error {
-		m, err := NewMachine(cfg.Machine, cfg.Cells)
+		m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("bt/p=%d", cfg.Procs[i]))
 		if err != nil {
 			return err
 		}
@@ -425,8 +425,8 @@ func (r SPOptsResult) String() string {
 // the poststore ablation, at the given processor count.
 func RunSPOptimizations(cfg SPExperimentConfig, procs int) (SPOptsResult, error) {
 	res := SPOptsResult{Procs: procs}
-	run := func(pad, pre, post bool) (float64, error) {
-		m, err := NewMachine(cfg.Machine, cfg.Cells)
+	run := func(label string, pad, pre, post bool) (float64, error) {
+		m, err := NewMachineObs(cfg.Machine, cfg.Cells, "spopts/"+label)
 		if err != nil {
 			return 0, err
 		}
@@ -440,12 +440,18 @@ func RunSPOptimizations(cfg SPExperimentConfig, procs int) (SPOptsResult, error)
 		}
 		return out.PerIteration.Seconds(), nil
 	}
-	variants := []struct{ pad, pre, post bool }{
-		{false, false, false}, {true, false, false}, {true, true, false}, {true, true, true},
+	variants := []struct {
+		label          string
+		pad, pre, post bool
+	}{
+		{"base", false, false, false},
+		{"pad", true, false, false},
+		{"prefetch", true, true, false},
+		{"poststore", true, true, true},
 	}
 	out := make([]float64, len(variants))
 	err := forEachIndex(len(variants), func(i int) error {
-		v, err := run(variants[i].pad, variants[i].pre, variants[i].post)
+		v, err := run(variants[i].label, variants[i].pad, variants[i].pre, variants[i].post)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ksync"
+	"repro/internal/machine"
+	"repro/internal/memory"
+	"repro/internal/obs"
+)
+
+// goldenTrace runs a tiny fully-observed 2-cell workload touching every
+// trace category — per-cell writes, a traced barrier, a hardware lock
+// critical section, and cross-cell reads — and returns the session.
+func goldenTrace(t *testing.T) *obs.Session {
+	t.Helper()
+	sess := obs.NewSession(obs.Options{Cats: obs.CatAll, SampleEvery: 100_000})
+	cfg := machine.KSR1(2)
+	cfg.Obs = sess.Recorder("golden/2cell")
+	m := machine.New(cfg)
+	shared := m.Alloc("shared", 4*memory.SubPageSize)
+	bar := ksync.Traced(m, ksync.NewTournament(m, 2, true))
+	lock := ksync.NewHWLock(m)
+	_, err := m.Run(2, func(p *machine.Proc) {
+		id := int64(p.CellID())
+		p.WriteRange(shared.At(id*2*memory.SubPageSize), 2, memory.SubPageSize)
+		bar.Wait(p)
+		lock.Acquire(p)
+		p.Compute(1000)
+		lock.Release(p)
+		bar.Wait(p)
+		other := (id + 1) % 2
+		p.ReadRange(shared.At(other*2*memory.SubPageSize), 2, memory.SubPageSize)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+// TestGoldenChromeTrace pins the exact trace bytes of the 2-cell run.
+// Regenerate after an intentional format or instrumentation change with:
+//
+//	KSRSIM_UPDATE_GOLDEN=1 go test ./internal/experiments -run GoldenChromeTrace
+func TestGoldenChromeTrace(t *testing.T) {
+	trace := goldenTrace(t).TraceJSON()
+	if err := obs.ValidateTrace(trace); err != nil {
+		t.Fatalf("golden trace fails schema validation: %v", err)
+	}
+	path := filepath.Join("testdata", "golden_trace.json")
+	if os.Getenv("KSRSIM_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, trace, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", path, len(trace))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with KSRSIM_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(trace, want) {
+		t.Fatalf("trace diverged from golden file (%d bytes vs %d); if intentional, regenerate with KSRSIM_UPDATE_GOLDEN=1",
+			len(trace), len(want))
+	}
+}
+
+// traceLatencySweep runs a small latency sweep fully observed at the
+// given worker count and returns the merged trace bytes.
+func traceLatencySweep(t *testing.T, workers int) []byte {
+	t.Helper()
+	sess := obs.NewSession(obs.Options{Cats: obs.CatAll, SampleEvery: 500_000})
+	SetSession(sess)
+	defer SetSession(nil)
+	oldPar := Parallelism()
+	SetParallelism(workers)
+	defer SetParallelism(oldPar)
+	_, err := RunLatency(LatencyConfig{
+		Machine: KSR1Kind, Cells: 3, Procs: []int{1, 2}, RegionBytes: 16 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess.TraceJSON()
+}
+
+// TestTraceDeterminism asserts the tentpole guarantee: merged sweep
+// traces are byte-identical whatever the worker count, and across
+// repeated runs with the same seed.
+func TestTraceDeterminism(t *testing.T) {
+	seq := traceLatencySweep(t, 1)
+	if err := obs.ValidateTrace(seq); err != nil {
+		t.Fatalf("sweep trace fails validation: %v", err)
+	}
+	if par := traceLatencySweep(t, 2); !bytes.Equal(seq, par) {
+		t.Error("trace bytes differ between -parallel 1 and 2")
+	}
+	if again := traceLatencySweep(t, 2); !bytes.Equal(seq, again) {
+		t.Error("trace bytes differ across repeated runs")
+	}
+}

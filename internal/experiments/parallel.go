@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Each point of an experiment sweep (one processor count, one fault rate,
@@ -32,6 +35,24 @@ func SetParallelism(n int) int {
 // Parallelism returns the current sweep worker count.
 func Parallelism() int { return int(atomic.LoadInt64(&parallelism)) }
 
+// progress enables the sweep heartbeat: one stderr line per completed
+// point when a sweep fans across more than one worker. Off by default so
+// library users and tests stay silent; the CLI turns it on alongside
+// -parallel.
+var progress int32
+
+// SetProgress enables or disables the parallel-sweep progress heartbeat.
+func SetProgress(on bool) {
+	var v int32
+	if on {
+		v = 1
+	}
+	atomic.StoreInt32(&progress, v)
+}
+
+// progressOn reports whether the heartbeat is enabled.
+func progressOn() bool { return atomic.LoadInt32(&progress) != 0 }
+
 // forEachIndex runs fn(0..n-1), fanning across Parallelism() workers.
 // fn must write its result into a preallocated index-addressed slot and
 // must not touch shared state. All indices run even when some fail (a
@@ -55,7 +76,9 @@ func forEachIndex(n int, fn func(i int) error) error {
 		return nil
 	}
 	errs := make([]error, n)
-	var next int64
+	var next, done int64
+	heartbeat := progressOn()
+	start := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -67,6 +90,11 @@ func forEachIndex(n int, fn func(i int) error) error {
 					return
 				}
 				errs[i] = fn(i)
+				if heartbeat {
+					d := atomic.AddInt64(&done, 1)
+					fmt.Fprintf(os.Stderr, "sweep: point %d done (%d/%d, %.1fs elapsed)\n",
+						i, d, n, time.Since(start).Seconds())
+				}
 			}
 		}()
 	}

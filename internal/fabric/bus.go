@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -27,6 +28,7 @@ type Bus struct {
 	eng *sim.Engine
 	bus *sim.Resource
 	trk tracker
+	rec *obs.Recorder // nil = no tracing
 }
 
 // NewBus builds a bus fabric.
@@ -43,6 +45,14 @@ func (b *Bus) Name() string { return "bus" }
 // Nodes implements Fabric.
 func (b *Bus) Nodes() int { return b.cfg.Cells }
 
+// SetObs implements Fabric.
+func (b *Bus) SetObs(rec *obs.Recorder) {
+	b.rec = nil
+	if rec.Enabled(obs.CatRing) {
+		b.rec = rec
+	}
+}
+
 // Access implements Fabric: wait for the bus, hold it for one transaction.
 func (b *Bus) Access(p *sim.Process, src, dst int, addr memory.Addr) sim.Time {
 	start := b.eng.Now()
@@ -52,6 +62,10 @@ func (b *Bus) Access(p *sim.Process, src, dst int, addr memory.Addr) sim.Time {
 	b.bus.Release()
 	lat := b.eng.Now() - start
 	b.trk.end(lat, wait, true)
+	if b.rec != nil {
+		b.rec.CompleteAt(obs.CatRing, src, "bus.tx", start, b.eng.Now(),
+			obs.Arg{Key: "dst", Val: int64(dst)}, obs.Arg{Key: "wait_ns", Val: int64(wait)})
+	}
 	return lat
 }
 
@@ -71,3 +85,9 @@ func (b *Bus) AccessAsync(src, dst int, addr memory.Addr, done func()) {
 
 // Stats implements Fabric.
 func (b *Bus) Stats() Stats { return b.trk.stats }
+
+// ResetStats implements Fabric.
+func (b *Bus) ResetStats() { b.trk.reset() }
+
+// InFlight implements Fabric.
+func (b *Bus) InFlight() int { return b.trk.inFlight }

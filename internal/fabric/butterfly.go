@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -37,6 +38,7 @@ type Butterfly struct {
 	stages int
 	mods   []*sim.Resource
 	trk    tracker
+	rec    *obs.Recorder // nil = no tracing
 }
 
 // NewButterfly builds a butterfly fabric with one memory module per cell.
@@ -70,6 +72,14 @@ func (bf *Butterfly) HomeModule(addr memory.Addr) int {
 	return int(uint64(addr.SubPage()) % uint64(bf.cfg.Cells))
 }
 
+// SetObs implements Fabric.
+func (bf *Butterfly) SetObs(rec *obs.Recorder) {
+	bf.rec = nil
+	if rec.Enabled(obs.CatRing) {
+		bf.rec = rec
+	}
+}
+
 // Access implements Fabric. dst is ignored: on a NUMA machine without
 // coherent caches the responder is always the home module of addr.
 func (bf *Butterfly) Access(p *sim.Process, src, dst int, addr memory.Addr) sim.Time {
@@ -83,6 +93,10 @@ func (bf *Butterfly) Access(p *sim.Process, src, dst int, addr memory.Addr) sim.
 	p.Sleep(sim.Time(bf.stages) * bf.cfg.HopTime) // response path
 	lat := bf.eng.Now() - start
 	bf.trk.end(lat, wait, true)
+	if bf.rec != nil {
+		bf.rec.CompleteAt(obs.CatRing, src, "bfly.tx", start, bf.eng.Now(),
+			obs.Arg{Key: "mod", Val: int64(bf.HomeModule(addr))}, obs.Arg{Key: "wait_ns", Val: int64(wait)})
+	}
 	return lat
 }
 
@@ -107,3 +121,9 @@ func (bf *Butterfly) AccessAsync(src, dst int, addr memory.Addr, done func()) {
 
 // Stats implements Fabric.
 func (bf *Butterfly) Stats() Stats { return bf.trk.stats }
+
+// ResetStats implements Fabric.
+func (bf *Butterfly) ResetStats() { bf.trk.reset() }
+
+// InFlight implements Fabric.
+func (bf *Butterfly) InFlight() int { return bf.trk.inFlight }

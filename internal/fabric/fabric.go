@@ -17,6 +17,7 @@ package fabric
 
 import (
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -41,6 +42,21 @@ type Fabric interface {
 
 	// Stats returns cumulative counters.
 	Stats() Stats
+
+	// ResetStats zeroes the cumulative counters so experiments can
+	// measure per-phase deltas (warm-up vs. measured region). The
+	// in-flight gauge is preserved: MaxInFlight restarts from the
+	// current in-flight count.
+	ResetStats()
+
+	// InFlight returns the number of transactions currently in
+	// progress (a gauge, unaffected by ResetStats).
+	InFlight() int
+
+	// SetObs attaches a trace recorder; the fabric emits transaction
+	// slices, per-hop slot occupancy, and link-occupancy counters when
+	// the recorder has the ring category enabled. nil detaches.
+	SetObs(rec *obs.Recorder)
 }
 
 // Stats holds cumulative fabric counters.
@@ -79,4 +95,10 @@ func (t *tracker) end(latency, wait sim.Time, sync bool) {
 		t.stats.TotalLatency += latency
 		t.stats.TotalWait += wait
 	}
+}
+
+// reset zeroes the counters; the high-water mark restarts from the
+// transactions still in flight.
+func (t *tracker) reset() {
+	t.stats = Stats{MaxInFlight: t.inFlight}
 }

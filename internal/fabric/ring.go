@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -79,6 +80,7 @@ type Ring struct {
 	top  []*sim.Resource   // [subRing], nil for single-level
 	trk  tracker
 	inj  *faults.Injector // nil = no fault injection
+	rec  *obs.Recorder    // nil = no tracing
 
 	crossTransactions uint64
 }
@@ -117,6 +119,15 @@ func NewRing(e *sim.Engine, cfg RingConfig) *Ring {
 // injection. Slot-loss and link-degradation draws come from the
 // injector's ring stream.
 func (r *Ring) SetFaults(inj *faults.Injector) { r.inj = inj }
+
+// SetObs implements Fabric. The recorder is kept only when the ring
+// category is enabled, so the Access hot path pays one nil check.
+func (r *Ring) SetObs(rec *obs.Recorder) {
+	r.rec = nil
+	if rec.Enabled(obs.CatRing) {
+		r.rec = rec
+	}
+}
 
 // Name implements Fabric.
 func (r *Ring) Name() string { return "ring" }
@@ -169,18 +180,32 @@ func (r *Ring) Access(p *sim.Process, src, dst int, addr memory.Addr) sim.Time {
 		// packet in transit and it re-circulates, claiming a fresh slot
 		// for another full rotation. A degraded link stretches the hold.
 		// Consecutive losses are bounded by the injector's MaxRetries.
+		hopStart := r.eng.Now()
 		for n := 0; ; n++ {
 			wait += res.Acquire(p)
+			if r.rec != nil {
+				r.rec.Count(obs.CatRing, 0, res.Name(), int64(res.InUse()))
+			}
 			p.Sleep(r.inj.DegradedHold(r.cfg.SlotHold))
 			res.Release()
+			if r.rec != nil {
+				r.rec.Count(obs.CatRing, 0, res.Name(), int64(res.InUse()))
+			}
 			if !r.inj.SlotLost(n) {
 				break
 			}
+		}
+		if r.rec != nil {
+			r.rec.CompleteAt(obs.CatRing, src, res.Name(), hopStart, r.eng.Now())
 		}
 		p.Sleep(r.cfg.Overhead)
 	}
 	lat := r.eng.Now() - start
 	r.trk.end(lat, wait, true)
+	if r.rec != nil {
+		r.rec.CompleteAt(obs.CatRing, src, "ring.tx", start, r.eng.Now(),
+			obs.Arg{Key: "dst", Val: int64(dst)}, obs.Arg{Key: "wait_ns", Val: int64(wait)})
+	}
 	return lat
 }
 
@@ -188,6 +213,7 @@ func (r *Ring) Access(p *sim.Process, src, dst int, addr memory.Addr) sim.Time {
 // traverses the same ring path without any process attached.
 func (r *Ring) AccessAsync(src, dst int, addr memory.Addr, done func()) {
 	r.trk.begin()
+	start := r.eng.Now()
 	path := r.path(src, dst, addr)
 	if len(path) > 1 {
 		r.crossTransactions++
@@ -196,6 +222,10 @@ func (r *Ring) AccessAsync(src, dst int, addr memory.Addr, done func()) {
 	step = func(i, losses int) {
 		if i == len(path) {
 			r.trk.end(0, 0, false)
+			if r.rec != nil {
+				r.rec.CompleteAt(obs.CatRing, src, "ring.tx.async", start, r.eng.Now(),
+					obs.Arg{Key: "dst", Val: int64(dst)})
+			}
 			if done != nil {
 				done()
 			}
@@ -203,8 +233,14 @@ func (r *Ring) AccessAsync(src, dst int, addr memory.Addr, done func()) {
 		}
 		res := path[i]
 		res.AcquireAsync(func() {
+			if r.rec != nil {
+				r.rec.Count(obs.CatRing, 0, res.Name(), int64(res.InUse()))
+			}
 			r.eng.Schedule(r.inj.DegradedHold(r.cfg.SlotHold), func() {
 				res.Release()
+				if r.rec != nil {
+					r.rec.Count(obs.CatRing, 0, res.Name(), int64(res.InUse()))
+				}
 				if r.inj.SlotLost(losses) {
 					step(i, losses+1) // packet corrupted: re-circulate this hop
 					return
@@ -218,6 +254,15 @@ func (r *Ring) AccessAsync(src, dst int, addr memory.Addr, done func()) {
 
 // Stats implements Fabric.
 func (r *Ring) Stats() Stats { return r.trk.stats }
+
+// ResetStats implements Fabric; it also zeroes the cross-ring count.
+func (r *Ring) ResetStats() {
+	r.trk.reset()
+	r.crossTransactions = 0
+}
+
+// InFlight implements Fabric.
+func (r *Ring) InFlight() int { return r.trk.inFlight }
 
 // CrossRingTransactions returns how many transactions traversed the
 // level-1 ring.

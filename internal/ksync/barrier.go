@@ -44,18 +44,19 @@ type Factory struct {
 }
 
 // Algorithms lists every barrier in the order of the paper's Figure 4
-// legend.
+// legend. Each factory wraps its barrier with Traced, so barrier phases
+// show up in traces on observed machines at no cost to unobserved ones.
 func Algorithms() []Factory {
 	return []Factory{
-		{"system", func(m *machine.Machine, n int) Barrier { return NewSystem(m, n) }},
-		{"counter", func(m *machine.Machine, n int) Barrier { return NewCounter(m, n) }},
-		{"tree", func(m *machine.Machine, n int) Barrier { return NewTree(m, n, false) }},
-		{"tree(M)", func(m *machine.Machine, n int) Barrier { return NewTree(m, n, true) }},
-		{"dissemination", func(m *machine.Machine, n int) Barrier { return NewDissemination(m, n) }},
-		{"tournament", func(m *machine.Machine, n int) Barrier { return NewTournament(m, n, false) }},
-		{"tournament(M)", func(m *machine.Machine, n int) Barrier { return NewTournament(m, n, true) }},
-		{"mcs", func(m *machine.Machine, n int) Barrier { return NewMCS(m, n, false) }},
-		{"mcs(M)", func(m *machine.Machine, n int) Barrier { return NewMCS(m, n, true) }},
+		{"system", func(m *machine.Machine, n int) Barrier { return Traced(m, NewSystem(m, n)) }},
+		{"counter", func(m *machine.Machine, n int) Barrier { return Traced(m, NewCounter(m, n)) }},
+		{"tree", func(m *machine.Machine, n int) Barrier { return Traced(m, NewTree(m, n, false)) }},
+		{"tree(M)", func(m *machine.Machine, n int) Barrier { return Traced(m, NewTree(m, n, true)) }},
+		{"dissemination", func(m *machine.Machine, n int) Barrier { return Traced(m, NewDissemination(m, n)) }},
+		{"tournament", func(m *machine.Machine, n int) Barrier { return Traced(m, NewTournament(m, n, false)) }},
+		{"tournament(M)", func(m *machine.Machine, n int) Barrier { return Traced(m, NewTournament(m, n, true)) }},
+		{"mcs", func(m *machine.Machine, n int) Barrier { return Traced(m, NewMCS(m, n, false)) }},
+		{"mcs(M)", func(m *machine.Machine, n int) Barrier { return Traced(m, NewMCS(m, n, true)) }},
 	}
 }
 

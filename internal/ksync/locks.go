@@ -3,6 +3,7 @@ package ksync
 import (
 	"repro/internal/machine"
 	"repro/internal/memory"
+	"repro/internal/obs"
 )
 
 // HWLock is the naive hardware exclusive lock of Section 3.2.1: a bare
@@ -20,10 +21,23 @@ func NewHWLock(m *machine.Machine) *HWLock {
 }
 
 // Acquire spins until the sub-page is held atomically.
-func (l *HWLock) Acquire(p *machine.Proc) { p.AcquireSubPage(l.addr) }
+func (l *HWLock) Acquire(p *machine.Proc) {
+	if r := p.Obs(); r.Enabled(obs.CatSync) {
+		start := p.Now()
+		p.AcquireSubPage(l.addr)
+		r.CompleteAt(obs.CatSync, p.CellID(), "hwlock.acquire", start, p.Now())
+		return
+	}
+	p.AcquireSubPage(l.addr)
+}
 
 // Release drops the atomic hold.
-func (l *HWLock) Release(p *machine.Proc) { p.ReleaseSubPage(l.addr) }
+func (l *HWLock) Release(p *machine.Proc) {
+	p.ReleaseSubPage(l.addr)
+	if r := p.Obs(); r.Enabled(obs.CatSync) {
+		r.Instant(obs.CatSync, p.CellID(), "hwlock.release")
+	}
+}
 
 // Token identifies one granted RWLock request.
 type Token struct {
@@ -86,6 +100,7 @@ func (l *RWLock) countAddr(ticket uint64) memory.Addr {
 // Acquire obtains the lock in read-shared (read=true) or write-exclusive
 // mode, returning the token to pass to Release.
 func (l *RWLock) Acquire(p *machine.Proc, read bool) Token {
+	start := p.Now()
 	p.AcquireSubPage(l.meta)
 	next := p.ReadWord(l.meta + rwNextOff)
 	batch := p.ReadWord(l.meta + rwBatchOff)
@@ -107,12 +122,23 @@ func (l *RWLock) Acquire(p *machine.Proc, read bool) Token {
 	}
 	p.ReleaseSubPage(l.meta)
 	spinAtLeast(p, l.serving, my)
+	if r := p.Obs(); r.Enabled(obs.CatSync) {
+		mode := int64(0)
+		if read {
+			mode = 1
+		}
+		r.CompleteAt(obs.CatSync, p.CellID(), "rwlock.acquire", start, p.Now(),
+			obs.Arg{Key: "read", Val: mode}, obs.Arg{Key: "ticket", Val: int64(my)})
+	}
 	return Token{ticket: my, read: read}
 }
 
 // Release returns the lock. The last reader of a batch, or the writer,
 // advances the serving ticket.
 func (l *RWLock) Release(p *machine.Proc, t Token) {
+	if r := p.Obs(); r.Enabled(obs.CatSync) {
+		r.Instant(obs.CatSync, p.CellID(), "rwlock.release", obs.Arg{Key: "ticket", Val: int64(t.ticket)})
+	}
 	if !t.read {
 		signal(p, l.serving, t.ticket+1, l.UsePoststore)
 		return

@@ -1,0 +1,33 @@
+package ksync
+
+import (
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// Traced wraps b so every Wait emits one "sync" trace slice per
+// participant, spanning arrival to departure — the barrier-phase view
+// the traces need to show who straggles and who waits. When m's
+// recorder lacks the sync category (or the machine is unobserved), b is
+// returned unchanged, so the wrapper costs nothing in the usual case.
+// Algorithms applies it to every factory.
+func Traced(m *machine.Machine, b Barrier) Barrier {
+	if r := m.Obs(); r.Enabled(obs.CatSync) {
+		return &tracedBarrier{b: b, rec: r, label: "barrier." + b.Name()}
+	}
+	return b
+}
+
+type tracedBarrier struct {
+	b     Barrier
+	rec   *obs.Recorder
+	label string
+}
+
+func (t *tracedBarrier) Name() string { return t.b.Name() }
+
+func (t *tracedBarrier) Wait(p *machine.Proc) {
+	start := p.Now()
+	t.b.Wait(p)
+	t.rec.CompleteAt(obs.CatSync, p.CellID(), t.label, start, p.Now())
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -89,6 +90,12 @@ type Config struct {
 	// Seed drives all machine-internal randomness (cache replacement,
 	// interrupt phase).
 	Seed uint64
+
+	// Obs, if set, observes the machine: New threads the recorder
+	// through the engine, fabric, directory, and caches, and Run arms
+	// the telemetry sampler and captures the final counter snapshot.
+	// Nil (the default) leaves every instrumentation hook disabled.
+	Obs *obs.Recorder
 }
 
 // Validate reports, with an actionable message, why the configuration

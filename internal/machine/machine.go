@@ -11,6 +11,7 @@
 package machine
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/cache"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -97,6 +99,7 @@ type Machine struct {
 	cells []*Cell
 	rng   *sim.RNG
 	inj   *faults.Injector // nil when cfg.Faults injects nothing
+	obs   *obs.Recorder    // nil when the machine is unobserved
 }
 
 // New builds a machine from a config.
@@ -174,8 +177,30 @@ func New(cfg Config) *Machine {
 			}
 		}
 	}
+	if rec := cfg.Obs; rec != nil {
+		var plan json.RawMessage
+		if cfg.Faults.Enabled() {
+			plan, _ = json.Marshal(cfg.Faults)
+		}
+		rec.Attach(e.Now, cfg.Name, cfg.Cells, cfg.Seed, plan)
+		e.SetHooks(rec.SimHooks())
+		m.fab.SetObs(rec)
+		if m.dir != nil && rec.Enabled(obs.CatCoh) {
+			m.dir.Obs = rec
+		}
+		for _, c := range m.cells {
+			if c.sub != nil {
+				c.sub.SetObs(rec, c.id)
+				c.local.SetObs(rec, c.id)
+			}
+		}
+		m.obs = rec
+	}
 	return m
 }
+
+// Obs returns the machine's trace recorder, or nil when unobserved.
+func (m *Machine) Obs() *obs.Recorder { return m.obs }
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
@@ -248,6 +273,24 @@ func (m *Machine) ResetMonitors() {
 	}
 }
 
+// ResetStats zeroes every cumulative counter on the machine — per-cell
+// monitors and caches, the fabric tracker, and the coherence directory —
+// so experiments can measure the paper's way: warm up, reset, measure
+// the interesting region as a delta.
+func (m *Machine) ResetStats() {
+	m.ResetMonitors()
+	m.fab.ResetStats()
+	if m.dir != nil {
+		m.dir.ResetStats()
+	}
+	for _, c := range m.cells {
+		if c.sub != nil {
+			c.sub.ResetStats()
+			c.local.ResetStats()
+		}
+	}
+}
+
 // Alloc reserves a named region of simulated memory.
 func (m *Machine) Alloc(name string, size int64) memory.Region {
 	return m.space.Alloc(name, size)
@@ -316,7 +359,9 @@ func (m *Machine) Run(procs int, body func(p *Proc)) (sim.Time, error) {
 			body(pr)
 		})
 	}
+	m.startSampler()
 	if err := m.eng.Run(); err != nil {
+		m.captureFinal()
 		// The run was abandoned mid-flight (deadlock, livelock): release
 		// the parked cell goroutines before handing the error up, so sweeps
 		// that tolerate failed configurations don't accumulate leaked
@@ -324,7 +369,115 @@ func (m *Machine) Run(procs int, body func(p *Proc)) (sim.Time, error) {
 		m.eng.Shutdown()
 		return 0, err
 	}
+	m.captureFinal()
 	return m.eng.Now() - start, nil
+}
+
+// samplerCols are the telemetry columns every observed machine records:
+// per-interval deltas for the cumulative counters, instantaneous gauges
+// for in-flight transactions and directory occupancy.
+var samplerCols = []string{
+	"fab.tx", "fab.inflight", "fab.wait_us",
+	"coh.fetch", "coh.inv", "coh.nack", "dir.subpages",
+	"mon.remote", "sim.events",
+}
+
+// startSampler arms the telemetry sampler on the machine's first Run: a
+// recurring engine event that snapshots the counters every SampleEvery
+// of simulated time and retires itself once no process is live. The
+// extra events only perturb the engine's sequence numbers, never the
+// relative order of the workload's own events, so sampled runs compute
+// identical results.
+func (m *Machine) startSampler() {
+	rec := m.obs
+	ts := rec.Sampler(samplerCols)
+	if ts == nil {
+		return
+	}
+	every := rec.SampleInterval()
+	var prevTx, prevWait, prevFetch, prevInv, prevNack, prevRemote, prevEvents float64
+	row := make([]float64, len(samplerCols))
+	sample := func() {
+		fs := m.fab.Stats()
+		tx, wait := float64(fs.Transactions), float64(fs.TotalWait)
+		var fetch, inv, nack, subpages float64
+		if m.dir != nil {
+			ds := m.dir.Stats()
+			fetch = float64(ds.ReadFetches + ds.WriteFetches)
+			inv = float64(ds.Invalidations)
+			nack = float64(ds.NACKs)
+			subpages = float64(m.dir.Entries())
+		}
+		remote := float64(m.TotalMonitor().RemoteAccesses)
+		events := float64(rec.EventsFired())
+		row[0] = tx - prevTx
+		row[1] = float64(m.fab.InFlight())
+		row[2] = (wait - prevWait) / 1000
+		row[3] = fetch - prevFetch
+		row[4] = inv - prevInv
+		row[5] = nack - prevNack
+		row[6] = subpages
+		row[7] = remote - prevRemote
+		row[8] = events - prevEvents
+		prevTx, prevWait, prevFetch, prevInv = tx, wait, fetch, inv
+		prevNack, prevRemote, prevEvents = nack, remote, events
+		ts.Record(m.eng.Now(), row)
+	}
+	var tick func()
+	tick = func() {
+		sample()
+		if m.eng.Live() > 0 {
+			m.eng.Schedule(every, tick)
+		}
+	}
+	m.eng.Schedule(every, tick)
+}
+
+// captureFinal stores the end-of-run counter snapshot on the recorder
+// for the run manifest. The last Run wins.
+func (m *Machine) captureFinal() {
+	if m.obs == nil {
+		return
+	}
+	m.obs.SetFinal(m.eng.Now(), m.obsCounters())
+}
+
+// obsCounters builds the ordered final counter list for manifests.
+func (m *Machine) obsCounters() []obs.Counter {
+	fs := m.fab.Stats()
+	mon := m.TotalMonitor()
+	cs := []obs.Counter{
+		{Name: "fabric.transactions", Value: float64(fs.Transactions)},
+		{Name: "fabric.mean_latency_ns", Value: float64(fs.MeanLatency())},
+		{Name: "fabric.total_wait_ns", Value: float64(fs.TotalWait)},
+		{Name: "fabric.max_inflight", Value: float64(fs.MaxInFlight)},
+		{Name: "mon.accesses", Value: float64(mon.Accesses)},
+		{Name: "mon.sub_misses", Value: float64(mon.SubMisses)},
+		{Name: "mon.local_misses", Value: float64(mon.LocalMisses)},
+		{Name: "mon.remote_accesses", Value: float64(mon.RemoteAccesses)},
+		{Name: "mon.ring_time_ns", Value: float64(mon.RingTime)},
+	}
+	if m.dir != nil {
+		ds := m.dir.Stats()
+		cs = append(cs,
+			obs.Counter{Name: "coh.read_fetches", Value: float64(ds.ReadFetches)},
+			obs.Counter{Name: "coh.write_fetches", Value: float64(ds.WriteFetches)},
+			obs.Counter{Name: "coh.invalidations", Value: float64(ds.Invalidations)},
+			obs.Counter{Name: "coh.snarfs", Value: float64(ds.Snarfs)},
+			obs.Counter{Name: "coh.nacks", Value: float64(ds.NACKs)},
+			obs.Counter{Name: "coh.retries", Value: float64(ds.Retries)},
+			obs.Counter{Name: "coh.drops", Value: float64(ds.Drops)},
+			obs.Counter{Name: "dir.subpages", Value: float64(m.dir.Entries())},
+		)
+	}
+	if m.inj != nil {
+		is := m.inj.Stats()
+		cs = append(cs,
+			obs.Counter{Name: "faults.slot_losses", Value: float64(is.SlotLosses)},
+			obs.Counter{Name: "faults.link_degrades", Value: float64(is.LinkDegrades)},
+		)
+	}
+	return cs
 }
 
 // Close releases any process goroutines still parked in the engine.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -37,6 +38,10 @@ func (p *Proc) Process() *sim.Process { return p.sp }
 
 // Now returns the current simulated time.
 func (p *Proc) Now() sim.Time { return p.sp.Now() }
+
+// Obs returns the machine's trace recorder, or nil when unobserved —
+// higher layers (ksync) use it to emit their own trace events.
+func (p *Proc) Obs() *obs.Recorder { return p.m.obs }
 
 // Compute spends ops local operations (one CPU cycle each: the unit the
 // paper uses for its synthetic lock workloads).

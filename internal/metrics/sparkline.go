@@ -1,0 +1,60 @@
+package metrics
+
+import "strings"
+
+// sparkLevels are the eight block glyphs a sparkline is built from.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line sparkline of at most width
+// glyphs, downsampling by bucket means when there are more values than
+// columns. The line is scaled to the series' own min..max range; a flat
+// series renders at the lowest level. Width <= 0 defaults to 60.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 60
+	}
+	// Downsample to at most width buckets, averaging within each.
+	cols := values
+	if len(values) > width {
+		cols = make([]float64, width)
+		for i := 0; i < width; i++ {
+			lo := i * len(values) / width
+			hi := (i + 1) * len(values) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			sum := 0.0
+			for _, v := range values[lo:hi] {
+				sum += v
+			}
+			cols[i] = sum / float64(hi-lo)
+		}
+	}
+	min, max := cols[0], cols[0]
+	for _, v := range cols {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range cols {
+		lvl := 0
+		if max > min {
+			lvl = int((v - min) / (max - min) * float64(len(sparkLevels)-1))
+			if lvl < 0 {
+				lvl = 0
+			}
+			if lvl >= len(sparkLevels) {
+				lvl = len(sparkLevels) - 1
+			}
+		}
+		b.WriteRune(sparkLevels[lvl])
+	}
+	return b.String()
+}

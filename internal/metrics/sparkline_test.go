@@ -1,0 +1,36 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Errorf("empty series rendered %q", got)
+	}
+	if got := Sparkline([]float64{5, 5, 5}, 10); got != "▁▁▁" {
+		t.Errorf("flat series = %q, want lowest level", got)
+	}
+	got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 10)
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp = %q", got)
+	}
+	// Downsampling: more values than columns caps the width.
+	long := make([]float64, 1000)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	got = Sparkline(long, 20)
+	if n := utf8.RuneCountInString(got); n != 20 {
+		t.Errorf("downsampled width = %d, want 20", n)
+	}
+	if !strings.HasPrefix(got, "▁") || !strings.HasSuffix(got, "█") {
+		t.Errorf("downsampled ramp lost its shape: %q", got)
+	}
+	// Width <= 0 defaults to 60.
+	if n := utf8.RuneCountInString(Sparkline(long, 0)); n != 60 {
+		t.Errorf("default width = %d, want 60", n)
+	}
+}

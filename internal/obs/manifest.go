@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// ManifestSchema identifies the manifest JSON layout; bump when fields
+// change incompatibly. ValidateManifest rejects any other value.
+const ManifestSchema = "ksrsim/manifest/v1"
+
+// Counter is one named value in a machine's final counter snapshot.
+// Counters are an ordered list, not a map, so manifests marshal
+// deterministically.
+type Counter struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// MachineRecord is the manifest entry for one observed machine: its
+// configuration identity plus the end-of-run counter snapshot.
+type MachineRecord struct {
+	Label     string          `json:"label"`
+	Machine   string          `json:"machine"`
+	Cells     int             `json:"cells"`
+	Seed      uint64          `json:"seed"`
+	FaultPlan json.RawMessage `json:"fault_plan,omitempty"`
+	SimTimeNs int64           `json:"sim_time_ns"`
+	Counters  []Counter       `json:"counters,omitempty"`
+}
+
+// NamedResult is one experiment result embedded in a manifest, kept as
+// raw JSON so the manifest does not depend on every result type.
+type NamedResult struct {
+	Name string          `json:"name"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Manifest is the machine-readable record of one ksrsim invocation:
+// what ran, on what code, for how long, and what came out. Sweeps become
+// diffable artifacts and BENCH trajectories can be reconstructed offline.
+type Manifest struct {
+	Schema      string   `json:"schema"`
+	Command     string   `json:"command"`
+	Args        []string `json:"args,omitempty"`
+	GoVersion   string   `json:"go_version"`
+	GitRevision string   `json:"git_revision,omitempty"`
+	StartedAt   string   `json:"started_at,omitempty"` // RFC 3339 UTC
+	WallSeconds float64  `json:"wall_seconds"`
+	Parallelism int      `json:"parallelism"`
+	TraceFile   string   `json:"trace_file,omitempty"`
+	TraceCats   string   `json:"trace_cats,omitempty"`
+	SampleNs    int64    `json:"sample_ns,omitempty"`
+
+	Machines []MachineRecord `json:"machines,omitempty"`
+	Results  []NamedResult   `json:"results,omitempty"`
+}
+
+// ValidateManifest strictly decodes b as a Manifest: unknown fields are
+// rejected, the schema string must match, and the identifying fields
+// must be present. It returns the decoded manifest so callers can
+// round-trip through it.
+func ValidateManifest(b []byte) (*Manifest, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("obs: manifest does not decode: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("obs: trailing data after manifest JSON")
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("obs: manifest schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if m.Command == "" {
+		return nil, fmt.Errorf("obs: manifest missing command")
+	}
+	if m.GoVersion == "" {
+		return nil, fmt.Errorf("obs: manifest missing go_version")
+	}
+	for i, mr := range m.Machines {
+		if mr.Label == "" {
+			return nil, fmt.Errorf("obs: manifest machine %d missing label", i)
+		}
+		if mr.Machine == "" {
+			return nil, fmt.Errorf("obs: manifest machine %q missing machine name", mr.Label)
+		}
+		if mr.Cells < 1 {
+			return nil, fmt.Errorf("obs: manifest machine %q has %d cells", mr.Label, mr.Cells)
+		}
+	}
+	for i, r := range m.Results {
+		if r.Name == "" {
+			return nil, fmt.Errorf("obs: manifest result %d missing name", i)
+		}
+		if !json.Valid(r.Data) {
+			return nil, fmt.Errorf("obs: manifest result %q data is not valid JSON", r.Name)
+		}
+	}
+	return &m, nil
+}
+
+// traceEvent is the strict decode target for one trace_event object.
+type traceEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat,omitempty"`
+	Ph   string           `json:"ph"`
+	Ts   *float64         `json:"ts"`
+	Dur  *float64         `json:"dur,omitempty"`
+	S    string           `json:"s,omitempty"`
+	Pid  *int             `json:"pid"`
+	Tid  *int             `json:"tid"`
+	Args map[string]any   `json:"args,omitempty"`
+}
+
+// ValidateTrace checks that b is a well-formed Chrome trace_event JSON
+// document of the shape TraceJSON emits: a traceEvents array whose
+// entries carry a name, a known phase, timestamps, and pid/tid. This is
+// the schema gate the CI smoke run applies to `-trace` output.
+func ValidateTrace(b []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("obs: trace does not decode: %w", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		return fmt.Errorf("obs: trace displayTimeUnit %q, want \"ns\"", doc.DisplayTimeUnit)
+	}
+	for i, raw := range doc.TraceEvents {
+		ed := json.NewDecoder(bytes.NewReader(raw))
+		ed.DisallowUnknownFields()
+		var ev traceEvent
+		if err := ed.Decode(&ev); err != nil {
+			return fmt.Errorf("obs: trace event %d does not decode: %w", i, err)
+		}
+		if ev.Name == "" {
+			return fmt.Errorf("obs: trace event %d missing name", i)
+		}
+		switch ev.Ph {
+		case "X", "i", "C", "M":
+		default:
+			return fmt.Errorf("obs: trace event %d (%s) has unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Ts == nil || ev.Pid == nil || ev.Tid == nil {
+			return fmt.Errorf("obs: trace event %d (%s) missing ts/pid/tid", i, ev.Name)
+		}
+		if ev.Ph != "M" && ev.Cat == "" {
+			return fmt.Errorf("obs: trace event %d (%s) missing category", i, ev.Name)
+		}
+		if ev.Ph == "X" && (ev.Dur == nil || *ev.Dur < 0) {
+			return fmt.Errorf("obs: trace event %d (%s) missing or negative dur", i, ev.Name)
+		}
+		if ev.Ph == "C" {
+			if _, ok := ev.Args["value"]; !ok {
+				return fmt.Errorf("obs: trace counter event %d (%s) missing args.value", i, ev.Name)
+			}
+		}
+	}
+	return nil
+}

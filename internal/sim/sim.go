@@ -73,6 +73,25 @@ type event struct {
 	queued bool
 }
 
+// Hooks is the engine's instrumentation surface: nil-checked function
+// pointers invoked from the dispatch fast path. A nil *Hooks (the
+// default) costs one predictable branch per event, so instrumentation
+// stays off the steady-state paths unless explicitly armed; the obs
+// package builds a Hooks that records trace events keyed by simulated
+// time.
+type Hooks struct {
+	// EventFired runs after a plain callback event is dispatched.
+	EventFired func(at Time)
+	// ProcessResume runs when a process regains control (its resume
+	// event fired), before its goroutine continues.
+	ProcessResume func(at Time, p *Process)
+	// ProcessPark runs when a process parks, with the same reason
+	// string that deadlock reports use.
+	ProcessPark func(at Time, p *Process, why string)
+	// ProcessDone runs when a process body returns.
+	ProcessDone func(at Time, p *Process)
+}
+
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
@@ -98,6 +117,19 @@ type Engine struct {
 	watchdogLimit int
 	watchAt       Time
 	watchCount    int
+
+	// hooks is stored by value so each hot-path check is one function
+	// pointer load and test; a zero value (all nil) means disarmed.
+	hooks Hooks
+}
+
+// SetHooks arms (or, with nil, disarms) the instrumentation hooks.
+func (e *Engine) SetHooks(h *Hooks) {
+	if h == nil {
+		e.hooks = Hooks{}
+		return
+	}
+	e.hooks = *h
 }
 
 // NewEngine returns an empty simulation at time zero.
@@ -227,6 +259,9 @@ func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 			return
 		}
 		body(p)
+		if fn := e.hooks.ProcessDone; fn != nil {
+			fn(e.now, p)
+		}
 		p.done = true
 		e.nlive--
 		// The finishing goroutine keeps dispatching until control moves on.
@@ -282,11 +317,17 @@ func (e *Engine) dispatch(self *Process) *Process {
 				panic("sim: resuming finished process " + p.name)
 			}
 			p.blocked = false
+			if fn := e.hooks.ProcessResume; fn != nil {
+				fn(ev.at, p)
+			}
 			e.running = p
 			return p
 		}
 		fn := ev.fn
 		e.release(ev)
+		if hook := e.hooks.EventFired; hook != nil {
+			hook(e.now)
+		}
 		fn()
 	}
 }
@@ -303,6 +344,9 @@ func (p *Process) park(why string) {
 		runtime.Goexit()
 	}
 	p.blockWhy = why
+	if fn := e.hooks.ProcessPark; fn != nil {
+		fn(e.now, p, why)
+	}
 	next := e.dispatch(p)
 	if next != p {
 		if next != nil {
