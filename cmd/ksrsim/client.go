@@ -1,0 +1,304 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/server/api"
+)
+
+// cmdClient talks to a running ksrsimd daemon instead of simulating
+// locally: submit jobs (optionally waiting for the rendered result, so
+// `ksrsim client submit -wait latency` prints exactly what `ksrsim
+// latency` would), inspect them, stream their progress, or read service
+// stats. See docs/SERVER.md.
+func cmdClient(args []string) {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7788", "ksrsimd base URL")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, `Usage: ksrsim client [-addr url] <verb> [flags]
+
+Verbs:
+  submit [-c file | -config json] [-priority n] [-recompute]
+         [-trace] [-trace-cats list] [-sample ns] [-wait] <experiment>
+  get <job-id>
+  watch <job-id>        stream SSE progress until the job ends
+  cancel <job-id>
+  experiments           list runnable experiments
+  stats                 queue/cache/job counters
+  health                daemon liveness and drain state
+`)
+	}
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimRight(*addr, "/")}
+	verb, vargs := rest[0], rest[1:]
+	switch verb {
+	case "submit":
+		c.submit(vargs)
+	case "get":
+		c.get(vargs)
+	case "watch":
+		c.watch(vargs)
+	case "cancel":
+		c.cancel(vargs)
+	case "experiments":
+		c.experiments()
+	case "stats":
+		c.printJSON("/v1/stats")
+	case "health":
+		c.printJSON("/v1/healthz")
+	default:
+		fmt.Fprintf(os.Stderr, "ksrsim client: unknown verb %q\n\n", verb)
+		fs.Usage()
+		os.Exit(2)
+	}
+}
+
+type client struct {
+	base string
+}
+
+// do performs one request and decodes the JSON answer into out,
+// translating non-2xx answers (including 429 backpressure) to errors.
+func (c *client) do(method, path string, body []byte, out any) error {
+	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var e api.ErrorResponse
+		if json.Unmarshal(b, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return fmt.Errorf("%s: queue full, retry later", resp.Status)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	if out != nil {
+		return json.Unmarshal(b, out)
+	}
+	return nil
+}
+
+func (c *client) submit(args []string) {
+	fs := flag.NewFlagSet("client submit", flag.ExitOnError)
+	cfgFile := fs.String("c", "", "config JSON file (partial; merged onto defaults)")
+	cfgInline := fs.String("config", "", "inline config JSON")
+	priority := fs.Int("priority", 0, "queue priority (higher runs first)")
+	recompute := fs.Bool("recompute", false, "bypass the result cache")
+	trace := fs.Bool("trace", false, "request a trace artifact on the server")
+	traceCats := fs.String("trace-cats", "all", "trace categories")
+	sampleNs := fs.Int64("sample", 0, "server-side telemetry sampling interval (simulated ns)")
+	wait := fs.Bool("wait", false, "wait for the job and print its result")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("client submit: need exactly one experiment name (see 'ksrsim client experiments')"))
+	}
+	spec := api.JobSpec{
+		Experiment: fs.Arg(0),
+		Priority:   *priority,
+		Recompute:  *recompute,
+	}
+	switch {
+	case *cfgFile != "" && *cfgInline != "":
+		fail(fmt.Errorf("client submit: -c and -config are mutually exclusive"))
+	case *cfgFile != "":
+		b, err := os.ReadFile(*cfgFile)
+		if err != nil {
+			fail(err)
+		}
+		spec.Config = b
+	case *cfgInline != "":
+		spec.Config = []byte(*cfgInline)
+	}
+	if *trace || *sampleNs > 0 {
+		spec.Observe = &api.ObserveOptions{Trace: *trace, TraceCats: *traceCats, SampleNs: *sampleNs}
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		fail(err)
+	}
+	var sub api.SubmitResponse
+	if err := c.do(http.MethodPost, "/v1/jobs", body, &sub); err != nil {
+		fail(err)
+	}
+	if len(sub.Jobs) != 1 {
+		fail(fmt.Errorf("client submit: daemon returned %d handles", len(sub.Jobs)))
+	}
+	h := sub.Jobs[0]
+	if !*wait {
+		fmt.Printf("%s %s key=%s", h.ID, h.State, h.Key)
+		if h.Cached {
+			fmt.Print(" (cached)")
+		}
+		fmt.Println()
+		return
+	}
+	st := c.waitFor(h.ID)
+	c.emitStatus(st)
+}
+
+// waitFor polls until the job reaches a terminal state.
+func (c *client) waitFor(id string) api.JobStatus {
+	for {
+		var st api.JobStatus
+		if err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+			fail(err)
+		}
+		switch st.State {
+		case api.StateDone, api.StateFailed, api.StateCancelled, api.StateRejected:
+			return st
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// emitStatus prints a finished job the way the local CLI would print
+// the same experiment: the rendered text (or the result JSON under
+// -json), failing loudly on non-done states.
+func (c *client) emitStatus(st api.JobStatus) {
+	switch st.State {
+	case api.StateDone:
+		if jsonOut {
+			var buf bytes.Buffer
+			if err := json.Indent(&buf, st.Result, "", "  "); err != nil {
+				fail(err)
+			}
+			fmt.Println(buf.String())
+			return
+		}
+		fmt.Print(st.Text)
+	default:
+		fail(fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error))
+	}
+}
+
+func (c *client) get(args []string) {
+	if len(args) != 1 {
+		fail(fmt.Errorf("client get: need exactly one job id"))
+	}
+	var st api.JobStatus
+	if err := c.do(http.MethodGet, "/v1/jobs/"+args[0], nil, &st); err != nil {
+		fail(err)
+	}
+	b, _ := json.MarshalIndent(st, "", "  ")
+	fmt.Println(string(b))
+}
+
+// watch streams the job's SSE feed, printing one line per event, then
+// prints the final result just like `submit -wait`.
+func (c *client) watch(args []string) {
+	if len(args) != 1 {
+		fail(fmt.Errorf("client watch: need exactly one job id"))
+	}
+	id := args[0]
+	resp, err := http.Get(c.base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		fail(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b))))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev api.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			continue
+		}
+		switch ev.Type {
+		case "progress":
+			if p := ev.Progress; p != nil {
+				fmt.Fprintf(os.Stderr, "%s: %d/%d points", id, p.PointsDone, p.PointsTotal)
+				if p.Samples > 0 {
+					fmt.Fprintf(os.Stderr, ", %d samples", p.Samples)
+				}
+				fmt.Fprintln(os.Stderr)
+			}
+		case "state":
+			fmt.Fprintf(os.Stderr, "%s: %s\n", id, ev.State)
+		case "end":
+			c.emitStatus(c.waitFor(id))
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	fail(fmt.Errorf("event stream for %s ended without a terminal event", id))
+}
+
+func (c *client) cancel(args []string) {
+	if len(args) != 1 {
+		fail(fmt.Errorf("client cancel: need exactly one job id"))
+	}
+	var st api.JobStatus
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+args[0], nil)
+	if err != nil {
+		fail(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s %s\n", st.ID, st.State)
+}
+
+func (c *client) experiments() {
+	var infos []api.ExperimentInfo
+	if err := c.do(http.MethodGet, "/v1/experiments", nil, &infos); err != nil {
+		fail(err)
+	}
+	for _, in := range infos {
+		fmt.Printf("%-12s %s\n", in.Name, in.Describe)
+	}
+}
+
+// printJSON fetches path and prints the (already-indented) body.
+func (c *client) printJSON(path string) {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail(err)
+	}
+	os.Stdout.Write(b)
+}

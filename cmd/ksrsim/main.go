@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/kernels"
 	"repro/internal/metrics"
+	"repro/internal/version"
 )
 
 func usage() {
@@ -61,6 +62,9 @@ Commands:
   npb         run one kernel at an NPB class (S/W/A) and print its banner
   bench       measure engine micro-costs and sweep wall-clocks (BENCH_sim.json)
   all         run everything at default sizes
+  client      submit jobs to a ksrsimd daemon instead of running locally
+              (see docs/SERVER.md)
+  version     print build identity (revision, go version)
 
 Run 'ksrsim <command> -h' for per-command flags.
 `)
@@ -235,6 +239,10 @@ func main() {
 		cmdBench(args)
 	case "all":
 		cmdAll(args)
+	case "client":
+		cmdClient(args)
+	case "version":
+		fmt.Println(version.String())
 	case "-h", "--help", "help":
 		usage()
 	default:

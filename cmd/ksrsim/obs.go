@@ -5,12 +5,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/debug"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/version"
 )
 
 // Observability flags (see docs/OBSERVABILITY.md).
@@ -83,21 +83,6 @@ func captureResult(res any) {
 	obsState.results = append(obsState.results, obs.NamedResult{Name: name, Data: data})
 }
 
-// gitRevision returns the VCS revision stamped into the binary, or ""
-// (e.g. under `go run` or a non-VCS build).
-func gitRevision() string {
-	info, ok := debug.ReadBuildInfo()
-	if !ok {
-		return ""
-	}
-	for _, s := range info.Settings {
-		if s.Key == "vcs.revision" {
-			return s.Value
-		}
-	}
-	return ""
-}
-
 // finishObs writes every requested observability artifact, validating
 // the trace and manifest against their schemas before they land on
 // disk. Safe to call more than once; errors are reported but do not
@@ -139,7 +124,7 @@ func finishObs() bool {
 			Command:     obsState.cmd,
 			Args:        obsState.args,
 			GoVersion:   runtime.Version(),
-			GitRevision: gitRevision(),
+			GitRevision: version.Revision(),
 			StartedAt:   obsState.started.UTC().Format(time.RFC3339),
 			WallSeconds: time.Since(obsState.started).Seconds(),
 			Parallelism: experiments.Parallelism(),

@@ -1,0 +1,102 @@
+// Command ksrsimd serves the KSR-1 experiment suite over HTTP: a
+// long-running daemon with a bounded priority job queue, a
+// content-addressed result cache (deterministic simulation means
+// identical submissions are answered from cache, byte-identically), and
+// SSE progress streams. See docs/SERVER.md for the API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/resultcache"
+	"repro/internal/server"
+	"repro/internal/version"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7788", "listen address")
+	workers := flag.Int("workers", 2, "concurrent jobs (each job additionally fans sweep points per -parallel)")
+	queueCap := flag.Int("queue", 64, "max jobs waiting behind the workers (beyond it: HTTP 429)")
+	parallel := flag.Int("parallel", 0, "concurrent sweep points per job (0 = all cores)")
+	cacheDir := flag.String("cache-dir", "", "result cache directory (empty = in-memory only)")
+	cacheMax := flag.Int64("cache-max", 256<<20, "result cache size cap in bytes")
+	artifacts := flag.String("artifacts", "", "directory for per-job manifest/trace/telemetry artifacts (empty = off)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long running jobs get to finish on shutdown")
+	showVersion := flag.Bool("version", false, "print build identity and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ksrsimd:", err)
+		os.Exit(1)
+	}
+
+	experiments.SetParallelism(*parallel)
+
+	cache, err := resultcache.Open(*cacheDir, *cacheMax)
+	if err != nil {
+		fail(err)
+	}
+	if *artifacts != "" {
+		if err := os.MkdirAll(*artifacts, 0o755); err != nil {
+			fail(err)
+		}
+	}
+	srv, err := server.New(server.Config{
+		Workers:      *workers,
+		QueueCap:     *queueCap,
+		Cache:        cache,
+		ArtifactsDir: *artifacts,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	fmt.Fprintf(os.Stderr, "ksrsimd %s listening on %s (%d workers, queue %d, cache %s)\n",
+		version.Revision(), *addr, *workers, *queueCap, cacheDesc(*cacheDir, *cacheMax))
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "ksrsimd: %v: draining (up to %v)...\n", sig, *drainTimeout)
+		clean := srv.Drain(*drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		httpSrv.Shutdown(ctx)
+		cancel()
+		if clean {
+			fmt.Fprintln(os.Stderr, "ksrsimd: drained cleanly")
+		} else {
+			fmt.Fprintln(os.Stderr, "ksrsimd: drain timed out; in-flight jobs were cancelled")
+		}
+	}
+}
+
+func cacheDesc(dir string, max int64) string {
+	if dir == "" {
+		return fmt.Sprintf("in-memory, %d MiB cap", max>>20)
+	}
+	return fmt.Sprintf("%s, %d MiB cap", dir, max>>20)
+}

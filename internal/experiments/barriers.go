@@ -7,6 +7,7 @@ import (
 	"repro/internal/ksync"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -19,6 +20,8 @@ type BarriersConfig struct {
 	Episodes int
 	// Algorithms restricts the set (nil = all nine).
 	Algorithms []string
+
+	Obs *obs.Session `json:"-"`
 }
 
 // DefaultBarriersConfig returns the Figure 4 setup.
@@ -120,7 +123,7 @@ func RunBarriers(cfg BarriersConfig) (BarriersResult, error) {
 		res.Times[i] = make([]float64, len(procs))
 	}
 	// One job per (algorithm, P) point; each builds its own machine.
-	err := forEachIndex(len(algos)*len(procs), func(k int) error {
+	err := forEachObs(cfg.Obs, len(algos)*len(procs), func(k int) error {
 		i, j := k/len(procs), k%len(procs)
 		per, err := barrierPoint(cfg, algos[i], procs[j])
 		if err != nil {
@@ -134,7 +137,7 @@ func RunBarriers(cfg BarriersConfig) (BarriersResult, error) {
 
 // barrierPoint measures mean time per episode for one (algorithm, P).
 func barrierPoint(cfg BarriersConfig, f ksync.Factory, pn int) (sim.Time, error) {
-	m, err := NewMachineObs(cfg.Machine, cfg.Cells,
+	m, err := NewMachineObsIn(cfg.Obs, cfg.Machine, cfg.Cells,
 		fmt.Sprintf("barriers/%s/%s/p=%d", cfg.Machine, f.Name, pn))
 	if err != nil {
 		return 0, err
@@ -178,16 +181,36 @@ func (r CompareResult) String() string {
 // coherent caches: the paper notes the method "cannot be used"), so they
 // are included but expected to perform poorly there.
 func RunCompare(cells int, episodes int, procs []int) (CompareResult, error) {
+	return RunComparison(CompareConfig{Cells: cells, Episodes: episodes, Procs: procs})
+}
+
+// CompareConfig parameterizes the Section 3.2.3 comparison (the form job
+// specs submit).
+type CompareConfig struct {
+	Cells    int
+	Episodes int
+	Procs    []int
+
+	Obs *obs.Session `json:"-"`
+}
+
+// DefaultCompareConfig returns the setup `ksrsim compare` uses.
+func DefaultCompareConfig() CompareConfig {
+	return CompareConfig{Cells: 16, Episodes: 50, Procs: []int{2, 4, 8, 16}}
+}
+
+// RunComparison runs the barrier suite on the Symmetry and the Butterfly.
+func RunComparison(cfg CompareConfig) (CompareResult, error) {
 	var res CompareResult
 	var err error
 	res.Symmetry, err = RunBarriers(BarriersConfig{
-		Machine: SymmetryKind, Cells: cells, Episodes: episodes, Procs: procs,
+		Machine: SymmetryKind, Cells: cfg.Cells, Episodes: cfg.Episodes, Procs: cfg.Procs, Obs: cfg.Obs,
 	})
 	if err != nil {
 		return res, err
 	}
 	res.Butterfly, err = RunBarriers(BarriersConfig{
-		Machine: ButterflyKind, Cells: cells, Episodes: episodes, Procs: procs,
+		Machine: ButterflyKind, Cells: cfg.Cells, Episodes: cfg.Episodes, Procs: cfg.Procs, Obs: cfg.Obs,
 	})
 	return res, err
 }

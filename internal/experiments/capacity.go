@@ -7,6 +7,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memory"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // CapacityConfig parameterizes the superunitary-speedup demonstration.
@@ -22,6 +23,8 @@ type CapacityConfig struct {
 	Procs      []int
 	TotalBytes int64 // total working set (paper effect needs > 32 MB)
 	Sweeps     int   // repeated passes (reuse is what capacity buys)
+
+	Obs *obs.Session `json:"-"`
 }
 
 // DefaultCapacityConfig uses a 48 MB working set: 1.5x one local cache.
@@ -60,9 +63,9 @@ func RunCapacityEffect(cfg CapacityConfig) (CapacityResult, error) {
 	var res CapacityResult
 	points := make([]metrics.Point, len(cfg.Procs))
 	res.Evictions = make([]uint64, len(cfg.Procs))
-	err := forEachIndex(len(cfg.Procs), func(j int) error {
+	err := forEachObs(cfg.Obs, len(cfg.Procs), func(j int) error {
 		pn := cfg.Procs[j]
-		m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("capacity/p=%d", pn))
+		m, err := NewMachineObsIn(cfg.Obs, cfg.Machine, cfg.Cells, fmt.Sprintf("capacity/p=%d", pn))
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/ksync"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -38,6 +39,8 @@ type DegradationConfig struct {
 	// Checked arms the coherence invariant checker on every run; any
 	// violation fails the sweep.
 	Checked bool
+
+	Obs *obs.Session `json:"-"`
 }
 
 // DefaultDegradationConfig returns a test-scale sweep.
@@ -159,7 +162,7 @@ func RunDegradation(cfg DegradationConfig) (DegradationResult, error) {
 			mc.Faults = faults.Uniform(rate)
 		}
 		mc.Checked = c.Checked
-		return newMachineObs(mc, label)
+		return newMachineObs(c.Obs, mc, label)
 	}
 
 	// One job per (rate, workload) pair — the 12-job grain balances the
@@ -196,7 +199,7 @@ func RunDegradation(cfg DegradationConfig) (DegradationResult, error) {
 		return nil
 	}
 	workNames := [nWork]string{"barrier", "ep", "cg"}
-	err := forEachIndex(len(outs), func(k int) error {
+	err := forEachObs(c.Obs, len(outs), func(k int) error {
 		rate, work := rates[k/nWork], k%nWork
 		out := &outs[k]
 		m, err := mk(rate, fmt.Sprintf("faults/rate=%g/%s", rate, workNames[work]))

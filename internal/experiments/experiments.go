@@ -77,26 +77,45 @@ func SetSession(s *obs.Session) { obsSession.Store(s) }
 // ObsSession returns the current observability session, or nil.
 func ObsSession() *obs.Session { return obsSession.Load() }
 
+// sessionOr resolves the session an experiment records into: the
+// config-carried session when one was set (the ksrsimd daemon gives every
+// job its own), else the process-global one (the CLI path). Both may be
+// nil, which means unobserved.
+func sessionOr(s *obs.Session) *obs.Session {
+	if s != nil {
+		return s
+	}
+	return ObsSession()
+}
+
 // NewMachineObs is NewMachine plus observability: when a session is
 // installed, the machine records under the given label (one recorder per
 // label; labels must be unique per machine within a run). Without a
 // session it is identical to NewMachine.
 func NewMachineObs(kind MachineKind, cells int, label string) (*machine.Machine, error) {
+	return NewMachineObsIn(nil, kind, cells, label)
+}
+
+// NewMachineObsIn is NewMachineObs recording into an explicit session
+// (nil falls back to the process-global one). Long-running servers use it
+// to keep concurrent jobs' recorders apart.
+func NewMachineObsIn(s *obs.Session, kind MachineKind, cells int, label string) (*machine.Machine, error) {
 	cfg, err := ConfigFor(kind, cells)
 	if err != nil {
 		return nil, err
 	}
-	return newMachineObs(cfg, label)
+	return newMachineObs(s, cfg, label)
 }
 
-// newMachineObs validates cfg, attaches the session recorder for label,
-// and builds the machine. Config adjustments (seeds, faults, timer
-// interrupts) must be applied by the caller before this point.
-func newMachineObs(cfg machine.Config, label string) (*machine.Machine, error) {
+// newMachineObs validates cfg, attaches the recorder for label from the
+// resolved session, and builds the machine. Config adjustments (seeds,
+// faults, timer interrupts) must be applied by the caller before this
+// point.
+func newMachineObs(s *obs.Session, cfg machine.Config, label string) (*machine.Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	cfg.Obs = ObsSession().Recorder(label)
+	cfg.Obs = sessionOr(s).Recorder(label)
 	return machine.New(cfg), nil
 }
 

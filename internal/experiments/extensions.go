@@ -8,6 +8,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memory"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -25,6 +26,8 @@ type QueueLocksConfig struct {
 	Procs      []int
 	OpsPerProc int
 	HoldOps    int64
+
+	Obs *obs.Session `json:"-"`
 }
 
 // DefaultQueueLocksConfig returns the standard comparison setup.
@@ -85,7 +88,7 @@ func RunQueueLocks(cfg QueueLocksConfig) (QueueLocksResult, error) {
 		res.Times[i] = make([]float64, len(cfg.Procs))
 		res.Txns[i] = make([]uint64, len(cfg.Procs))
 	}
-	err := forEachIndex(len(kinds)*len(cfg.Procs), func(idx int) error {
+	err := forEachObs(cfg.Obs, len(kinds)*len(cfg.Procs), func(idx int) error {
 		i, j := idx/len(cfg.Procs), idx%len(cfg.Procs)
 		k, pn := kinds[i], cfg.Procs[j]
 		// The butterfly's gsp-free locks still work; the hardware
@@ -93,7 +96,7 @@ func RunQueueLocks(cfg QueueLocksConfig) (QueueLocksResult, error) {
 		if cfg.Machine == ButterflyKind && k.name == "hw-exclusive" {
 			return nil
 		}
-		m, err := NewMachineObs(cfg.Machine, cfg.Cells,
+		m, err := NewMachineObsIn(cfg.Obs, cfg.Machine, cfg.Cells,
 			fmt.Sprintf("qlocks/%s/%s/p=%d", cfg.Machine, k.name, pn))
 		if err != nil {
 			return err
@@ -127,6 +130,8 @@ type SaturationConfig struct {
 	Procs     int
 	Accesses  int64 // remote reads per processor per point
 	GapCycles []int64
+
+	Obs *obs.Session `json:"-"`
 }
 
 // DefaultSaturationConfig sweeps a fully populated KSR-1 ring.
@@ -167,9 +172,9 @@ func (r SaturationResult) String() string {
 func RunSaturation(cfg SaturationConfig) (SaturationResult, error) {
 	res := SaturationResult{Procs: cfg.Procs}
 	res.Points = make([]SaturationPoint, len(cfg.GapCycles))
-	err := forEachIndex(len(cfg.GapCycles), func(gi int) error {
+	err := forEachObs(cfg.Obs, len(cfg.GapCycles), func(gi int) error {
 		gap := cfg.GapCycles[gi]
-		m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("saturation/gap=%d", gap))
+		m, err := NewMachineObsIn(cfg.Obs, cfg.Machine, cfg.Cells, fmt.Sprintf("saturation/gap=%d", gap))
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memory"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -19,6 +20,11 @@ type LatencyConfig struct {
 	// RegionBytes is the size of each processor's private array (the
 	// paper used 1 MB; the default is smaller to keep runs quick).
 	RegionBytes int64
+
+	// Obs, when set, is the session this run records into instead of the
+	// process-global one. Excluded from JSON so job specs hash only the
+	// physical configuration.
+	Obs *obs.Session `json:"-"`
 }
 
 // DefaultLatencyConfig returns the standard Figure 2 setup.
@@ -65,7 +71,7 @@ func RunLatency(cfg LatencyConfig) (LatencyResult, error) {
 
 	// Sub-cache latency: one processor re-reading one cached word.
 	{
-		m, err := NewMachineObs(cfg.Machine, cfg.Cells, "latency/subcache")
+		m, err := NewMachineObsIn(cfg.Obs, cfg.Machine, cfg.Cells, "latency/subcache")
 		if err != nil {
 			return res, err
 		}
@@ -89,7 +95,7 @@ func RunLatency(cfg LatencyConfig) (LatencyResult, error) {
 	res.LocalWrite = make([]float64, len(procs))
 	res.NetRead = make([]float64, len(procs))
 	res.NetWrite = make([]float64, len(procs))
-	err := forEachIndex(len(procs), func(j int) error {
+	err := forEachObs(cfg.Obs, len(procs), func(j int) error {
 		lr, lw, nr, nw, err := latencyPoint(cfg, procs[j])
 		if err != nil {
 			return err
@@ -103,7 +109,7 @@ func RunLatency(cfg LatencyConfig) (LatencyResult, error) {
 
 // latencyPoint measures all four curves at one processor count.
 func latencyPoint(cfg LatencyConfig, pn int) (lr, lw, nr, nw float64, err error) {
-	m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("latency/p=%d", pn))
+	m, err := NewMachineObsIn(cfg.Obs, cfg.Machine, cfg.Cells, fmt.Sprintf("latency/p=%d", pn))
 	if err != nil {
 		return
 	}
@@ -204,12 +210,31 @@ func (r AllocOverheadResult) String() string {
 	return b.String()
 }
 
+// AllocConfig parameterizes the allocation-overhead measurement. The
+// machine size is fixed (the effect is per-access, not per-machine).
+type AllocConfig struct {
+	Machine MachineKind
+
+	Obs *obs.Session `json:"-"`
+}
+
+// DefaultAllocConfig returns the Section 3.1 setup.
+func DefaultAllocConfig() AllocConfig {
+	return AllocConfig{Machine: KSR1Kind}
+}
+
 // RunAllocOverhead measures the cost of allocation-unit misses by striding
 // so that every access claims a fresh 2 KB sub-cache block (local case) or
 // a fresh 16 KB local-cache page (remote case).
 func RunAllocOverhead(mk MachineKind) (AllocOverheadResult, error) {
+	return RunAlloc(AllocConfig{Machine: mk})
+}
+
+// RunAlloc is RunAllocOverhead driven by a config (the form job specs
+// submit).
+func RunAlloc(cfg AllocConfig) (AllocOverheadResult, error) {
 	var res AllocOverheadResult
-	m, err := NewMachineObs(mk, 4, "alloc")
+	m, err := NewMachineObsIn(cfg.Obs, cfg.Machine, 4, "alloc")
 	if err != nil {
 		return res, err
 	}

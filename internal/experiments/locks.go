@@ -6,6 +6,7 @@ import (
 	"repro/internal/ksync"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -27,6 +28,8 @@ type LocksConfig struct {
 	// TimerInterrupts enables the OS effect the paper uses to explain the
 	// software lock beating the hardware lock even with writers only.
 	TimerInterrupts bool
+
+	Obs *obs.Session `json:"-"`
 }
 
 // DefaultLocksConfig returns a scaled-down Figure 3 setup (the paper's 500
@@ -78,7 +81,7 @@ func RunLocks(cfg LocksConfig) (LocksResult, error) {
 	// One job per (P, lock-variant) point: variant 0 is the hardware lock,
 	// variant fi+1 the software RW lock at ReadFractions[fi].
 	variants := 1 + len(cfg.ReadFractions)
-	err := forEachIndex(len(procs)*variants, func(k int) error {
+	err := forEachObs(cfg.Obs, len(procs)*variants, func(k int) error {
 		j, v := k/variants, k%variants
 		if v == 0 {
 			el, err := runHWLockPoint(cfg, procs[j])
@@ -104,7 +107,7 @@ func lockMachine(cfg LocksConfig, label string) (*machine.Machine, error) {
 		return nil, err
 	}
 	mc.TimerInterrupts = cfg.TimerInterrupts
-	return newMachineObs(mc, label)
+	return newMachineObs(cfg.Obs, mc, label)
 }
 
 func runHWLockPoint(cfg LocksConfig, pn int) (sim.Time, error) {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/kernels"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -15,6 +16,8 @@ type EPConfig struct {
 	Cells    int
 	Procs    []int
 	LogPairs int
+
+	Obs *obs.Session `json:"-"`
 }
 
 // DefaultEPExperiment returns the scaled EP sweep.
@@ -41,8 +44,8 @@ func RunEPExperiment(cfg EPConfig) (EPExperimentResult, error) {
 	res.Verified = true
 	points := make([]metrics.Point, len(cfg.Procs))
 	outs := make([]kernels.EPResult, len(cfg.Procs))
-	err := forEachIndex(len(cfg.Procs), func(i int) error {
-		m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("ep/p=%d", cfg.Procs[i]))
+	err := forEachObs(cfg.Obs, len(cfg.Procs), func(i int) error {
+		m, err := NewMachineObsIn(cfg.Obs, cfg.Machine, cfg.Cells, fmt.Sprintf("ep/p=%d", cfg.Procs[i]))
 		if err != nil {
 			return err
 		}
@@ -79,6 +82,8 @@ type CGExperimentConfig struct {
 	N, NNZ     int
 	Iterations int
 	Poststore  bool
+
+	Obs *obs.Session `json:"-"`
 }
 
 // DefaultCGExperiment returns the scaled Table 1 setup (the paper's
@@ -126,8 +131,8 @@ func RunCGExperiment(cfg CGExperimentConfig) (KernelTableResult, error) {
 	}
 	points := make([]metrics.Point, len(cfg.Procs))
 	residuals := make([]float64, len(cfg.Procs))
-	err := forEachIndex(len(cfg.Procs), func(i int) error {
-		m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("cg/p=%d", cfg.Procs[i]))
+	err := forEachObs(cfg.Obs, len(cfg.Procs), func(i int) error {
+		m, err := NewMachineObsIn(cfg.Obs, cfg.Machine, cfg.Cells, fmt.Sprintf("cg/p=%d", cfg.Procs[i]))
 		if err != nil {
 			return err
 		}
@@ -166,9 +171,9 @@ func RunCGExperiment(cfg CGExperimentConfig) (KernelTableResult, error) {
 func RunCGPoststoreAblation(cfg CGExperimentConfig) (map[int]float64, error) {
 	// One job per (P, poststore on/off) pair.
 	times := make([]sim.Time, 2*len(cfg.Procs))
-	err := forEachIndex(len(times), func(k int) error {
+	err := forEachObs(cfg.Obs, len(times), func(k int) error {
 		pn, ps := cfg.Procs[k/2], k%2 == 1
-		m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("cg-poststore/p=%d/ps=%v", pn, ps))
+		m, err := NewMachineObsIn(cfg.Obs, cfg.Machine, cfg.Cells, fmt.Sprintf("cg-poststore/p=%d/ps=%v", pn, ps))
 		if err != nil {
 			return err
 		}
@@ -199,6 +204,8 @@ type ISExperimentConfig struct {
 	Procs     []int
 	LogKeys   int
 	LogMaxKey int
+
+	Obs *obs.Session `json:"-"`
 }
 
 // DefaultISExperiment returns the scaled Table 2 setup (paper: 2^23 keys).
@@ -217,8 +224,8 @@ func RunISExperiment(cfg ISExperimentConfig) (KernelTableResult, error) {
 	}
 	points := make([]metrics.Point, len(cfg.Procs))
 	sorted := make([]bool, len(cfg.Procs))
-	err := forEachIndex(len(cfg.Procs), func(i int) error {
-		m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("is/p=%d", cfg.Procs[i]))
+	err := forEachObs(cfg.Obs, len(cfg.Procs), func(i int) error {
+		m, err := NewMachineObsIn(cfg.Obs, cfg.Machine, cfg.Cells, fmt.Sprintf("is/p=%d", cfg.Procs[i]))
 		if err != nil {
 			return err
 		}
@@ -268,6 +275,8 @@ type SPExperimentConfig struct {
 	Procs      []int
 	Nx, Ny, Nz int
 	Iterations int
+
+	Obs *obs.Session `json:"-"`
 }
 
 // DefaultSPExperiment returns the Table 3 setup at the paper's 64x64x64
@@ -310,8 +319,8 @@ func RunSPExperiment(cfg SPExperimentConfig) (SPTableResult, error) {
 	})
 	points := make([]metrics.Point, len(cfg.Procs))
 	sums := make([]float64, len(cfg.Procs))
-	err := forEachIndex(len(cfg.Procs), func(i int) error {
-		m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("sp/p=%d", cfg.Procs[i]))
+	err := forEachObs(cfg.Obs, len(cfg.Procs), func(i int) error {
+		m, err := NewMachineObsIn(cfg.Obs, cfg.Machine, cfg.Cells, fmt.Sprintf("sp/p=%d", cfg.Procs[i]))
 		if err != nil {
 			return err
 		}
@@ -348,6 +357,8 @@ type BTExperimentConfig struct {
 	Procs      []int
 	Nx, Ny, Nz int
 	Iterations int
+
+	Obs *obs.Session `json:"-"`
 }
 
 // DefaultBTExperiment returns a moderate BT sweep.
@@ -371,8 +382,8 @@ func RunBTExperiment(cfg BTExperimentConfig) (SPTableResult, error) {
 	ref := kernels.BTReference(kcfg)
 	points := make([]metrics.Point, len(cfg.Procs))
 	sums := make([]float64, len(cfg.Procs))
-	err := forEachIndex(len(cfg.Procs), func(i int) error {
-		m, err := NewMachineObs(cfg.Machine, cfg.Cells, fmt.Sprintf("bt/p=%d", cfg.Procs[i]))
+	err := forEachObs(cfg.Obs, len(cfg.Procs), func(i int) error {
+		m, err := NewMachineObsIn(cfg.Obs, cfg.Machine, cfg.Cells, fmt.Sprintf("bt/p=%d", cfg.Procs[i]))
 		if err != nil {
 			return err
 		}
@@ -421,12 +432,30 @@ func (r SPOptsResult) String() string {
 	return b.String()
 }
 
+// SPOptsConfig parameterizes the Table 4 optimization ladder (the form
+// job specs submit): the SP grid plus the single processor count the
+// ladder runs at.
+type SPOptsConfig struct {
+	SPExperimentConfig
+	OptProcs int
+}
+
+// DefaultSPOptsConfig mirrors `ksrsim sp -opts` at its default size.
+func DefaultSPOptsConfig() SPOptsConfig {
+	return SPOptsConfig{SPExperimentConfig: DefaultSPExperiment(), OptProcs: 16}
+}
+
+// RunSPOpts runs the Table 4 ladder from a single config.
+func RunSPOpts(cfg SPOptsConfig) (SPOptsResult, error) {
+	return RunSPOptimizations(cfg.SPExperimentConfig, cfg.OptProcs)
+}
+
 // RunSPOptimizations reproduces Table 4: base, +padding, +prefetch, and
 // the poststore ablation, at the given processor count.
 func RunSPOptimizations(cfg SPExperimentConfig, procs int) (SPOptsResult, error) {
 	res := SPOptsResult{Procs: procs}
 	run := func(label string, pad, pre, post bool) (float64, error) {
-		m, err := NewMachineObs(cfg.Machine, cfg.Cells, "spopts/"+label)
+		m, err := NewMachineObsIn(cfg.Obs, cfg.Machine, cfg.Cells, "spopts/"+label)
 		if err != nil {
 			return 0, err
 		}
@@ -450,7 +479,7 @@ func RunSPOptimizations(cfg SPExperimentConfig, procs int) (SPOptsResult, error)
 		{"poststore", true, true, true},
 	}
 	out := make([]float64, len(variants))
-	err := forEachIndex(len(variants), func(i int) error {
+	err := forEachObs(cfg.Obs, len(variants), func(i int) error {
 		v, err := run(variants[i].label, variants[i].pad, variants[i].pre, variants[i].post)
 		if err != nil {
 			return err

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Each point of an experiment sweep (one processor count, one fault rate,
@@ -52,6 +55,30 @@ func SetProgress(on bool) {
 
 // progressOn reports whether the heartbeat is enabled.
 func progressOn() bool { return atomic.LoadInt32(&progress) != 0 }
+
+// forEachObs is forEachIndex bound to an observability session (the
+// config-carried one when set, else the process-global one): the sweep
+// registers its point count up front and notes each completion, which is
+// what feeds the ksrsimd progress streams, and a cancelled session stops
+// the sweep before its next point starts — already-running points finish,
+// so a cancelled sweep never leaves a half-simulated machine behind. The
+// result slots written before cancellation are exactly the ones a
+// sequential run would have produced.
+func forEachObs(s *obs.Session, n int, fn func(i int) error) error {
+	sess := sessionOr(s)
+	if sess == nil {
+		return forEachIndex(n, fn)
+	}
+	sess.AddPoints(n)
+	return forEachIndex(n, func(i int) error {
+		if sess.Cancelled() {
+			return context.Canceled
+		}
+		err := fn(i)
+		sess.NotePoint()
+		return err
+	})
+}
 
 // forEachIndex runs fn(0..n-1), fanning across Parallelism() workers.
 // fn must write its result into a preallocated index-addressed slot and

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Runner is one registered experiment: a name, a default-config
+// constructor, and a run function. It is the unit the ksrsimd job service
+// schedules — a job spec names an experiment and supplies (part of) its
+// config, and the service decodes, canonicalizes, and runs it through
+// this table.
+type Runner struct {
+	// Name is the experiment's CLI/API name ("latency", "cg", ...).
+	Name string
+	// Describe is a one-line summary shown by GET /v1/experiments.
+	Describe string
+	// New returns a pointer to a freshly defaulted config for this
+	// experiment. DecodeConfig overlays the submitted JSON onto it.
+	New func() any
+	// Run executes the experiment with cfg (the same pointer type New
+	// returns), recording into sess when non-nil. The result is a typed
+	// value whose String method renders the paper's table or figure.
+	Run func(sess *obs.Session, cfg any) (any, error)
+}
+
+// registry holds every config-driven experiment. The npb/bench/all CLI
+// commands stay CLI-only: they are presentation wrappers, not single
+// config→result functions, so they have no deterministic cacheable form.
+var registry = map[string]Runner{
+	"latency": {
+		Name: "latency", Describe: "Figure 2: read/write latencies per memory-hierarchy level",
+		New: func() any { c := DefaultLatencyConfig(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*LatencyConfig)
+			c.Obs = s
+			return RunLatency(c)
+		},
+	},
+	"alloc": {
+		Name: "alloc", Describe: "Section 3.1: block/page allocation overheads",
+		New: func() any { c := DefaultAllocConfig(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*AllocConfig)
+			c.Obs = s
+			return RunAlloc(c)
+		},
+	},
+	"locks": {
+		Name: "locks", Describe: "Figure 3: hardware exclusive vs software read-write lock",
+		New: func() any { c := DefaultLocksConfig(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*LocksConfig)
+			c.Obs = s
+			return RunLocks(c)
+		},
+	},
+	"barriers": {
+		Name: "barriers", Describe: "Figures 4/5: barrier algorithms vs processor count",
+		New: func() any { c := DefaultBarriersConfig(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*BarriersConfig)
+			c.Obs = s
+			return RunBarriers(c)
+		},
+	},
+	"compare": {
+		Name: "compare", Describe: "Section 3.2.3: barriers on Symmetry (bus) and Butterfly (MIN)",
+		New: func() any { c := DefaultCompareConfig(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*CompareConfig)
+			c.Obs = s
+			return RunComparison(c)
+		},
+	},
+	"ep": {
+		Name: "ep", Describe: "Section 3.3: Embarrassingly Parallel scalability",
+		New: func() any { c := DefaultEPExperiment(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*EPConfig)
+			c.Obs = s
+			return RunEPExperiment(c)
+		},
+	},
+	"cg": {
+		Name: "cg", Describe: "Table 1 + Figure 8: Conjugate Gradient",
+		New: func() any { c := DefaultCGExperiment(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*CGExperimentConfig)
+			c.Obs = s
+			return RunCGExperiment(c)
+		},
+	},
+	"is": {
+		Name: "is", Describe: "Table 2 + Figure 8: Integer Sort",
+		New: func() any { c := DefaultISExperiment(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*ISExperimentConfig)
+			c.Obs = s
+			return RunISExperiment(c)
+		},
+	},
+	"sp": {
+		Name: "sp", Describe: "Table 3: Scalar Pentadiagonal",
+		New: func() any { c := DefaultSPExperiment(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*SPExperimentConfig)
+			c.Obs = s
+			return RunSPExperiment(c)
+		},
+	},
+	"spopts": {
+		Name: "spopts", Describe: "Table 4: SP optimization ladder (pad/prefetch/poststore)",
+		New: func() any { c := DefaultSPOptsConfig(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*SPOptsConfig)
+			c.Obs = s
+			return RunSPOpts(c)
+		},
+	},
+	"bt": {
+		Name: "bt", Describe: "extension: Block Tridiagonal",
+		New: func() any { c := DefaultBTExperiment(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*BTExperimentConfig)
+			c.Obs = s
+			return RunBTExperiment(c)
+		},
+	},
+	"qlocks": {
+		Name: "qlocks", Describe: "extension: Anderson/MCS queue locks vs the hardware lock",
+		New: func() any { c := DefaultQueueLocksConfig(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*QueueLocksConfig)
+			c.Obs = s
+			return RunQueueLocks(c)
+		},
+	},
+	"saturation": {
+		Name: "saturation", Describe: "extension: offered-load sweep of the ring's slot capacity",
+		New: func() any { c := DefaultSaturationConfig(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*SaturationConfig)
+			c.Obs = s
+			return RunSaturation(c)
+		},
+	},
+	"capacity": {
+		Name: "capacity", Describe: "extension: the superunitary-speedup (cache capacity) effect",
+		New: func() any { c := DefaultCapacityConfig(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*CapacityConfig)
+			c.Obs = s
+			return RunCapacityEffect(c)
+		},
+	},
+	"faults": {
+		Name: "faults", Describe: "extension: degradation sweep under injected faults",
+		New: func() any { c := DefaultDegradationConfig(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*DegradationConfig)
+			c.Obs = s
+			return RunDegradation(c)
+		},
+	},
+}
+
+// LookupExperiment returns the registered runner for name.
+func LookupExperiment(name string) (Runner, bool) {
+	r, ok := registry[name]
+	return r, ok
+}
+
+// Experiments returns every registered experiment name, sorted.
+func Experiments() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DecodeConfig strictly decodes raw onto a fresh default config for the
+// runner: unknown fields are rejected (a typo'd field would otherwise
+// silently run the default and poison the result cache under the wrong
+// key). A nil/empty raw yields the defaults. The returned value is the
+// pointer Run expects.
+func (r Runner) DecodeConfig(raw []byte) (any, error) {
+	cfg := r.New()
+	if len(bytes.TrimSpace(raw)) == 0 {
+		return cfg, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(cfg); err != nil {
+		return nil, fmt.Errorf("experiments: %s config: %w", r.Name, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("experiments: %s config: trailing data", r.Name)
+	}
+	return cfg, nil
+}
+
+// CanonicalConfig marshals a decoded config back to its canonical JSON
+// form: defaults filled in, fields in declaration order, observability
+// excluded. Identical experiment inputs therefore produce identical
+// bytes — the property the ksrsimd result cache keys on.
+func (r Runner) CanonicalConfig(cfg any) ([]byte, error) {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s config canonicalization: %w", r.Name, err)
+	}
+	return b, nil
+}

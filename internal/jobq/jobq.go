@@ -1,0 +1,274 @@
+// Package jobq is ksrsimd's bounded priority job queue: a fixed worker
+// pool draining a priority heap, with per-job context cancellation and
+// explicit backpressure.
+//
+// The queue bounds WAITING work, not running work: capacity is how many
+// jobs may sit queued behind the workers. When it is full, Submit
+// returns ErrFull and the server surfaces 429 — load shedding at the
+// door rather than unbounded memory growth behind it. Within a priority
+// level jobs run in submission order (a monotonic sequence breaks ties),
+// so equal-priority traffic is FIFO and the schedule is deterministic
+// for a given submission order.
+//
+// Jobs themselves fan their simulation sweep points across cores via
+// internal/experiments/parallel.go; the queue's Workers knob therefore
+// controls how many *jobs* time-share the machine, while the
+// experiments' parallelism controls how many sweep points each job runs
+// at once.
+package jobq
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrFull is returned by Submit when the queue's waiting capacity is
+// exhausted (HTTP 429 territory).
+var ErrFull = errors.New("jobq: queue full")
+
+// ErrDraining is returned by Submit after Drain has begun.
+var ErrDraining = errors.New("jobq: draining")
+
+// ErrDuplicate is returned by Submit when the id is already queued or
+// running.
+var ErrDuplicate = errors.New("jobq: duplicate job id")
+
+// Run is a job body. It must honor ctx: when the context is cancelled
+// the job should stop at its next safe point and return.
+type Run func(ctx context.Context)
+
+// item is one queued job.
+type item struct {
+	id       string
+	priority int
+	seq      uint64
+	run      Run
+	index    int // heap index
+}
+
+// pq is a max-heap by priority, min by sequence within a priority.
+type pq []*item
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q pq) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index, q[j].index = i, j
+}
+func (q *pq) Push(x any) {
+	it := x.(*item)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*q = old[:n-1]
+	return it
+}
+
+// Stats is a point-in-time snapshot of the queue.
+type Stats struct {
+	Workers   int   `json:"workers"`
+	Capacity  int   `json:"capacity"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Rejected  int64 `json:"rejected"`
+	Cancelled int64 `json:"cancelled"`
+}
+
+// Queue is the bounded priority queue plus its worker pool.
+type Queue struct {
+	workers  int
+	capacity int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	heap    pq
+	queued  map[string]*item
+	running map[string]context.CancelFunc
+	seq     uint64
+	closed  bool
+
+	submitted int64
+	completed int64
+	rejected  int64
+	cancelled int64
+
+	wg sync.WaitGroup
+}
+
+// New starts a queue with the given worker pool size and waiting
+// capacity. workers and capacity are clamped to at least 1.
+func New(workers, capacity int) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue{
+		workers:  workers,
+		capacity: capacity,
+		queued:   make(map[string]*item),
+		running:  make(map[string]context.CancelFunc),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// Submit enqueues run under id at the given priority (higher runs
+// first). It never blocks: a full queue returns ErrFull immediately.
+func (q *Queue) Submit(id string, priority int, run Run) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		q.rejected++
+		return ErrDraining
+	}
+	if _, ok := q.queued[id]; ok {
+		return ErrDuplicate
+	}
+	if _, ok := q.running[id]; ok {
+		return ErrDuplicate
+	}
+	if len(q.heap) >= q.capacity {
+		q.rejected++
+		return ErrFull
+	}
+	q.seq++
+	it := &item{id: id, priority: priority, seq: q.seq, run: run}
+	heap.Push(&q.heap, it)
+	q.queued[id] = it
+	q.submitted++
+	q.cond.Signal()
+	return nil
+}
+
+// Cancel cancels the job with the given id. A queued job is removed
+// without ever running (removed=true); a running job has its context
+// cancelled and finishes on its own schedule (removed=false). Unknown
+// ids return found=false.
+func (q *Queue) Cancel(id string) (found, removed bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if it, ok := q.queued[id]; ok {
+		heap.Remove(&q.heap, it.index)
+		delete(q.queued, id)
+		q.cancelled++
+		return true, true
+	}
+	if cancel, ok := q.running[id]; ok {
+		cancel()
+		q.cancelled++
+		return true, false
+	}
+	return false, false
+}
+
+// worker drains the heap until Drain closes the queue and empties it.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for len(q.heap) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.heap) == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		it := heap.Pop(&q.heap).(*item)
+		delete(q.queued, it.id)
+		ctx, cancel := context.WithCancel(context.Background())
+		q.running[it.id] = cancel
+		q.mu.Unlock()
+
+		it.run(ctx)
+
+		q.mu.Lock()
+		delete(q.running, it.id)
+		cancel()
+		q.completed++
+		q.mu.Unlock()
+	}
+}
+
+// Drain stops the queue for shutdown: submissions are refused, every
+// still-queued job is removed (returned so the caller can report them
+// cancelled), and running jobs are given at most timeout to finish
+// before their contexts are cancelled. Drain returns once every worker
+// has exited; the second return reports whether shutdown was clean
+// (true) or required cancelling in-flight jobs (false).
+func (q *Queue) Drain(timeout time.Duration) (dropped []string, clean bool) {
+	q.mu.Lock()
+	q.closed = true
+	for len(q.heap) > 0 {
+		it := heap.Pop(&q.heap).(*item)
+		delete(q.queued, it.id)
+		q.cancelled++
+		dropped = append(dropped, it.id)
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return dropped, true
+	case <-time.After(timeout):
+	}
+	// Grace period over: cancel what is still running and wait it out.
+	q.mu.Lock()
+	for _, cancel := range q.running {
+		cancel()
+		q.cancelled++
+	}
+	q.mu.Unlock()
+	<-done
+	return dropped, false
+}
+
+// Len returns how many jobs are waiting (not running).
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// Stats returns a snapshot of the queue's counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{
+		Workers:   q.workers,
+		Capacity:  q.capacity,
+		Queued:    len(q.heap),
+		Running:   len(q.running),
+		Submitted: q.submitted,
+		Completed: q.completed,
+		Rejected:  q.rejected,
+		Cancelled: q.cancelled,
+	}
+}

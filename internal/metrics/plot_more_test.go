@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestPlotEmptyAndUnplottable(t *testing.T) {
+	// No series at all: just the title line.
+	out := Plot("Empty", "us", nil, 40, 10, false)
+	if out != "Empty (us)\n" {
+		t.Errorf("empty plot = %q", out)
+	}
+	// Log axis with only non-positive values: nothing plottable.
+	out = Plot("Neg", "us", []Series{
+		{Label: "bad", Procs: []int{1, 2}, Values: []float64{0, -5}},
+	}, 40, 10, true)
+	if out != "Neg (us)\n" {
+		t.Errorf("unplottable log plot = %q", out)
+	}
+}
+
+func TestPlotLogAxis(t *testing.T) {
+	out := Plot("Log", "us", []Series{
+		{Label: "wide", Procs: []int{1, 2, 4, 8}, Values: []float64{1, 10, 100, 1000}},
+	}, 40, 12, true)
+	if !strings.Contains(out, "1 = wide") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	// Log scaling puts the decade points at evenly spaced rows; the top
+	// label must recover the linear value.
+	if !strings.Contains(out, "1e+03") && !strings.Contains(out, "1000") {
+		t.Errorf("log top label missing:\n%s", out)
+	}
+	// A zero value on a log axis is skipped, not plotted at -inf.
+	out = Plot("LogZero", "us", []Series{
+		{Label: "z", Procs: []int{1, 2, 4}, Values: []float64{0, 10, 100}},
+	}, 40, 10, true)
+	if !strings.Contains(out, "10") {
+		t.Errorf("positive points lost when a zero was skipped:\n%s", out)
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	// A single point: both axes degenerate and must be padded, not NaN.
+	out := Plot("One", "us", []Series{
+		{Label: "pt", Procs: []int{4}, Values: []float64{7}},
+	}, 40, 10, false)
+	if strings.Contains(out, "NaN") {
+		t.Errorf("degenerate range produced NaN:\n%s", out)
+	}
+	if !strings.Contains(out, "1") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+	// A flat series (minY == maxY) likewise.
+	out = Plot("Flat", "us", []Series{
+		{Label: "flat", Procs: []int{1, 2, 4}, Values: []float64{5, 5, 5}},
+	}, 40, 10, false)
+	if strings.Contains(out, "NaN") {
+		t.Errorf("flat series produced NaN:\n%s", out)
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	out := Plot("Tiny", "us", sampleSeries(), 1, 1, false)
+	lines := strings.Split(out, "\n")
+	// Title + at least 5 grid rows + axis + labels: clamping must have
+	// raised the 1x1 request.
+	if len(lines) < 8 {
+		t.Errorf("tiny plot not clamped, only %d lines:\n%s", len(lines), out)
+	}
+	var maxLen int
+	for _, l := range lines {
+		if len(l) > maxLen {
+			maxLen = len(l)
+		}
+	}
+	if maxLen < 20 {
+		t.Errorf("width not clamped to minimum, widest line %d", maxLen)
+	}
+}
+
+func TestPlotMarkWrapAndRaggedSeries(t *testing.T) {
+	// Ten series: the tenth wraps back to mark '1'.
+	var series []Series
+	for i := 0; i < 10; i++ {
+		series = append(series, Series{
+			Label:  fmt.Sprintf("s%d", i),
+			Procs:  []int{1, 2},
+			Values: []float64{float64(i + 1), float64(i + 2)},
+		})
+	}
+	out := Plot("Wrap", "us", series, 40, 12, false)
+	if !strings.Contains(out, "1 = s0") || !strings.Contains(out, "1 = s9") {
+		t.Errorf("mark wrap legend wrong:\n%s", out)
+	}
+	// Procs longer than Values: extra procs are ignored, not a panic.
+	out = Plot("Ragged", "us", []Series{
+		{Label: "r", Procs: []int{1, 2, 4, 8}, Values: []float64{3, 6}},
+	}, 40, 10, false)
+	if !strings.Contains(out, "1 = r") {
+		t.Errorf("ragged series dropped entirely:\n%s", out)
+	}
+}
+
+func TestSpeedupPlotIdealReference(t *testing.T) {
+	out := SpeedupPlot("Fig 8", map[string][]Row{
+		"CG": {{Procs: 1, Speedup: 1}, {Procs: 8, Speedup: 5.5}, {Procs: 16, Speedup: 9}},
+		"IS": {{Procs: 1, Speedup: 1}, {Procs: 8, Speedup: 6.5}, {Procs: 16, Speedup: 11}},
+	}, 40, 12)
+	// Legend order is sorted names then the ideal reference.
+	cg := strings.Index(out, "= CG")
+	is := strings.Index(out, "= IS")
+	ideal := strings.Index(out, "= ideal")
+	if cg < 0 || is < 0 || ideal < 0 {
+		t.Fatalf("legend incomplete:\n%s", out)
+	}
+	if !(cg < is && is < ideal) {
+		t.Errorf("legend not sorted with ideal last:\n%s", out)
+	}
+	if !strings.Contains(out, "speedup") {
+		t.Errorf("unit missing:\n%s", out)
+	}
+}
+
+func TestSparklineEdges(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty input should render empty")
+	}
+	// Flat series renders at the lowest level only.
+	flat := Sparkline([]float64{3, 3, 3}, 10)
+	if strings.Trim(flat, "▁") != "" {
+		t.Errorf("flat series = %q, want all minimum glyphs", flat)
+	}
+	// Width <= 0 defaults to 60 columns, downsampling 600 points.
+	many := make([]float64, 600)
+	for i := range many {
+		many[i] = float64(i % 50)
+	}
+	line := Sparkline(many, 0)
+	if n := len([]rune(line)); n != 60 {
+		t.Errorf("default width rendered %d glyphs, want 60", n)
+	}
+	// Monotonic data must end on the highest glyph.
+	mono := Sparkline([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 8)
+	runes := []rune(mono)
+	if runes[len(runes)-1] != '█' {
+		t.Errorf("monotonic sparkline = %q, want trailing full block", mono)
+	}
+}
+
+func TestSerialFractionAndSuperunitaryEdges(t *testing.T) {
+	if f := SerialFraction(100, 100, 1); f != 0 {
+		t.Errorf("p=1 serial fraction = %v, want 0", f)
+	}
+	if f := SerialFraction(0, 100, 4); f != 0 {
+		t.Errorf("zero t1 serial fraction = %v, want 0", f)
+	}
+	// Perfect speedup: no serial fraction.
+	if f := SerialFraction(400, 100, 4); f > 1e-9 || f < -1e-9 {
+		t.Errorf("perfect scaling serial fraction = %v, want ~0", f)
+	}
+	if Superunitary(0, 10, 4, 16) || Superunitary(10, 0, 4, 16) || Superunitary(10, 5, 0, 16) {
+		t.Error("degenerate inputs reported superunitary")
+	}
+	// 4→16 procs with >4x time improvement: superunitary.
+	if !Superunitary(1000, 200, 4, 16) {
+		t.Error("5x improvement over 4x procs not flagged superunitary")
+	}
+	if Superunitary(1000, 300, 4, 16) {
+		t.Error("3.3x improvement over 4x procs wrongly flagged")
+	}
+}

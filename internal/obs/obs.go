@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -156,6 +157,14 @@ type Session struct {
 
 	mu   sync.Mutex
 	recs []*Recorder
+
+	// Live progress, updated with atomics so another goroutine (the
+	// ksrsimd SSE streamer) can poll a running session without racing
+	// the machine goroutines that record into it.
+	pointsDone  atomic.Int64
+	pointsTotal atomic.Int64
+	samples     atomic.Int64
+	cancelled   atomic.Bool
 }
 
 // NewSession creates a session with the given options.
@@ -182,6 +191,56 @@ func (s *Session) Recorder(label string) *Recorder {
 	s.recs = append(s.recs, r)
 	s.mu.Unlock()
 	return r
+}
+
+// AddPoints grows the session's sweep-point total by n. Experiment
+// sweeps call it once per forEach fan-out; nil-safe.
+func (s *Session) AddPoints(n int) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.pointsTotal.Add(int64(n))
+}
+
+// NotePoint records one completed sweep point. Nil-safe.
+func (s *Session) NotePoint() {
+	if s == nil {
+		return
+	}
+	s.pointsDone.Add(1)
+}
+
+// Progress returns the completed and total sweep-point counts so far.
+// Safe to call concurrently with a running sweep.
+func (s *Session) Progress() (done, total int64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.pointsDone.Load(), s.pointsTotal.Load()
+}
+
+// Samples returns the number of telemetry rows recorded so far across
+// every recorder. Safe to call concurrently with a running sweep.
+func (s *Session) Samples() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.samples.Load()
+}
+
+// Cancel marks the session cancelled: sweeps observing it stop before
+// starting their next point. Already-running points finish (a simulation
+// cannot be interrupted mid-run without losing determinism). Nil-safe.
+func (s *Session) Cancel() {
+	if s == nil {
+		return
+	}
+	s.cancelled.Store(true)
+}
+
+// Cancelled reports whether Cancel was called.
+func (s *Session) Cancelled() bool {
+	return s != nil && s.cancelled.Load()
 }
 
 // sorted returns the session's recorders ordered by label.
@@ -330,6 +389,9 @@ func (r *Recorder) Sampler(cols []string) *TimeSeries {
 	}
 	r.armed = true
 	r.series = &TimeSeries{Columns: append([]string(nil), cols...)}
+	if r.sess != nil {
+		r.series.onRecord = func() { r.sess.samples.Add(1) }
+	}
 	return r.series
 }
 

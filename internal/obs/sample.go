@@ -19,12 +19,20 @@ type TimeSeries struct {
 	Columns []string
 	Times   []sim.Time
 	Rows    [][]float64
+
+	// onRecord, when set, is called once per recorded row. The session
+	// uses it to keep a race-free sample counter for live progress
+	// streaming; it must not touch the series itself.
+	onRecord func()
 }
 
 // Record appends one sample row (copied) at simulated time at.
 func (t *TimeSeries) Record(at sim.Time, row []float64) {
 	t.Times = append(t.Times, at)
 	t.Rows = append(t.Rows, append([]float64(nil), row...))
+	if t.onRecord != nil {
+		t.onRecord()
+	}
 }
 
 // Len returns the number of recorded samples.

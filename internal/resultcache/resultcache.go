@@ -1,0 +1,253 @@
+// Package resultcache is ksrsimd's content-addressed experiment result
+// cache. The simulator is deterministic by construction — identical
+// machine config, experiment parameters, seed, and fault plan produce
+// byte-identical results — so a result can be addressed purely by a
+// SHA-256 of the experiment name and its canonical config JSON and
+// replayed forever. Characterization sweeps get re-run endlessly with
+// the same parameters; memoizing them turns the nth run into a map
+// lookup.
+//
+// The cache is an LRU bounded by total entry bytes, safe for concurrent
+// use, with optional on-disk persistence (one JSON file per entry, keyed
+// by the content hash, so a daemon restart starts warm). Counters track
+// hits, misses, stores, and evictions for the /v1/stats endpoint.
+package resultcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Key computes the content address for one experiment execution: the
+// hex SHA-256 of a versioned preimage covering the experiment name and
+// its canonical config JSON (which embeds machine kind, cells, seeds,
+// and fault plans — everything that determines the output bytes).
+func Key(experiment string, canonicalConfig []byte) string {
+	h := sha256.New()
+	h.Write([]byte("ksrsimd/cachekey/v1\x00"))
+	h.Write([]byte(experiment))
+	h.Write([]byte{0})
+	h.Write(canonicalConfig)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Entry is one cached execution: the identifying inputs plus every
+// output artifact a job response needs, stored as raw bytes so repeat
+// responses are byte-identical to the first.
+type Entry struct {
+	Key        string          `json:"key"`
+	Experiment string          `json:"experiment"`
+	Config     json.RawMessage `json:"config"`             // canonical form
+	Result     json.RawMessage `json:"result"`             // marshaled result struct
+	Text       string          `json:"text,omitempty"`     // rendered table/figure
+	Manifest   json.RawMessage `json:"manifest,omitempty"` // run manifest of the producing job
+	CreatedAt  string          `json:"created_at,omitempty"`
+}
+
+// size is the entry's accounting cost: the length of its serialized
+// form, which is also exactly what persistence writes.
+func (e *Entry) size() int64 {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return 0
+	}
+	return int64(len(b))
+}
+
+// Stats is a point-in-time snapshot of the cache.
+type Stats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Stores    uint64 `json:"stores"`
+	Evictions uint64 `json:"evictions"`
+	Persisted bool   `json:"persisted"`
+}
+
+type node struct {
+	entry *Entry
+	size  int64
+}
+
+// Cache is the LRU. The zero value is not usable; call Open.
+type Cache struct {
+	mu    sync.Mutex
+	dir   string // "" = memory-only
+	max   int64
+	ll    *list.List // front = most recent
+	byKey map[string]*list.Element
+	bytes int64
+
+	hits, misses, stores, evictions uint64
+}
+
+// Open creates a cache bounded to maxBytes of serialized entries. When
+// dir is non-empty, entries persist there (one <key>.json file each)
+// and any existing files are loaded back, oldest-modified first, so the
+// LRU order survives a restart. Unreadable or corrupt files are skipped
+// — a cache must never refuse to start over stale state.
+func Open(dir string, maxBytes int64) (*Cache, error) {
+	if maxBytes <= 0 {
+		return nil, fmt.Errorf("resultcache: max bytes must be positive (got %d)", maxBytes)
+	}
+	c := &Cache{
+		dir:   dir,
+		max:   maxBytes,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+	if dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	type onDisk struct {
+		entry *Entry
+		mod   time.Time
+	}
+	var found []onDisk
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var e Entry
+		if json.Unmarshal(b, &e) != nil || e.Key == "" || e.Key != strings.TrimSuffix(name, ".json") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, onDisk{entry: &e, mod: info.ModTime()})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mod.Before(found[j].mod) })
+	for _, od := range found {
+		c.insert(od.entry, false)
+	}
+	// Loading counts neither as stores nor misses.
+	c.stores, c.evictions = 0, 0
+	return c, nil
+}
+
+// Get returns the entry for key and whether it was present, promoting
+// it to most-recently-used on a hit.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	n := el.Value.(*node)
+	if c.dir != "" {
+		// Best-effort recency stamp so LRU order survives restarts.
+		now := time.Now()
+		_ = os.Chtimes(c.path(key), now, now)
+	}
+	return n.entry, true
+}
+
+// Put stores e (replacing any previous entry under the same key) and
+// evicts least-recently-used entries until the cache fits its byte cap.
+// An entry larger than the whole cap is rejected.
+func (c *Cache) Put(e *Entry) error {
+	if e == nil || e.Key == "" {
+		return fmt.Errorf("resultcache: entry missing key")
+	}
+	sz := e.size()
+	if sz > c.max {
+		return fmt.Errorf("resultcache: entry %s (%d bytes) exceeds cache cap %d", e.Key[:12], sz, c.max)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[e.Key]; ok {
+		c.ll.Remove(el)
+		delete(c.byKey, e.Key)
+		c.bytes -= el.Value.(*node).size
+	}
+	c.insert(e, true)
+	return nil
+}
+
+// insert adds e at the front and evicts from the back. Caller holds mu
+// (or is Open's single-threaded load when persist=false).
+func (c *Cache) insert(e *Entry, persist bool) {
+	sz := e.size()
+	el := c.ll.PushFront(&node{entry: e, size: sz})
+	c.byKey[e.Key] = el
+	c.bytes += sz
+	c.stores++
+	if persist && c.dir != "" {
+		if b, err := json.Marshal(e); err == nil {
+			_ = os.WriteFile(c.path(e.Key), b, 0o644)
+		}
+	}
+	for c.bytes > c.max {
+		back := c.ll.Back()
+		if back == nil || back == el {
+			break
+		}
+		n := back.Value.(*node)
+		c.ll.Remove(back)
+		delete(c.byKey, n.entry.Key)
+		c.bytes -= n.size
+		c.evictions++
+		if c.dir != "" {
+			_ = os.Remove(c.path(n.entry.Key))
+		}
+	}
+}
+
+// path is the persistence file for key.
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".json") }
+
+// Keys returns every cached key from most to least recently used.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*node).entry.Key)
+	}
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		MaxBytes:  c.max,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Stores:    c.stores,
+		Evictions: c.evictions,
+		Persisted: c.dir != "",
+	}
+}

@@ -1,0 +1,177 @@
+// Package api defines the wire types of the ksrsimd experiment service.
+// It is deliberately a leaf package — no imports beyond the standard
+// library — so the daemon, the `ksrsim client` subcommand, and any
+// external tooling can share one vocabulary without dragging in the
+// simulator.
+//
+// See docs/SERVER.md for the endpoint reference these types ride on.
+package api
+
+import "encoding/json"
+
+// JobSpec is one requested experiment execution.
+type JobSpec struct {
+	// Experiment names a registered experiment ("latency", "barriers",
+	// ...; GET /v1/experiments lists them).
+	Experiment string `json:"experiment"`
+	// Config partially overrides the experiment's default config. It is
+	// decoded strictly: unknown fields are rejected. Omitted fields keep
+	// their defaults. The server canonicalizes the merged config — the
+	// canonical bytes, not these, feed the result-cache key.
+	Config json.RawMessage `json:"config,omitempty"`
+	// Priority orders the queue: higher runs first, ties are FIFO.
+	Priority int `json:"priority,omitempty"`
+	// Recompute forces execution even when the result cache already
+	// holds this job's key. The fresh result replaces the cached entry.
+	Recompute bool `json:"recompute,omitempty"`
+	// Observe requests per-job observability artifacts. It never
+	// affects the cache key: observation does not change results.
+	Observe *ObserveOptions `json:"observe,omitempty"`
+}
+
+// ObserveOptions mirrors the CLI's -trace/-sample flags for one job.
+type ObserveOptions struct {
+	// Trace writes a Chrome trace_event JSON artifact for the job.
+	Trace bool `json:"trace,omitempty"`
+	// TraceCats filters trace categories ("ring,coh", "all", ...).
+	TraceCats string `json:"trace_cats,omitempty"`
+	// SampleNs arms the telemetry sampler every SampleNs of simulated
+	// time; sampled series land in the job's telemetry CSV artifact.
+	SampleNs int64 `json:"sample_ns,omitempty"`
+}
+
+// SubmitRequest is the batch form of POST /v1/jobs. The endpoint also
+// accepts a bare JobSpec object for single submissions.
+type SubmitRequest struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// Job states, in lifecycle order.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+	StateRejected  = "rejected" // never admitted: queue full at submit
+)
+
+// JobHandle is the per-job acknowledgement in a submit response.
+type JobHandle struct {
+	ID string `json:"id"`
+	// Key is the content-address of the job's inputs (hex SHA-256).
+	// Identical experiment+config submissions share a key.
+	Key    string `json:"key"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached,omitempty"`
+	// Error explains a rejected job (queue full).
+	Error string `json:"error,omitempty"`
+}
+
+// SubmitResponse answers POST /v1/jobs. Status is 202 when every job
+// was admitted (or served from cache) and 429 when any was rejected for
+// queue capacity; admitted jobs in a 429 batch still run.
+type SubmitResponse struct {
+	Jobs []JobHandle `json:"jobs"`
+}
+
+// Progress is a point-in-time view of a running sweep, fed by the
+// telemetry layer: sweep points completed out of scheduled, plus how
+// many telemetry samples the machines have recorded so far.
+type Progress struct {
+	PointsDone  int64 `json:"points_done"`
+	PointsTotal int64 `json:"points_total"`
+	Samples     int64 `json:"samples,omitempty"`
+}
+
+// JobStatus answers GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID         string `json:"id"`
+	Experiment string `json:"experiment"`
+	Key        string `json:"key"`
+	State      string `json:"state"`
+	Cached     bool   `json:"cached,omitempty"`
+	Priority   int    `json:"priority,omitempty"`
+	// Config is the canonical merged config the job ran with (defaults
+	// filled in) — the exact bytes hashed into Key.
+	Config   json.RawMessage `json:"config,omitempty"`
+	Progress *Progress       `json:"progress,omitempty"`
+	// Result is the experiment's result struct as JSON; Text is the
+	// same result rendered as the paper's table/figure, byte-identical
+	// to the local CLI's output for the same config.
+	Result json.RawMessage `json:"result,omitempty"`
+	Text   string          `json:"text,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	// Artifact paths (server-local) when observability was requested.
+	ManifestFile string `json:"manifest_file,omitempty"`
+	TraceFile    string `json:"trace_file,omitempty"`
+
+	SubmittedAt string  `json:"submitted_at,omitempty"` // RFC 3339 UTC
+	StartedAt   string  `json:"started_at,omitempty"`
+	FinishedAt  string  `json:"finished_at,omitempty"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+}
+
+// Event is one SSE message on GET /v1/jobs/{id}/events. The SSE `event:`
+// field carries Type; `data:` carries this struct as JSON.
+type Event struct {
+	// Type is "state" (lifecycle transition), "progress" (periodic
+	// update while running), or "end" (terminal; stream closes after).
+	Type     string    `json:"type"`
+	JobID    string    `json:"job_id"`
+	State    string    `json:"state"`
+	Progress *Progress `json:"progress,omitempty"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Health answers GET /v1/healthz ("ok" / "draining").
+type Health struct {
+	Status        string `json:"status"`
+	Version       string `json:"version"`
+	GoVersion     string `json:"go_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// QueueStats mirrors the job queue's counters.
+type QueueStats struct {
+	Workers   int   `json:"workers"`
+	Capacity  int   `json:"capacity"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Rejected  int64 `json:"rejected"`
+	Cancelled int64 `json:"cancelled"`
+}
+
+// CacheStats mirrors the result cache's counters.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Stores    uint64 `json:"stores"`
+	Evictions uint64 `json:"evictions"`
+	Persisted bool   `json:"persisted"`
+}
+
+// StatsResponse answers GET /v1/stats.
+type StatsResponse struct {
+	Queue       QueueStats     `json:"queue"`
+	Cache       CacheStats     `json:"cache"`
+	Jobs        map[string]int `json:"jobs"` // count per state
+	Parallelism int            `json:"parallelism"`
+	Version     string         `json:"version"`
+}
+
+// ExperimentInfo is one row of GET /v1/experiments.
+type ExperimentInfo struct {
+	Name     string `json:"name"`
+	Describe string `json:"describe"`
+}

@@ -1,0 +1,607 @@
+// Package server implements ksrsimd's REST service: a thin HTTP layer
+// over the experiment registry, the bounded priority job queue, and the
+// content-addressed result cache.
+//
+// The flow for one job: decode the spec, strictly merge its config onto
+// the experiment's defaults, canonicalize, hash into a cache key. A
+// cache hit answers immediately (the simulator is deterministic, so the
+// cached bytes ARE the result); a miss enqueues the job. Each executing
+// job gets its own obs.Session, so concurrent jobs never share counters
+// and every job can emit the same manifest/trace artifacts the CLI
+// does. Queue-full submissions surface as HTTP 429.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/jobq"
+	"repro/internal/obs"
+	"repro/internal/resultcache"
+	"repro/internal/server/api"
+	"repro/internal/sim"
+	"repro/internal/version"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Workers is the job-level concurrency (how many experiments run at
+	// once); each job's sweep additionally fans across cores per the
+	// experiments package's parallelism setting.
+	Workers int
+	// QueueCap bounds how many jobs may wait behind the workers; beyond
+	// it, submissions get 429.
+	QueueCap int
+	// Cache is the shared result cache (required).
+	Cache *resultcache.Cache
+	// ArtifactsDir, when non-empty, receives per-job manifest, trace,
+	// and telemetry files.
+	ArtifactsDir string
+}
+
+// job is the server-side record of one submission.
+type job struct {
+	mu         sync.Mutex
+	id         string
+	experiment string
+	key        string
+	state      string
+	cached     bool
+	priority   int
+	canonical  []byte
+	observe    *api.ObserveOptions
+	sess       *obs.Session
+	result     json.RawMessage
+	text       string
+	errMsg     string
+	manifestF  string
+	traceF     string
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+}
+
+// status snapshots the job as its API representation.
+func (j *job) status() api.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := api.JobStatus{
+		ID:           j.id,
+		Experiment:   j.experiment,
+		Key:          j.key,
+		State:        j.state,
+		Cached:       j.cached,
+		Priority:     j.priority,
+		Config:       j.canonical,
+		Result:       j.result,
+		Text:         j.text,
+		Error:        j.errMsg,
+		ManifestFile: j.manifestF,
+		TraceFile:    j.traceF,
+		SubmittedAt:  j.submitted.UTC().Format(time.RFC3339),
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339)
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339)
+		st.WallSeconds = j.finished.Sub(j.started).Seconds()
+	}
+	if sess := j.sess; sess != nil && j.state == api.StateRunning {
+		done, total := sess.Progress()
+		st.Progress = &api.Progress{PointsDone: done, PointsTotal: total, Samples: sess.Samples()}
+	}
+	return st
+}
+
+// setState transitions the job, stamping start/finish times.
+func (j *job) setState(state string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	switch state {
+	case api.StateRunning:
+		j.started = time.Now()
+	case api.StateDone, api.StateFailed, api.StateCancelled:
+		if j.started.IsZero() {
+			j.started = time.Now()
+		}
+		j.finished = time.Now()
+	}
+}
+
+// Server is the ksrsimd HTTP service.
+type Server struct {
+	cfg   Config
+	queue *jobq.Queue
+	cache *resultcache.Cache
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID uint64
+
+	draining atomic.Bool
+	started  time.Time
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Cache == nil {
+		return nil, fmt.Errorf("server: config needs a result cache")
+	}
+	return &Server{
+		cfg:     cfg,
+		queue:   jobq.New(cfg.Workers, cfg.QueueCap),
+		cache:   cfg.Cache,
+		jobs:    make(map[string]*job),
+		started: time.Now(),
+	}, nil
+}
+
+// Handler returns the service's routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	return mux
+}
+
+// Drain refuses new work, cancels queued jobs, and gives running jobs
+// up to timeout before cancelling them too. It reports whether shutdown
+// was clean.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.draining.Store(true)
+	dropped, clean := s.queue.Drain(timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range dropped {
+		if j, ok := s.jobs[id]; ok {
+			j.setState(api.StateCancelled)
+		}
+	}
+	return clean
+}
+
+// writeJSON emits v with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeSubmit accepts either a batch {"jobs": [...]} or a bare JobSpec.
+func decodeSubmit(body []byte) ([]api.JobSpec, error) {
+	try := func(v any) error {
+		dec := json.NewDecoder(bytesReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(v); err != nil {
+			return err
+		}
+		if dec.More() {
+			return errors.New("trailing data after JSON body")
+		}
+		return nil
+	}
+	var batch api.SubmitRequest
+	if err := try(&batch); err == nil && batch.Jobs != nil {
+		return batch.Jobs, nil
+	}
+	var single api.JobSpec
+	if err := try(&single); err != nil {
+		return nil, fmt.Errorf("body is neither a job spec nor a {\"jobs\": [...]} batch: %w", err)
+	}
+	return []api.JobSpec{single}, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	body, err := readBody(r, 1<<20)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	specs, err := decodeSubmit(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(specs) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty job batch")
+		return
+	}
+
+	resp := api.SubmitResponse{Jobs: make([]api.JobHandle, 0, len(specs))}
+	status := http.StatusAccepted
+	for _, spec := range specs {
+		h, err := s.admit(spec)
+		if err != nil {
+			// Config/experiment errors poison the whole batch: the
+			// client's request is malformed, not the server overloaded.
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if h.State == api.StateRejected {
+			status = http.StatusTooManyRequests
+		}
+		resp.Jobs = append(resp.Jobs, h)
+	}
+	writeJSON(w, status, resp)
+}
+
+// admit validates one spec and either answers it from cache or enqueues
+// it. Validation errors return err; capacity rejection returns a
+// handle in StateRejected.
+func (s *Server) admit(spec api.JobSpec) (api.JobHandle, error) {
+	runner, ok := experiments.LookupExperiment(spec.Experiment)
+	if !ok {
+		return api.JobHandle{}, fmt.Errorf("unknown experiment %q (GET /v1/experiments lists them)", spec.Experiment)
+	}
+	cfg, err := runner.DecodeConfig(spec.Config)
+	if err != nil {
+		return api.JobHandle{}, err
+	}
+	canonical, err := runner.CanonicalConfig(cfg)
+	if err != nil {
+		return api.JobHandle{}, err
+	}
+	key := resultcache.Key(spec.Experiment, canonical)
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("job-%08d", s.nextID)
+	j := &job{
+		id:         id,
+		experiment: spec.Experiment,
+		key:        key,
+		state:      api.StateQueued,
+		priority:   spec.Priority,
+		canonical:  canonical,
+		observe:    spec.Observe,
+		submitted:  time.Now(),
+	}
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	// Cache hit: the job is already done — deterministic inputs mean the
+	// cached bytes are exactly what a fresh run would produce.
+	if !spec.Recompute {
+		if e, ok := s.cache.Get(key); ok {
+			j.mu.Lock()
+			j.cached = true
+			j.result = e.Result
+			j.text = e.Text
+			j.mu.Unlock()
+			j.setState(api.StateDone)
+			return api.JobHandle{ID: id, Key: key, State: api.StateDone, Cached: true}, nil
+		}
+	}
+
+	err = s.queue.Submit(id, spec.Priority, func(ctx context.Context) { s.run(ctx, j, runner, cfg) })
+	switch {
+	case errors.Is(err, jobq.ErrFull), errors.Is(err, jobq.ErrDraining):
+		j.mu.Lock()
+		j.errMsg = err.Error()
+		j.mu.Unlock()
+		j.setState(api.StateRejected)
+		return api.JobHandle{ID: id, Key: key, State: api.StateRejected, Error: err.Error()}, nil
+	case err != nil:
+		return api.JobHandle{}, err
+	}
+	return api.JobHandle{ID: id, Key: key, State: api.StateQueued}, nil
+}
+
+// run executes one admitted job on a queue worker.
+func (s *Server) run(ctx context.Context, j *job, runner experiments.Runner, cfg any) {
+	var opts obs.Options
+	if o := j.observe; o != nil {
+		if o.Trace {
+			cats, err := obs.ParseCategories(o.TraceCats)
+			if err != nil {
+				j.mu.Lock()
+				j.errMsg = err.Error()
+				j.mu.Unlock()
+				j.setState(api.StateFailed)
+				return
+			}
+			opts.Cats = cats
+		}
+		opts.SampleEvery = sim.Time(o.SampleNs)
+	}
+	sess := obs.NewSession(opts)
+	j.mu.Lock()
+	j.sess = sess
+	j.mu.Unlock()
+	j.setState(api.StateRunning)
+	// Per-job cancellation: the queue cancels ctx, the session stops the
+	// sweep at its next point boundary.
+	stop := context.AfterFunc(ctx, sess.Cancel)
+	defer stop()
+
+	res, err := runner.Run(sess, cfg)
+	switch {
+	case errors.Is(err, context.Canceled) || (err != nil && sess.Cancelled()):
+		j.mu.Lock()
+		j.errMsg = "cancelled"
+		j.mu.Unlock()
+		j.setState(api.StateCancelled)
+		return
+	case err != nil:
+		j.mu.Lock()
+		j.errMsg = err.Error()
+		j.mu.Unlock()
+		j.setState(api.StateFailed)
+		return
+	}
+
+	resultJSON, err := json.Marshal(res)
+	if err != nil {
+		j.mu.Lock()
+		j.errMsg = fmt.Sprintf("marshal result: %v", err)
+		j.mu.Unlock()
+		j.setState(api.StateFailed)
+		return
+	}
+	text := fmt.Sprint(res)
+
+	j.mu.Lock()
+	j.result = resultJSON
+	j.text = text
+	j.mu.Unlock()
+
+	manifest := s.writeArtifacts(j, sess, resultJSON)
+	s.cache.Put(&resultcache.Entry{
+		Key:        j.key,
+		Experiment: j.experiment,
+		Config:     j.canonical,
+		Result:     resultJSON,
+		Text:       text,
+		Manifest:   manifest,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+	})
+	j.setState(api.StateDone)
+}
+
+// writeArtifacts emits the same manifest/trace/telemetry artifacts the
+// CLI writes, named by job id, and returns the manifest bytes (nil when
+// artifacts are disabled or invalid). Artifact failures never fail the
+// job — the result is already computed.
+func (s *Server) writeArtifacts(j *job, sess *obs.Session, resultJSON []byte) []byte {
+	if s.cfg.ArtifactsDir == "" {
+		return nil
+	}
+	var traceFile string
+	if o := j.observe; o != nil && o.Trace {
+		b := sess.TraceJSON()
+		if obs.ValidateTrace(b) == nil {
+			traceFile = filepath.Join(s.cfg.ArtifactsDir, j.id+".trace.json")
+			if writeFile(traceFile, b) != nil {
+				traceFile = ""
+			}
+		}
+	}
+	if o := j.observe; o != nil && o.SampleNs > 0 {
+		writeFile(filepath.Join(s.cfg.ArtifactsDir, j.id+".telemetry.csv"), sess.TelemetryCSV())
+	}
+	j.mu.Lock()
+	started := j.started
+	j.traceF = traceFile
+	j.mu.Unlock()
+
+	m := obs.Manifest{
+		Schema:      obs.ManifestSchema,
+		Command:     "ksrsimd " + j.experiment,
+		Args:        []string{string(j.canonical)},
+		GoVersion:   runtime.Version(),
+		GitRevision: version.Revision(),
+		StartedAt:   started.UTC().Format(time.RFC3339),
+		WallSeconds: time.Since(started).Seconds(),
+		Parallelism: experiments.Parallelism(),
+		TraceFile:   traceFile,
+		Machines:    sess.MachineRecords(),
+		Results:     []obs.NamedResult{{Name: "0/" + j.experiment, Data: resultJSON}},
+	}
+	if o := j.observe; o != nil {
+		if o.Trace {
+			m.TraceCats = o.TraceCats
+		}
+		m.SampleNs = o.SampleNs
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil
+	}
+	b = append(b, '\n')
+	if _, err := obs.ValidateManifest(b); err != nil {
+		return nil
+	}
+	path := filepath.Join(s.cfg.ArtifactsDir, j.id+".manifest.json")
+	if writeFile(path, b) == nil {
+		j.mu.Lock()
+		j.manifestF = path
+		j.mu.Unlock()
+	}
+	return b
+}
+
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	found, removed := s.queue.Cancel(j.id)
+	if removed {
+		// Still queued: it will never run, so finish it here.
+		j.mu.Lock()
+		j.errMsg = "cancelled"
+		j.mu.Unlock()
+		j.setState(api.StateCancelled)
+	}
+	if !found && !isTerminal(j.status().State) {
+		// Not in the queue and not finished: nothing to cancel (raced a
+		// worker pickup); report current state.
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func isTerminal(state string) bool {
+	switch state {
+	case api.StateDone, api.StateFailed, api.StateCancelled, api.StateRejected:
+		return true
+	}
+	return false
+}
+
+// handleEvents streams a job's lifecycle as SSE: an initial "state"
+// event, periodic "progress" events while it runs (fed by the telemetry
+// sampler's session counters), "state" on transitions, and a final
+// "end" event before the stream closes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(ev api.Event) {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, b)
+		fl.Flush()
+	}
+	progressOf := func(st api.JobStatus) *api.Progress { return st.Progress }
+
+	st := j.status()
+	send(api.Event{Type: "state", JobID: j.id, State: st.State, Progress: progressOf(st)})
+	if isTerminal(st.State) {
+		send(api.Event{Type: "end", JobID: j.id, State: st.State, Error: st.Error})
+		return
+	}
+
+	tick := time.NewTicker(150 * time.Millisecond)
+	defer tick.Stop()
+	last := st.State
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+		}
+		st = j.status()
+		if st.State != last {
+			last = st.State
+			send(api.Event{Type: "state", JobID: j.id, State: st.State, Progress: progressOf(st)})
+		} else if st.State == api.StateRunning {
+			send(api.Event{Type: "progress", JobID: j.id, State: st.State, Progress: progressOf(st)})
+		}
+		if isTerminal(st.State) {
+			send(api.Event{Type: "end", JobID: j.id, State: st.State, Error: st.Error})
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := api.Health{
+		Status:        "ok",
+		Version:       version.Revision(),
+		GoVersion:     runtime.Version(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	qs := s.queue.Stats()
+	cs := s.cache.Stats()
+	byState := make(map[string]int)
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		byState[j.status().State]++
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, api.StatsResponse{
+		Queue: api.QueueStats{
+			Workers: qs.Workers, Capacity: qs.Capacity, Queued: qs.Queued,
+			Running: qs.Running, Submitted: qs.Submitted, Completed: qs.Completed,
+			Rejected: qs.Rejected, Cancelled: qs.Cancelled,
+		},
+		Cache: api.CacheStats{
+			Entries: cs.Entries, Bytes: cs.Bytes, MaxBytes: cs.MaxBytes,
+			Hits: cs.Hits, Misses: cs.Misses, Stores: cs.Stores,
+			Evictions: cs.Evictions, Persisted: cs.Persisted,
+		},
+		Jobs:        byState,
+		Parallelism: experiments.Parallelism(),
+		Version:     version.Revision(),
+	})
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	names := experiments.Experiments()
+	infos := make([]api.ExperimentInfo, 0, len(names))
+	for _, n := range names {
+		if runner, ok := experiments.LookupExperiment(n); ok {
+			infos = append(infos, api.ExperimentInfo{Name: n, Describe: runner.Describe})
+		}
+	}
+	sort.Slice(infos, func(i, k int) bool { return infos[i].Name < infos[k].Name })
+	writeJSON(w, http.StatusOK, infos)
+}

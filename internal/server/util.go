@@ -1,0 +1,17 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+)
+
+// readBody reads at most limit bytes of the request body.
+func readBody(r *http.Request, limit int64) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(r.Body, limit))
+}
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+func writeFile(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }

@@ -1,0 +1,75 @@
+// Package version is the single place build identity is read from the
+// binary. The CLI's run manifests, the `ksrsim version` subcommand, and
+// the ksrsimd health/stats endpoints all report the same values, so a
+// manifest produced by the daemon and one produced by the CLI can be
+// compared field-for-field.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the build identity embedded in the binary.
+type Info struct {
+	// Revision is the VCS revision the binary was built from, or "" under
+	// `go run` or a non-VCS build.
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// Time is the VCS commit time (RFC 3339), when stamped.
+	Time string `json:"time,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+var (
+	once sync.Once
+	info Info
+)
+
+// Get returns the build identity, reading debug.ReadBuildInfo once.
+func Get() Info {
+	once.Do(func() {
+		info.GoVersion = runtime.Version()
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				info.Revision = s.Value
+			case "vcs.modified":
+				info.Dirty = s.Value == "true"
+			case "vcs.time":
+				info.Time = s.Value
+			}
+		}
+	})
+	return info
+}
+
+// Revision returns the VCS revision stamped into the binary, or "".
+func Revision() string { return Get().Revision }
+
+// String renders the identity as a one-line banner.
+func String() string {
+	i := Get()
+	rev := i.Revision
+	if rev == "" {
+		rev = "unknown"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if i.Dirty {
+		rev += "+dirty"
+	}
+	s := fmt.Sprintf("ksrsim %s (%s)", rev, i.GoVersion)
+	if i.Time != "" {
+		s += " built from commit of " + i.Time
+	}
+	return s
+}

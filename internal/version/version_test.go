@@ -1,0 +1,31 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetIsStableAndPopulated(t *testing.T) {
+	a, b := Get(), Get()
+	if a != b {
+		t.Errorf("Get not stable: %+v vs %+v", a, b)
+	}
+	if a.GoVersion == "" {
+		t.Error("GoVersion empty")
+	}
+}
+
+func TestStringBanner(t *testing.T) {
+	s := String()
+	if !strings.HasPrefix(s, "ksrsim ") {
+		t.Errorf("banner %q missing prefix", s)
+	}
+	if !strings.Contains(s, Get().GoVersion) {
+		t.Errorf("banner %q missing go version", s)
+	}
+	// Under `go test` there is no VCS stamp; the banner must still say
+	// something rather than render an empty revision.
+	if Revision() == "" && !strings.Contains(s, "unknown") {
+		t.Errorf("banner %q should mark unknown revision", s)
+	}
+}
