@@ -1,0 +1,141 @@
+// go vet unit-checking protocol, in the shape of
+// golang.org/x/tools/go/analysis/unitchecker but built on the standard
+// library: `go vet -vettool=ksrlint` invokes the tool once per package
+// with a JSON .cfg file describing the unit — source files, the import
+// map, and compiler export data for every dependency. The tool
+// type-checks the unit against that export data (importer "gc" with a
+// lookup into the provided files), runs the suite, writes the
+// (factless, empty) .vetx output vet expects, and reports findings.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/ignore"
+	"repro/internal/lint/load"
+)
+
+// vetConfig mirrors the fields of the go command's vet config JSON that
+// ksrlint consumes.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitCheck runs the suite on one vet unit. Returns the process exit
+// status: 0 clean, 1 internal error, 2 findings.
+func unitCheck(cfgPath string, as []*analysis.Analyzer) int {
+	b, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ksrlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ksrlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// ksrlint exports no facts, but vet requires the vetx artifact to
+	// exist for its action cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "ksrlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, and we have none
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ksrlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the export data the go command compiled
+	// for this build: ImportMap translates source paths (vendoring,
+	// test variants), PackageFile locates each dependency's export file.
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: strings.TrimSuffix(cfg.GoVersion, " "),
+	}
+	info := load.NewInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ksrlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	var findings []finding
+	pass := &analysis.Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	for _, a := range as {
+		var diags []analysis.Diagnostic
+		pass.Analyzer = a
+		pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "ksrlint: %s on %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 1
+		}
+		diags = ignore.Filter(fset, files, a.Name, diags)
+		for _, d := range diags {
+			findings = append(findings, finding{fset.Position(d.Pos), "ksrlint/" + a.Name, d.Message})
+		}
+	}
+	_, malformed := ignore.Parse(fset, files)
+	for _, m := range malformed {
+		findings = append(findings, finding{fset.Position(m.Pos), "ksrlint/ignore", m.Message})
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.pos, f.name, f.msg)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

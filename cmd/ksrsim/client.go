@@ -101,7 +101,14 @@ func (c *client) do(method, path string, body []byte, out any) error {
 		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
 	}
 	if out != nil {
-		return json.Unmarshal(b, out)
+		// Strict decode: the client and daemon ship from the same tree,
+		// so an unknown field means version skew — surface it instead of
+		// silently dropping data.
+		dec := json.NewDecoder(bytes.NewReader(b))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(out); err != nil {
+			return fmt.Errorf("decoding %s response: %w", path, err)
+		}
 	}
 	return nil
 }
@@ -273,7 +280,9 @@ func (c *client) cancel(args []string) {
 		fail(err)
 	}
 	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+	dec := json.NewDecoder(resp.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&st); err != nil {
 		fail(err)
 	}
 	fmt.Printf("%s %s\n", st.ID, st.State)

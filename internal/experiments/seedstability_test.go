@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSeedStability is the repo's byte-identical determinism regression:
+// the same experiment, run repeatedly and under different sweep
+// parallelism, must produce the same manifest bytes once the fields that
+// legitimately vary between invocations (wall time, toolchain, git
+// revision) are pinned. This is the property ksrlint/determinism guards
+// statically; this test guards it dynamically.
+func TestSeedStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full latency sweep four times")
+	}
+	r, ok := LookupExperiment("latency")
+	if !ok {
+		t.Fatal("latency experiment not registered")
+	}
+
+	runOnce := func(workers int) []byte {
+		t.Helper()
+		defer SetParallelism(SetParallelism(workers))
+		sess := obs.NewSession(obs.Options{Cats: obs.CatSync})
+		// A trimmed sweep: enough points that the parallel runner actually
+		// distributes work, small enough to keep tier-1 fast.
+		cfg, err := r.DecodeConfig([]byte(`{"Machine":"ksr1","Cells":32,"Procs":[1,2,4,6,8],"RegionBytes":65536}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(sess, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Volatile fields pinned: only simulation-derived content may
+		// differ between runs, and none of it should.
+		m := obs.Manifest{
+			Schema:      obs.ManifestSchema,
+			Command:     "latency",
+			GoVersion:   "go-test",
+			GitRevision: "pinned",
+			StartedAt:   "2026-01-01T00:00:00Z",
+			WallSeconds: 0,
+			Parallelism: workers,
+			Machines:    sess.MachineRecords(),
+			Results:     []obs.NamedResult{{Name: "latency", Data: data}},
+		}
+		b, err := json.MarshalIndent(&m, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := obs.ValidateManifest(b); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	serial := runOnce(1)
+	again := runOnce(1)
+	if !bytes.Equal(serial, again) {
+		t.Errorf("repeated serial runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", serial, again)
+	}
+
+	// Parallelism is recorded in the manifest but must not influence any
+	// simulated content, so compare everything except that field.
+	wide := runOnce(8)
+	norm := func(b []byte, workers int) []byte {
+		return bytes.Replace(b,
+			[]byte(`"parallelism": `+strconv.Itoa(workers)), []byte(`"parallelism": 0`), 1)
+	}
+	if !bytes.Equal(norm(serial, 1), norm(wide, 8)) {
+		t.Errorf("parallel run differs from serial run:\n--- serial ---\n%s\n--- parallel 8 ---\n%s", serial, wide)
+	}
+}

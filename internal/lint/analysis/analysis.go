@@ -1,0 +1,114 @@
+// Package analysis is a minimal, dependency-free core for ksrlint in
+// the shape of golang.org/x/tools/go/analysis: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. The
+// x/tools module is deliberately not imported — the repro module is
+// self-contained — so this package carries just the subset the ksrlint
+// analyzers need: per-package runs, position-addressed diagnostics, and
+// an ancestor-tracking AST walker.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one ksrlint check.
+type Analyzer struct {
+	// Name is the short analyzer name ("determinism"); diagnostics are
+	// reported and suppressed under "ksrlint/<Name>".
+	Name string
+	// Doc is a one-paragraph description shown by `ksrlint -list`.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// HasAnySegment reports whether any "/"-separated segment of the
+// package import path is one of segs. Analyzers scope themselves by
+// path segment ("internal/sim" and a test fixture rooted at "sim" both
+// match "sim"), so fixtures exercise the same applicability logic as
+// the real tree.
+func HasAnySegment(path string, segs ...string) bool {
+	for _, part := range strings.Split(path, "/") {
+		for _, s := range segs {
+			if part == s {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether file was parsed from a _test.go source
+// file. The determinism and process-model analyzers skip test files:
+// wall-clock deadlines and helper goroutines are legitimate in tests,
+// which run outside the simulated machine.
+func (p *Pass) IsTestFile(file *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+// WalkStack traverses every node under root, invoking fn with the node
+// and the stack of its ancestors (outermost first, not including node
+// itself). Returning false from fn prunes the subtree.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// Callee resolves the object a call expression invokes: the *types.Func
+// (or builtin/var object) behind `f(...)`, `pkg.F(...)`, or
+// `recv.M(...)`. It returns nil for calls through computed expressions.
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// CalleeIsPkgFunc reports whether call invokes the package-level
+// function pkgPath.name.
+func CalleeIsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := Callee(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

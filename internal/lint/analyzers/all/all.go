@@ -1,0 +1,18 @@
+// Package all registers every ksrlint analyzer, in reporting order.
+package all
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analyzers/canonicaljson"
+	"repro/internal/lint/analyzers/determinism"
+	"repro/internal/lint/analyzers/hookcheck"
+	"repro/internal/lint/analyzers/simprocess"
+)
+
+// Analyzers is the full ksrlint suite.
+var Analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	hookcheck.Analyzer,
+	simprocess.Analyzer,
+	canonicaljson.Analyzer,
+}

@@ -1,0 +1,251 @@
+// Package canonicaljson implements ksrlint/canonicaljson, guarding the
+// two JSON properties the result cache and run manifests depend on:
+//
+//  1. Canonical marshaling. In cache-key and manifest packages
+//     (resultcache, obs, server/api), json.Marshal'd values must be
+//     statically canonical: no interface-typed values (their encoding
+//     depends on dynamic content the checker cannot see) and no maps
+//     with non-string keys (their key encoding is version-fragile).
+//     Identical inputs must produce identical bytes — the cache keys on
+//     the SHA-256 of exactly these bytes.
+//
+//  2. Strict decoding. In config-decoding packages (those plus server
+//     and experiments), every json.Decoder must call
+//     DisallowUnknownFields before Decode, and json.Unmarshal (which
+//     has no strict mode) is forbidden outright: a typo'd config field
+//     would otherwise silently run the defaults and poison the result
+//     cache under the wrong key.
+package canonicaljson
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// canonicalSegments scope the marshal rule: packages whose output bytes
+// become cache keys or manifest artifacts.
+var canonicalSegments = []string{"resultcache", "obs", "api"}
+
+// strictSegments scope the decode rule: every package that decodes
+// configs or persisted entries.
+var strictSegments = []string{"resultcache", "obs", "api", "server", "experiments"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "canonicaljson",
+	Doc: "cache-key/manifest packages must marshal statically canonical types " +
+		"(no interfaces, no non-string map keys) and config decoding must use " +
+		"json.Decoder with DisallowUnknownFields",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	canonical := analysis.HasAnySegment(pass.Pkg.Path(), canonicalSegments...)
+	strict := analysis.HasAnySegment(pass.Pkg.Path(), strictSegments...)
+	if !canonical && !strict {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if canonical {
+				checkMarshal(pass, call)
+			}
+			if strict {
+				checkDecode(pass, call, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMarshal validates json.Marshal/MarshalIndent and Encoder.Encode
+// arguments against the static-canonicality rules.
+func checkMarshal(pass *analysis.Pass, call *ast.CallExpr) {
+	fn, ok := analysis.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+		return
+	}
+	switch fn.Name() {
+	case "Marshal", "MarshalIndent", "Encode":
+	default:
+		return
+	}
+	if fn.Name() == "Encode" && !isMethodOf(fn, "Encoder") {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if why := nonCanonical(tv.Type, make(map[types.Type]bool)); why != "" {
+		pass.Reportf(call.Pos(),
+			"json.%s of %s is not statically canonical: %s; cache keys and manifests require canonical bytes",
+			fn.Name(), tv.Type.String(), why)
+	}
+}
+
+// nonCanonical walks t and returns a description of the first
+// canonicality hazard reachable from it, or "" if none.
+func nonCanonical(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	// A type that marshals itself is treated as opaque: RawMessage,
+	// time.Time, and friends define their own byte layout.
+	if hasMarshaler(t) {
+		return ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return ""
+	case *types.Pointer:
+		return nonCanonical(u.Elem(), seen)
+	case *types.Slice:
+		return nonCanonical(u.Elem(), seen)
+	case *types.Array:
+		return nonCanonical(u.Elem(), seen)
+	case *types.Map:
+		if b, ok := u.Key().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+			return fmt.Sprintf("map key type %s is not a string (non-string key encoding is version-fragile)", u.Key())
+		}
+		return nonCanonical(u.Elem(), seen)
+	case *types.Interface:
+		return fmt.Sprintf("interface-typed value %s defeats static canonicality checking", t)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() || jsonSkipped(u.Tag(i)) {
+				continue
+			}
+			if why := nonCanonical(f.Type(), seen); why != "" {
+				return fmt.Sprintf("field %s: %s", f.Name(), why)
+			}
+		}
+		return ""
+	default:
+		return ""
+	}
+}
+
+// checkDecode enforces strict decoding: no json.Unmarshal, and every
+// Decoder.Decode receiver must have DisallowUnknownFields called on it
+// in the same function.
+func checkDecode(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	fn, ok := analysis.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+		return
+	}
+	switch {
+	case fn.Name() == "Unmarshal" && fn.Type().(*types.Signature).Recv() == nil:
+		pass.Reportf(call.Pos(),
+			"json.Unmarshal has no strict mode; decode with json.NewDecoder + DisallowUnknownFields so unknown config fields are rejected")
+	case fn.Name() == "Decode" && isMethodOf(fn, "Decoder"):
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			// Chained json.NewDecoder(r).Decode(v): no chance to call
+			// DisallowUnknownFields.
+			pass.Reportf(call.Pos(),
+				"Decode on an unnamed json.Decoder cannot be strict; bind the decoder and call DisallowUnknownFields first")
+			return
+		}
+		obj := pass.TypesInfo.Uses[recv]
+		if obj == nil {
+			return
+		}
+		if !disallowCalledOn(pass, obj, stack) {
+			pass.Reportf(call.Pos(),
+				"json.Decoder %s decodes without DisallowUnknownFields; unknown config fields must be rejected", recv.Name)
+		}
+	}
+}
+
+// disallowCalledOn reports whether the enclosing function contains a
+// DisallowUnknownFields call on the same decoder object.
+func disallowCalledOn(pass *analysis.Pass, obj types.Object, stack []ast.Node) bool {
+	var fnBody *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0 && fnBody == nil; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			fnBody = fn.Body
+		case *ast.FuncLit:
+			fnBody = fn.Body
+		}
+	}
+	if fnBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "DisallowUnknownFields" {
+			return true
+		}
+		if recv, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[recv] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isMethodOf reports whether fn is a method whose receiver's named type
+// is encoding/json's typeName.
+func isMethodOf(fn *types.Func, typeName string) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == typeName && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "encoding/json"
+}
+
+// hasMarshaler reports whether t (or *t) defines MarshalJSON or
+// MarshalText, making it responsible for its own canonical bytes.
+func hasMarshaler(t types.Type) bool {
+	for _, name := range []string{"MarshalJSON", "MarshalText"} {
+		if obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name); obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// jsonSkipped reports whether a struct tag marks the field `json:"-"`.
+func jsonSkipped(tag string) bool {
+	name, _, _ := strings.Cut(reflect.StructTag(tag).Get("json"), ",")
+	return name == "-"
+}

@@ -1,0 +1,12 @@
+package canonicaljson_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/canonicaljson"
+)
+
+func TestCanonicalJSON(t *testing.T) {
+	analysistest.Run(t, "testdata", canonicaljson.Analyzer, "resultcache", "other")
+}

@@ -1,0 +1,13 @@
+// Fixture: outside the canonical and strict scopes neither rule
+// applies — ad-hoc tools may marshal and decode however they like.
+package other
+
+import "encoding/json"
+
+func marshalAnything(v any) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+func decodeAnything(b []byte, v any) error {
+	return json.Unmarshal(b, v)
+}

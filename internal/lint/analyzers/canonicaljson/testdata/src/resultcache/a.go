@@ -1,0 +1,67 @@
+// Fixture for ksrlint/canonicaljson: "resultcache" is both a canonical
+// marshal scope (its bytes become cache keys) and a strict decode scope.
+package resultcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+)
+
+// Entry is statically canonical: concrete fields, string-keyed map,
+// self-marshaling RawMessage payload.
+type Entry struct {
+	Key     string            `json:"key"`
+	Labels  map[string]string `json:"labels"`
+	Payload json.RawMessage   `json:"payload"`
+	secret  chan int          // unexported: ignored by encoding/json
+	Skipped chan int          `json:"-"`
+}
+
+func marshalEntry(e Entry) ([]byte, error) {
+	return json.Marshal(e)
+}
+
+func marshalIntKeys(m map[int]string) ([]byte, error) {
+	return json.Marshal(m) // want `map key type int is not a string`
+}
+
+func marshalIface(v io.Reader) ([]byte, error) {
+	return json.Marshal(v) // want `interface-typed value`
+}
+
+type loose struct {
+	Extra map[string]any `json:"extra"`
+}
+
+func marshalLoose(l loose) ([]byte, error) {
+	return json.Marshal(l) // want `field Extra: interface-typed value`
+}
+
+func encodeLoose(w io.Writer, l loose) error {
+	return json.NewEncoder(w).Encode(l) // want `field Extra: interface-typed value`
+}
+
+func lazyDecode(b []byte, e *Entry) error {
+	return json.Unmarshal(b, e) // want `json.Unmarshal has no strict mode`
+}
+
+func laxDecode(b []byte, e *Entry) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	return dec.Decode(e) // want `decodes without DisallowUnknownFields`
+}
+
+func strictDecode(b []byte, e *Entry) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	return dec.Decode(e)
+}
+
+func chainedDecode(b []byte, e *Entry) error {
+	return json.NewDecoder(bytes.NewReader(b)).Decode(e) // want `unnamed json.Decoder cannot be strict`
+}
+
+func suppressedDecode(b []byte, v *map[string]any) error {
+	//lint:ignore ksrlint/canonicaljson fixture: exercising the suppression path
+	return json.Unmarshal(b, v)
+}

@@ -1,0 +1,451 @@
+// Package determinism implements ksrlint/determinism: simulation
+// packages must be bit-for-bit reproducible for a given seed, so wall
+// clocks, the process-global math/rand source, and order-dependent
+// iteration over Go maps are forbidden there.
+//
+// The map rule is the one PR 1 learned the hard way (kernels.RandomSPD
+// drew random values while ranging over a map, so every run built a
+// different matrix): a `range` over a map is allowed only when its body
+// is order-independent — extracting keys into a slice that is sorted in
+// the same function (the sanctioned idiom), writing into another map,
+// deleting, or accumulating integers. Anything else that can reach
+// state outside the loop is flagged.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// simSegments are the import-path segments that mark a package as part
+// of the simulated machine (or the sweep layer that renders its
+// results). Fixtures under testdata use the same segment names.
+var simSegments = []string{
+	"sim", "fabric", "cache", "coherence", "machine", "memory",
+	"ksync", "kernels", "experiments", "faults",
+}
+
+// wallClockFuncs are time-package functions that read the host clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand functions that do NOT touch the
+// global source; every other package-level rand function does.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbids wall-clock reads, global math/rand, and order-dependent " +
+		"map iteration in simulation packages (see docs/LINT.md)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.HasAnySegment(pass.Pkg.Path(), simSegments...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn, ok := analysis.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock in a simulation package; use sim.Time (Engine.Now / Process.Now)",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Only package-level functions draw from the shared global
+		// source; methods on an explicit *rand.Rand are the idiom.
+		if fn.Type().(*types.Signature).Recv() == nil && !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"rand.%s draws from the process-global source; thread a seeded *rand.Rand through the simulation instead",
+				fn.Name())
+		}
+	}
+}
+
+// checkRange validates one `for ... range m` over a map.
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	v := &rangeChecker{pass: pass, loop: rs}
+	v.checkStmts(rs.Body.List)
+	if v.bad != nil {
+		pass.Reportf(rs.Pos(),
+			"map iteration order is nondeterministic and this loop body has order-dependent effects (%s); extract the keys, sort them, and range over the slice",
+			v.badWhy)
+		return
+	}
+	// A constant-only early return (the exists/forall idiom) is order-
+	// independent on its own, but combined with appends it abandons a
+	// partially built, map-ordered slice.
+	if v.earlyExit && len(v.appendTargets) > 0 {
+		pass.Reportf(rs.Pos(),
+			"map iteration mixes an early exit (return/break) with appends; the abandoned slice contents depend on iteration order")
+		return
+	}
+	// Every slice the body appended to must be sorted somewhere in the
+	// enclosing function, or the element order leaks map order.
+	fnBody := enclosingFuncBody(stack)
+	for _, tgt := range v.appendTargets {
+		if fnBody == nil || !sortedIn(pass, fnBody, tgt.obj) {
+			pass.Reportf(rs.Pos(),
+				"map iteration appends to %q in nondeterministic order and the slice is never sorted in this function; sort it (sort.* / slices.Sort*) before use",
+				tgt.name)
+			return
+		}
+	}
+}
+
+type appendTarget struct {
+	obj  types.Object
+	name string
+}
+
+// rangeChecker walks a map-range body and records the first
+// order-dependent statement, plus every slice the body appends to.
+type rangeChecker struct {
+	pass          *analysis.Pass
+	loop          *ast.RangeStmt
+	appendTargets []appendTarget
+	earlyExit     bool
+	bad           ast.Node
+	badWhy        string
+}
+
+func (v *rangeChecker) flag(n ast.Node, why string) {
+	if v.bad == nil {
+		v.bad = n
+		v.badWhy = why + " at line " + strconv.Itoa(v.pass.Fset.Position(n.Pos()).Line)
+	}
+}
+
+func (v *rangeChecker) checkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		v.checkStmt(s)
+	}
+}
+
+func (v *rangeChecker) checkStmt(s ast.Stmt) {
+	if v.bad != nil {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		v.checkAssign(s)
+	case *ast.IncDecStmt:
+		if !isInteger(v.pass, s.X) {
+			v.flag(s, "non-integer increment")
+		}
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			v.flag(s, "expression statement")
+			return
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" && v.pass.TypesInfo.Uses[id] == types.Universe.Lookup("delete") {
+			return // delete(m2, k): order-independent
+		}
+		v.flag(s, "function call with potential side effects")
+	case *ast.IfStmt:
+		if s.Init != nil {
+			v.checkStmt(s.Init)
+		}
+		if !v.pure(s.Cond) {
+			v.flag(s.Cond, "impure condition")
+		}
+		v.checkStmts(s.Body.List)
+		if s.Else != nil {
+			v.checkStmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		v.checkStmts(s.List)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			v.checkStmt(s.Init)
+		}
+		if s.Cond != nil && !v.pure(s.Cond) {
+			v.flag(s.Cond, "impure condition")
+		}
+		if s.Post != nil {
+			v.checkStmt(s.Post)
+		}
+		v.checkStmts(s.Body.List)
+	case *ast.RangeStmt:
+		if !v.pure(s.X) {
+			v.flag(s.X, "impure range operand")
+		}
+		v.checkStmts(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			v.checkStmt(s.Init)
+		}
+		if s.Tag != nil && !v.pure(s.Tag) {
+			v.flag(s.Tag, "impure switch tag")
+		}
+		for _, cc := range s.Body.List {
+			v.checkStmts(cc.(*ast.CaseClause).Body)
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			v.flag(s, "declaration")
+			return
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, val := range vs.Values {
+					if !v.pure(val) {
+						v.flag(val, "impure initializer")
+					}
+				}
+			}
+		}
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.CONTINUE:
+		case token.BREAK:
+			// Same partial-append hazard as an early return.
+			v.earlyExit = true
+		default:
+			v.flag(s, s.Tok.String()+" statement")
+		}
+	case *ast.ReturnStmt:
+		// `if pred(k, v) { return false }` — the exists/forall idiom.
+		// The outcome is order-independent iff every returned value is
+		// a compile-time constant (conditions are already forced pure).
+		for _, res := range s.Results {
+			if tv, ok := v.pass.TypesInfo.Types[res]; !ok || tv.Value == nil {
+				v.flag(s, "return of non-constant value selected by map order")
+				return
+			}
+		}
+		v.earlyExit = true
+	case *ast.EmptyStmt:
+	default:
+		// return, go, defer, send, select, ... — all order-dependent
+		// (or worse) inside a map range.
+		v.flag(s, "order-dependent statement")
+	}
+}
+
+func (v *rangeChecker) checkAssign(s *ast.AssignStmt) {
+	// s = append(s, ...) — the sanctioned key-extraction idiom, valid
+	// only if the slice is later sorted (checked by the caller).
+	if s.Tok == token.ASSIGN && len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if id, ok := s.Lhs[0].(*ast.Ident); ok {
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(v.pass, call) {
+				for _, arg := range call.Args[1:] {
+					if !v.pure(arg) {
+						v.flag(arg, "impure append argument")
+						return
+					}
+				}
+				obj := v.pass.TypesInfo.Uses[id]
+				if obj != nil && !v.declaredInLoop(obj) {
+					v.appendTargets = append(v.appendTargets, appendTarget{obj, id.Name})
+				}
+				return
+			}
+		}
+	}
+	switch s.Tok {
+	case token.DEFINE:
+		for _, rhs := range s.Rhs {
+			if !v.pure(rhs) {
+				v.flag(rhs, "impure initializer")
+			}
+		}
+	case token.ASSIGN:
+		for _, rhs := range s.Rhs {
+			if !v.pure(rhs) {
+				v.flag(rhs, "impure right-hand side")
+			}
+		}
+		for _, lhs := range s.Lhs {
+			v.checkPlainWrite(s, lhs)
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+		// Commutative/associative only over the integers: float
+		// accumulation in map order changes the rounding sequence, and
+		// += on strings concatenates in map order.
+		lhs, rhs := s.Lhs[0], s.Rhs[0]
+		if !isInteger(v.pass, lhs) {
+			v.flag(s, "non-integer compound assignment")
+			return
+		}
+		if !v.pure(rhs) {
+			v.flag(rhs, "impure right-hand side")
+			return
+		}
+		if idx, ok := lhs.(*ast.IndexExpr); ok {
+			if !v.mapIndex(idx) && !v.pure(idx.X) {
+				v.flag(lhs, "compound assignment through impure expression")
+			}
+			return
+		}
+		if _, ok := lhs.(*ast.Ident); !ok {
+			v.flag(lhs, "compound assignment to non-local")
+		}
+	default:
+		v.flag(s, "shift-assignment in map order")
+	}
+}
+
+// checkPlainWrite validates `lhs = rhs`: writing into another map is
+// order-independent; overwriting a variable declared outside the loop
+// (`last = k`) keeps whichever key the runtime happened to visit last.
+func (v *rangeChecker) checkPlainWrite(s *ast.AssignStmt, lhs ast.Expr) {
+	switch lhs := lhs.(type) {
+	case *ast.IndexExpr:
+		if v.mapIndex(lhs) {
+			return
+		}
+		v.flag(s, "write through non-map index")
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		obj := v.pass.TypesInfo.Uses[lhs]
+		if obj != nil && v.declaredInLoop(obj) {
+			return
+		}
+		v.flag(s, "assignment to variable declared outside the loop")
+	default:
+		v.flag(s, "write through pointer/field")
+	}
+}
+
+// mapIndex reports whether idx indexes a map (a map insert is
+// order-independent as long as the key/value expressions are pure).
+func (v *rangeChecker) mapIndex(idx *ast.IndexExpr) bool {
+	tv, ok := v.pass.TypesInfo.Types[idx.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	return v.pure(idx.X) && v.pure(idx.Index)
+}
+
+// declaredInLoop reports whether obj's declaration lies inside the
+// range statement (loop variables and := locals).
+func (v *rangeChecker) declaredInLoop(obj types.Object) bool {
+	return obj.Pos() >= v.loop.Pos() && obj.Pos() < v.loop.End()
+}
+
+// pure reports whether evaluating e cannot have side effects: no calls
+// except the pure builtins len/cap/min/max and type conversions.
+func (v *rangeChecker) pure(e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, isConv := v.pass.TypesInfo.Types[call.Fun]; isConv && tv.IsType() {
+			return true // type conversion
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			switch v.pass.TypesInfo.Uses[id] {
+			case types.Universe.Lookup("len"), types.Universe.Lookup("cap"),
+				types.Universe.Lookup("min"), types.Universe.Lookup("max"):
+				return true
+			}
+		}
+		pure = false
+		return false
+	})
+	return pure
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && len(call.Args) >= 1 && pass.TypesInfo.Uses[id] == types.Universe.Lookup("append")
+}
+
+func isInteger(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// sortedIn reports whether body contains a sort.*/slices.Sort* call
+// with obj somewhere in its arguments.
+func sortedIn(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := analysis.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if pkg := fn.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}

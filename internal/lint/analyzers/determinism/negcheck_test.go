@@ -1,0 +1,19 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/determinism"
+)
+
+// TestHarnessDetectsMismatch runs the sim fixture against a throwaway
+// T and asserts the harness itself reports failures when wants and
+// diagnostics diverge (guards against a vacuously green runner).
+func TestHarnessDetectsMismatch(t *testing.T) {
+	probe := &testing.T{}
+	analysistest.Run(probe, "testdata", determinism.Analyzer, "badwants")
+	if !probe.Failed() {
+		t.Fatal("harness did not flag a fixture whose wants cannot match")
+	}
+}

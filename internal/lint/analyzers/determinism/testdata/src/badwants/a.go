@@ -1,0 +1,5 @@
+// Fixture whose expectations are deliberately wrong: no sim segment in
+// the path, so the analyzer reports nothing, and this want must fail.
+package badwants
+
+func f() int { return 1 } // want `this diagnostic never fires`

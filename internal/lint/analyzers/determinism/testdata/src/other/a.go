@@ -1,0 +1,20 @@
+// Fixture: no simulation path segment, so ksrlint/determinism is
+// disarmed here and none of these report.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time { return time.Now() }
+
+func globalRand() int { return rand.Intn(8) }
+
+func lastKeyWins(m map[string]int) string {
+	last := ""
+	for k := range m {
+		last = k
+	}
+	return last
+}

@@ -1,0 +1,126 @@
+// Fixture for ksrlint/determinism: the package path has a "sim"
+// segment, so the analyzer is armed.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want `process-global source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `process-global source`
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors don't touch the global source
+	return rng.Intn(8)
+}
+
+// sortedKeys is the sanctioned idiom: extract, sort, then use.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unsortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func lastKeyWins(m map[string]int) string {
+	last := ""
+	for k := range m { // want `order-dependent`
+		last = k
+	}
+	return last
+}
+
+// intSum is commutative and associative: allowed.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// floatSum rounds differently in every iteration order: flagged.
+func floatSum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `order-dependent`
+		s += v
+	}
+	return s
+}
+
+// allPositive is the exists/forall idiom: constant-only early returns
+// are order-independent.
+func allPositive(m map[string]int) bool {
+	for _, v := range m {
+		if v <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func firstNegative(m map[string]int) string {
+	for k, v := range m { // want `non-constant value`
+		if v < 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+// mapToMap writes only into another map: order-independent.
+func mapToMap(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+func pruneNegative(m map[string]int) {
+	for k, v := range m {
+		if v < 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func sideEffects(m map[string]int) {
+	for k := range m { // want `order-dependent`
+		emit(k)
+	}
+}
+
+func emit(string) {}
+
+//lint:ignore ksrlint/determinism fixture: directive on the preceding line suppresses the finding
+func suppressed() time.Time { return time.Now() }
+
+func suppressedSameLine() time.Time {
+	return time.Now() //lint:ignore ksrlint/determinism fixture: trailing directive suppresses the finding
+}

@@ -1,0 +1,197 @@
+// Package hookcheck implements ksrlint/hookcheck: every call through an
+// observability hook — a function-typed field of a Hooks struct declared
+// in a sim or obs package — must use the nil-checked-local pattern
+//
+//	if fn := h.X; fn != nil {
+//		fn(...)
+//	}
+//
+// This is the zero-overhead-when-disabled contract of internal/sim:
+// the disarmed path costs one field load and one predictable branch,
+// and the field is read exactly once (calling h.X() directly, even
+// under `if h.X != nil`, loads the field twice and invites a nil-call
+// if the two loads are ever separated by a hook swap).
+package hookcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hookcheck",
+	Doc: "calls through sim/obs Hooks function fields must bind the field to a " +
+		"local and nil-check it: if fn := h.X; fn != nil { fn(...) }",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.SelectorExpr:
+				if name, ok := hookField(pass, fun); ok {
+					pass.Reportf(call.Pos(),
+						"direct call through hook field %s; bind it to a local and nil-check: if fn := %s; fn != nil { fn(...) }",
+						name, exprString(fun))
+				}
+			case *ast.Ident:
+				checkLocalCall(pass, call, fun, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hookField reports whether sel selects a function-typed field of a
+// struct type named "Hooks" (or "...Hooks") declared in a package with
+// a sim or obs path segment, returning the field's name.
+func hookField(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() {
+		return "", false
+	}
+	if _, isFunc := obj.Type().Underlying().(*types.Signature); !isFunc {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	name := named.Obj().Name()
+	if name != "Hooks" && !hasSuffix(name, "Hooks") {
+		return "", false
+	}
+	declPkg := named.Obj().Pkg()
+	if declPkg == nil || !analysis.HasAnySegment(declPkg.Path(), "sim", "obs") {
+		return "", false
+	}
+	return name + "." + obj.Name(), true
+}
+
+// checkLocalCall handles `fn(...)` where fn is a local bound from a
+// hook field: the call must be guarded by an enclosing `fn != nil`.
+func checkLocalCall(pass *analysis.Pass, call *ast.CallExpr, id *ast.Ident, stack []ast.Node) {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return
+	}
+	if !boundFromHook(pass, obj, stack) {
+		return
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok || !within(call, ifs.Body) {
+			continue
+		}
+		if condChecksNotNil(pass, ifs.Cond, obj) {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"hook local %s is called without a nil check; use: if fn := h.X; fn != nil { fn(...) }", id.Name)
+}
+
+// boundFromHook reports whether obj was defined by an assignment whose
+// right-hand side reads a hook field. It scans the enclosing function
+// for the defining := statement.
+func boundFromHook(pass *analysis.Pass, obj types.Object, stack []ast.Node) bool {
+	var fnBody *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			fnBody = fn.Body
+		case *ast.FuncLit:
+			fnBody = fn.Body
+		}
+		if fnBody != nil {
+			break
+		}
+	}
+	if fnBody == nil {
+		return false
+	}
+	bound := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if bound {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || pass.TypesInfo.Defs[lhs] != obj {
+			return true
+		}
+		if sel, ok := ast.Unparen(as.Rhs[0]).(*ast.SelectorExpr); ok {
+			if _, isHook := hookField(pass, sel); isHook {
+				bound = true
+			}
+		}
+		return true
+	})
+	return bound
+}
+
+// condChecksNotNil reports whether cond contains `obj != nil` (or
+// `nil != obj`), possibly conjoined with other conditions.
+func condChecksNotNil(pass *analysis.Pass, cond ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op.String() != "!=" {
+			return true
+		}
+		x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+		if isNil(pass, y) && usesObj(pass, x, obj) || isNil(pass, x) && usesObj(pass, y, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == types.Universe.Lookup("nil")
+}
+
+func usesObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+func within(n ast.Node, in ast.Node) bool {
+	return n.Pos() >= in.Pos() && n.End() <= in.End()
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) > len(suf) && s[len(s)-len(suf):] == suf
+}
+
+func exprString(sel *ast.SelectorExpr) string {
+	if x, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		return x.Name + "." + sel.Sel.Name
+	}
+	return "h." + sel.Sel.Name
+}

@@ -1,0 +1,12 @@
+package hookcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/hookcheck"
+)
+
+func TestHookcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", hookcheck.Analyzer, "sim", "machine", "other")
+}

@@ -1,0 +1,19 @@
+// Fixture: cross-package detection. The Hooks type is declared in the
+// sim fixture package; calls through its fields are checked here too.
+package machine
+
+import "sim"
+
+type Cell struct {
+	hooks *sim.Hooks
+}
+
+func (c *Cell) fire(n int) {
+	c.hooks.OnStep(n) // want `direct call through hook field`
+}
+
+func (c *Cell) fireSafely(n int) {
+	if fn := c.hooks.OnStep; fn != nil {
+		fn(n)
+	}
+}

@@ -1,0 +1,15 @@
+// Fixture: a Hooks-shaped struct declared outside sim/obs packages is
+// not a hook bundle, so direct calls are fine.
+package other
+
+type Hooks struct {
+	OnStep func(n int)
+}
+
+type Engine struct {
+	hooks Hooks
+}
+
+func (e *Engine) step(n int) {
+	e.hooks.OnStep(n)
+}

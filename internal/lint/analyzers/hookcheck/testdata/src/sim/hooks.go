@@ -1,0 +1,77 @@
+// Fixture for ksrlint/hookcheck: this package has a "sim" segment, so
+// its Hooks struct is a real hook bundle and calls through its fields
+// are checked everywhere.
+package sim
+
+// Hooks mirrors internal/sim.Hooks: function-valued observation points.
+type Hooks struct {
+	OnStep  func(n int)
+	OnRetry func()
+}
+
+// TraceHooks exercises the "...Hooks" suffix rule.
+type TraceHooks struct {
+	OnEvent func(kind string)
+}
+
+type Engine struct {
+	hooks  Hooks
+	thooks *TraceHooks
+}
+
+// step is the sanctioned pattern: one field load, one branch.
+func (e *Engine) step(n int) {
+	if fn := e.hooks.OnStep; fn != nil {
+		fn(n)
+	}
+}
+
+// conjoined guards are fine as long as the nil check is present.
+func (e *Engine) conjoined(n int) {
+	if fn := e.hooks.OnStep; fn != nil && n > 0 {
+		fn(n)
+	}
+}
+
+func (e *Engine) direct() {
+	e.hooks.OnRetry() // want `direct call through hook field`
+}
+
+// guardedDirect nil-checks but still calls through the field: two field
+// loads, so still flagged.
+func (e *Engine) guardedDirect(n int) {
+	if e.hooks.OnStep != nil {
+		e.hooks.OnStep(n) // want `direct call through hook field`
+	}
+}
+
+func (e *Engine) unguarded(n int) {
+	fn := e.hooks.OnStep
+	fn(n) // want `hook local fn is called without a nil check`
+}
+
+// wrongGuard has an if, but it checks the wrong thing.
+func (e *Engine) wrongGuard(n int) {
+	fn := e.hooks.OnStep
+	if n > 0 {
+		fn(n) // want `hook local fn is called without a nil check`
+	}
+}
+
+// pointerBundle works through a pointer receiver type too.
+func (e *Engine) pointerBundle() {
+	e.thooks.OnEvent("x") // want `direct call through hook field`
+}
+
+// suppressed documents an intentional direct call.
+func (e *Engine) suppressed() {
+	//lint:ignore ksrlint/hookcheck fixture: exercising the suppression path
+	e.hooks.OnRetry()
+}
+
+// plainCall is an ordinary function call, not a hook: never flagged.
+func (e *Engine) plainCall() {
+	helper()
+}
+
+func helper() {}

@@ -1,0 +1,67 @@
+// Package simprocess implements ksrlint/simprocess: code that runs
+// inside the simulated machine may only advance by engine-mediated
+// park/resume (Process.Sleep, Resource acquire, Cond wait). Spawning a
+// raw goroutine breaks the single-control-token discipline (the engine
+// guarantees exactly one runnable goroutine, which is what makes runs
+// reproducible and data-race-free by construction), and real-clock
+// waits stall the host thread without advancing simulated time.
+//
+// The sweep layer (internal/experiments) is host-side orchestration and
+// is exempt; the engine's own goroutine creation in Spawn carries an
+// explained //lint:ignore.
+package simprocess
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// simSegments mirror the determinism analyzer's scope minus
+// "experiments": the sweep runner is host code and owns a worker pool.
+var simSegments = []string{
+	"sim", "fabric", "cache", "coherence", "machine", "memory",
+	"ksync", "kernels", "faults",
+}
+
+// realClockWaits are time-package calls that wait on (or arm timers
+// against) the host clock.
+var realClockWaits = map[string]bool{
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "simprocess",
+	Doc: "forbids raw goroutines and real-clock waits (time.Sleep, time.After, " +
+		"timers) in sim-managed packages; only engine-mediated park/resume is legal",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.HasAnySegment(pass.Pkg.Path(), simSegments...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"go statement in a sim-managed package bypasses the engine's single-control-token discipline; use Engine.Spawn")
+			case *ast.CallExpr:
+				fn, ok := analysis.Callee(pass.TypesInfo, n).(*types.Func)
+				if ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && realClockWaits[fn.Name()] {
+					pass.Reportf(n.Pos(),
+						"time.%s waits on the host clock inside sim-managed code; use Process.Sleep with a sim.Time duration",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

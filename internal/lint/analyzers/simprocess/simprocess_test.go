@@ -1,0 +1,12 @@
+package simprocess_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/simprocess"
+)
+
+func TestSimprocess(t *testing.T) {
+	analysistest.Run(t, "testdata", simprocess.Analyzer, "fabric", "experiments")
+}

@@ -1,0 +1,16 @@
+// Fixture: "experiments" is host-side orchestration, exempt from the
+// process-model rules — the sweep runner legitimately owns a worker
+// pool and wall-clock heartbeats.
+package experiments
+
+import "time"
+
+func workerPool(work func()) {
+	for i := 0; i < 4; i++ {
+		go work()
+	}
+}
+
+func heartbeat() {
+	time.Sleep(time.Second)
+}

@@ -1,0 +1,126 @@
+// Package ignore implements ksrlint's suppression directives:
+//
+//	//lint:ignore ksrlint/<name> reason
+//
+// A directive suppresses diagnostics from the named analyzer on the
+// directive's own line (trailing comment) and on the line immediately
+// below it (comment-above-statement). The reason is mandatory — a
+// suppression that does not say why it is safe is itself a finding.
+// Several analyzers can share one directive, comma-separated:
+//
+//	//lint:ignore ksrlint/determinism,ksrlint/simprocess reason
+package ignore
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+const prefix = "//lint:ignore "
+
+// Directive is one well-formed suppression comment.
+type Directive struct {
+	Analyzers []string // bare analyzer names ("determinism")
+	Reason    string
+	File      string
+	Line      int
+	Pos       token.Pos
+}
+
+// Malformed is a //lint:ignore comment that does not suppress anything:
+// it names no ksrlint analyzer or gives no reason. Drivers report these
+// as diagnostics so a typo'd suppression cannot silently mask findings.
+type Malformed struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Parse extracts every suppression directive from the files' comments.
+func Parse(fset *token.FileSet, files []*ast.File) ([]Directive, []Malformed) {
+	var ds []Directive
+	var bad []Malformed
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, prefix))
+				names, reason, ok := split(rest)
+				if !ok {
+					bad = append(bad, Malformed{
+						Pos: c.Pos(),
+						Message: "malformed //lint:ignore directive: want " +
+							"`//lint:ignore ksrlint/<analyzer> reason`",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ds = append(ds, Directive{
+					Analyzers: names,
+					Reason:    reason,
+					File:      pos.Filename,
+					Line:      pos.Line,
+					Pos:       c.Pos(),
+				})
+			}
+		}
+	}
+	return ds, bad
+}
+
+// split parses "ksrlint/a,ksrlint/b reason..." into analyzer names and
+// the reason, reporting ok=false when either half is missing or an
+// entry lacks the ksrlint/ prefix.
+func split(rest string) (names []string, reason string, ok bool) {
+	fields := strings.SplitN(rest, " ", 2)
+	if len(fields) != 2 {
+		return nil, "", false
+	}
+	reason = strings.TrimSpace(fields[1])
+	if reason == "" {
+		return nil, "", false
+	}
+	for _, n := range strings.Split(fields[0], ",") {
+		bare, found := strings.CutPrefix(strings.TrimSpace(n), "ksrlint/")
+		if !found || bare == "" {
+			return nil, "", false
+		}
+		names = append(names, bare)
+	}
+	return names, reason, true
+}
+
+// Filter drops the diagnostics of analyzer that a directive in files
+// covers: same file, same line as the directive or the line below it.
+func Filter(fset *token.FileSet, files []*ast.File, analyzer string, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	ds, _ := Parse(fset, files)
+	type key struct {
+		file string
+		line int
+	}
+	covered := make(map[key]bool)
+	for _, d := range ds {
+		for _, name := range d.Analyzers {
+			if name != analyzer {
+				continue
+			}
+			covered[key{d.File, d.Line}] = true
+			covered[key{d.File, d.Line + 1}] = true
+		}
+	}
+	if len(covered) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !covered[key{pos.Filename, pos.Line}] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,91 @@
+package ignore_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/ignore"
+)
+
+// parse compiles a fixture source into the inputs Parse/Filter take.
+func parse(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestParse(t *testing.T) {
+	fset, files := parse(t, `package p
+
+//lint:ignore ksrlint/determinism the clock feeds a progress line only
+var a int
+
+//lint:ignore ksrlint/determinism,ksrlint/simprocess shared suppression
+var b int
+
+//lint:ignore ksrlint/hookcheck
+var missingReason int
+
+//lint:ignore determinism no ksrlint prefix on the analyzer
+var missingPrefix int
+
+// an ordinary comment is not a directive
+var c int
+`)
+	ds, bad := ignore.Parse(fset, files)
+	if len(ds) != 2 {
+		t.Fatalf("got %d directives, want 2: %+v", len(ds), ds)
+	}
+	if got := ds[0].Analyzers; len(got) != 1 || got[0] != "determinism" {
+		t.Errorf("directive 0 analyzers = %v, want [determinism]", got)
+	}
+	if ds[0].Reason != "the clock feeds a progress line only" {
+		t.Errorf("directive 0 reason = %q", ds[0].Reason)
+	}
+	if got := ds[1].Analyzers; len(got) != 2 || got[0] != "determinism" || got[1] != "simprocess" {
+		t.Errorf("directive 1 analyzers = %v, want [determinism simprocess]", got)
+	}
+	if len(bad) != 2 {
+		t.Fatalf("got %d malformed directives, want 2 (missing reason, missing prefix): %+v", len(bad), bad)
+	}
+}
+
+// TestFilter checks line coverage: a directive suppresses its own line
+// and the line below, for the named analyzer only.
+func TestFilter(t *testing.T) {
+	fset, files := parse(t, `package p
+
+//lint:ignore ksrlint/determinism covers the next line
+var below int
+
+var far int
+
+var trailing int //lint:ignore ksrlint/determinism covers its own line
+`)
+	diag := func(line int) analysis.Diagnostic {
+		// Line L starts at offset sum of earlier line lengths; use the
+		// file's line-start positions to synthesize a Pos on that line.
+		tf := fset.File(files[0].Pos())
+		return analysis.Diagnostic{Pos: tf.LineStart(line), Message: "x"}
+	}
+	in := []analysis.Diagnostic{diag(3), diag(4), diag(6), diag(8)}
+
+	kept := ignore.Filter(fset, files, "determinism", in)
+	if len(kept) != 1 || fset.Position(kept[0].Pos).Line != 6 {
+		t.Errorf("determinism filter kept %d diagnostics, want only line 6: %+v", len(kept), kept)
+	}
+
+	// A different analyzer is untouched by these directives.
+	in = []analysis.Diagnostic{diag(3), diag(4), diag(6), diag(8)}
+	kept = ignore.Filter(fset, files, "hookcheck", in)
+	if len(kept) != 4 {
+		t.Errorf("hookcheck filter kept %d diagnostics, want all 4", len(kept))
+	}
+}

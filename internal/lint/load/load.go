@@ -1,0 +1,124 @@
+// Package load type-checks Go packages for ksrlint's standalone driver
+// without golang.org/x/tools/go/packages: it enumerates packages with
+// `go list -json`, parses their non-test sources, and type-checks them
+// with the standard library's source importer (which resolves both
+// stdlib and module-local imports from source, so no export data or
+// network is needed). It must run with the working directory inside the
+// target module.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads and type-checks every package matching patterns
+// (as `go list` interprets them), sharing one FileSet and one source
+// importer across the set so common dependencies are checked once.
+func Packages(fset *token.FileSet, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var metas []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json output: %v", err)
+		}
+		metas = append(metas, p)
+	}
+
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, m := range metas {
+		if m.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", m.ImportPath, m.Error.Err)
+		}
+		if len(m.GoFiles) == 0 {
+			continue // test-only or empty package
+		}
+		var files []*ast.File
+		for _, name := range m.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := Check(fset, m.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", m.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  m.ImportPath,
+			Name:  m.Name,
+			Dir:   m.Dir,
+			Files: files,
+			Types: pkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// Check type-checks one package's parsed files with the given importer
+// and returns the package plus a fully populated types.Info.
+func Check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/fabric"
 	"repro/internal/faults"
@@ -132,11 +133,18 @@ func (c Config) Validate() error {
 	if c.Faults.CellStallMean < 0 {
 		return fmt.Errorf("machine: cell stall mean must be non-negative (got %v)", c.Faults.CellStallMean)
 	}
-	for cell, at := range c.Faults.FailStop {
+	// Validate fail-stop entries in sorted cell order so the reported
+	// error is the same on every run regardless of map iteration order.
+	cells := make([]int, 0, len(c.Faults.FailStop))
+	for cell := range c.Faults.FailStop {
+		cells = append(cells, cell)
+	}
+	sort.Ints(cells)
+	for _, cell := range cells {
 		if cell < 0 || cell >= c.Cells {
 			return fmt.Errorf("machine: fail-stop cell %d out of range [0, %d)", cell, c.Cells)
 		}
-		if at <= 0 {
+		if at := c.Faults.FailStop[cell]; at <= 0 {
 			return fmt.Errorf("machine: fail-stop time for cell %d must be positive (got %v)", cell, at)
 		}
 	}

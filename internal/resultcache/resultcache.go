@@ -14,6 +14,7 @@
 package resultcache
 
 import (
+	"bytes"
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
@@ -131,8 +132,12 @@ func Open(dir string, maxBytes int64) (*Cache, error) {
 		if err != nil {
 			continue
 		}
+		// Strict decode: an entry with unknown fields was written by a
+		// different schema and must not be half-loaded into this cache.
+		dec := json.NewDecoder(bytes.NewReader(b))
+		dec.DisallowUnknownFields()
 		var e Entry
-		if json.Unmarshal(b, &e) != nil || e.Key == "" || e.Key != strings.TrimSuffix(name, ".json") {
+		if dec.Decode(&e) != nil || e.Key == "" || e.Key != strings.TrimSuffix(name, ".json") {
 			continue
 		}
 		info, err := de.Info()

@@ -244,6 +244,7 @@ func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 	p.timer.proc = p
 	e.procs = append(e.procs, p)
 	e.nlive++
+	//lint:ignore ksrlint/simprocess Spawn is the engine-mediated path itself: the control token guarantees exactly one of these goroutines is ever runnable
 	go func() {
 		// p.reap is only ever touched by this goroutine, at points where it
 		// holds the control token — reading e.shutdown here after the final
