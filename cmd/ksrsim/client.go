@@ -3,12 +3,14 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -20,11 +22,19 @@ import (
 // `ksrsim client submit -wait latency` prints exactly what `ksrsim
 // latency` would), inspect them, stream their progress, or read service
 // stats. See docs/SERVER.md.
+//
+// Every verb runs under -timeout (an overall deadline, 0 = none) and
+// retries transient failures — network errors, 429 backpressure, 503
+// drain — up to -retries times, honoring the daemon's Retry-After
+// header. Submits are safe to retry: jobs are content-addressed, so a
+// resubmit of an acknowledged spec lands on the same cache key.
 func cmdClient(args []string) {
 	fs := flag.NewFlagSet("client", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:7788", "ksrsimd base URL")
+	timeout := fs.Duration("timeout", 0, "overall deadline for the whole operation (0 = none)")
+	retries := fs.Int("retries", 3, "max retries for transient failures (429/503/network)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, `Usage: ksrsim client [-addr url] <verb> [flags]
+		fmt.Fprintf(os.Stderr, `Usage: ksrsim client [-addr url] [-timeout d] [-retries n] <verb> [flags]
 
 Verbs:
   submit [-c file | -config json] [-priority n] [-recompute]
@@ -43,7 +53,13 @@ Verbs:
 		fs.Usage()
 		os.Exit(2)
 	}
-	c := &client{base: strings.TrimRight(*addr, "/")}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	c := &client{base: strings.TrimRight(*addr, "/"), retries: *retries, ctx: ctx}
 	verb, vargs := rest[0], rest[1:]
 	switch verb {
 	case "submit":
@@ -68,37 +84,96 @@ Verbs:
 }
 
 type client struct {
-	base string
+	base    string
+	retries int
+	ctx     context.Context
+}
+
+// retryDelay is how long to wait before retry attempt n (1-based) when
+// the daemon did not send a Retry-After hint.
+func retryDelay(attempt int) time.Duration {
+	d := 500 * time.Millisecond << (attempt - 1)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// sleep waits for d or until the operation deadline expires, whichever
+// comes first.
+func (c *client) sleep(d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.ctx.Done():
+		return c.ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // do performs one request and decodes the JSON answer into out,
-// translating non-2xx answers (including 429 backpressure) to errors.
+// translating non-2xx answers to errors. Transient failures — network
+// errors, 429 backpressure, 503 drain/unavailable — are retried up to
+// c.retries times with the daemon's Retry-After hint (or exponential
+// backoff), all bounded by the operation deadline.
 func (c *client) do(method, path string, body []byte, out any) error {
-	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err, retryable, hint := c.doOnce(method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || attempt >= c.retries {
+			return lastErr
+		}
+		wait := hint
+		if wait <= 0 {
+			wait = retryDelay(attempt + 1)
+		}
+		fmt.Fprintf(os.Stderr, "ksrsim client: %v; retrying in %v (%d/%d)\n", err, wait, attempt+1, c.retries)
+		if err := c.sleep(wait); err != nil {
+			return fmt.Errorf("%w (last error: %v)", err, lastErr)
+		}
+	}
+}
+
+// doOnce is a single request/response cycle. It reports whether the
+// failure is worth retrying and any server-provided Retry-After delay.
+func (c *client) doOnce(method, path string, body []byte, out any) (err error, retryable bool, hint time.Duration) {
+	req, err := http.NewRequestWithContext(c.ctx, method, c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return err, false, 0
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return err
+		// Deadline exhausted is final; connection refused/reset is the
+		// daemon restarting — exactly what retries are for.
+		return err, c.ctx.Err() == nil, 0
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return err, c.ctx.Err() == nil, 0
 	}
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		transient := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if ra, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && ra >= 0 {
+			hint = time.Duration(ra) * time.Second
+		}
 		var e api.ErrorResponse
 		if json.Unmarshal(b, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+			return fmt.Errorf("%s: %s", resp.Status, e.Error), transient, hint
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
-			return fmt.Errorf("%s: queue full, retry later", resp.Status)
+			return fmt.Errorf("%s: queue full, retry later", resp.Status), transient, hint
 		}
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b))), transient, hint
 	}
 	if out != nil {
 		// Strict decode: the client and daemon ship from the same tree,
@@ -107,10 +182,10 @@ func (c *client) do(method, path string, body []byte, out any) error {
 		dec := json.NewDecoder(bytes.NewReader(b))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(out); err != nil {
-			return fmt.Errorf("decoding %s response: %w", path, err)
+			return fmt.Errorf("decoding %s response: %w", path, err), false, 0
 		}
 	}
-	return nil
+	return nil, false, 0
 }
 
 func (c *client) submit(args []string) {
@@ -122,15 +197,19 @@ func (c *client) submit(args []string) {
 	trace := fs.Bool("trace", false, "request a trace artifact on the server")
 	traceCats := fs.String("trace-cats", "all", "trace categories")
 	sampleNs := fs.Int64("sample", 0, "server-side telemetry sampling interval (simulated ns)")
+	jobTimeout := fs.Float64("job-timeout", 0, "per-attempt deadline in seconds on the server (0 = daemon default)")
+	maxAttempts := fs.Int("max-attempts", 0, "server-side attempts before quarantine (0 = daemon default)")
 	wait := fs.Bool("wait", false, "wait for the job and print its result")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		fail(fmt.Errorf("client submit: need exactly one experiment name (see 'ksrsim client experiments')"))
 	}
 	spec := api.JobSpec{
-		Experiment: fs.Arg(0),
-		Priority:   *priority,
-		Recompute:  *recompute,
+		Experiment:     fs.Arg(0),
+		Priority:       *priority,
+		Recompute:      *recompute,
+		TimeoutSeconds: *jobTimeout,
+		MaxAttempts:    *maxAttempts,
 	}
 	switch {
 	case *cfgFile != "" && *cfgInline != "":
@@ -167,11 +246,12 @@ func (c *client) submit(args []string) {
 		fmt.Println()
 		return
 	}
-	st := c.waitFor(h.ID)
-	c.emitStatus(st)
+	c.emitStatus(c.waitFor(h.ID))
 }
 
-// waitFor polls until the job reaches a terminal state.
+// waitFor polls until the job reaches a terminal state or the operation
+// deadline expires. Poll errors ride through do's retry loop, so a
+// daemon restart mid-wait doesn't kill the wait.
 func (c *client) waitFor(id string) api.JobStatus {
 	for {
 		var st api.JobStatus
@@ -179,10 +259,12 @@ func (c *client) waitFor(id string) api.JobStatus {
 			fail(err)
 		}
 		switch st.State {
-		case api.StateDone, api.StateFailed, api.StateCancelled, api.StateRejected:
+		case api.StateDone, api.StateFailed, api.StateCancelled, api.StateRejected, api.StateQuarantined:
 			return st
 		}
-		time.Sleep(100 * time.Millisecond)
+		if err := c.sleep(100 * time.Millisecond); err != nil {
+			fail(fmt.Errorf("waiting for job %s: %w", id, err))
+		}
 	}
 }
 
@@ -219,24 +301,66 @@ func (c *client) get(args []string) {
 }
 
 // watch streams the job's SSE feed, printing one line per event, then
-// prints the final result just like `submit -wait`.
+// prints the final result just like `submit -wait`. A dropped stream —
+// daemon restart, network blip — reconnects with Last-Event-ID so
+// already-printed state transitions are not replayed.
 func (c *client) watch(args []string) {
 	if len(args) != 1 {
 		fail(fmt.Errorf("client watch: need exactly one job id"))
 	}
 	id := args[0]
-	resp, err := http.Get(c.base + "/v1/jobs/" + id + "/events")
+	lastEventID := ""
+	for attempt := 0; ; attempt++ {
+		done, err := c.watchOnce(id, &lastEventID)
+		if done {
+			return
+		}
+		if attempt >= c.retries {
+			fail(fmt.Errorf("event stream for %s: %v (gave up after %d retries)", id, err, c.retries))
+		}
+		wait := retryDelay(attempt + 1)
+		fmt.Fprintf(os.Stderr, "ksrsim client: watch %s: %v; reconnecting in %v (%d/%d)\n", id, err, wait, attempt+1, c.retries)
+		if serr := c.sleep(wait); serr != nil {
+			fail(fmt.Errorf("watching job %s: %w (last error: %v)", id, serr, err))
+		}
+	}
+}
+
+// watchOnce opens one SSE connection and consumes it until the job's
+// terminal event (done=true) or the stream breaks (done=false, err set).
+// It advances *lastEventID as `id:` lines arrive so the caller can
+// resume from the right place.
+func (c *client) watchOnce(id string, lastEventID *string) (done bool, err error) {
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		fail(err)
+	}
+	if *lastEventID != "" {
+		req.Header.Set("Last-Event-ID", *lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		if c.ctx.Err() != nil {
+			fail(fmt.Errorf("watching job %s: %w", id, c.ctx.Err()))
+		}
+		return false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(resp.Body)
-		fail(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b))))
+		msg := fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
+			return false, msg
+		}
+		fail(msg)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "id: "); ok {
+			*lastEventID = strings.TrimSpace(rest)
+			continue
+		}
 		if !strings.HasPrefix(line, "data: ") {
 			continue
 		}
@@ -257,13 +381,13 @@ func (c *client) watch(args []string) {
 			fmt.Fprintf(os.Stderr, "%s: %s\n", id, ev.State)
 		case "end":
 			c.emitStatus(c.waitFor(id))
-			return
+			return true, nil
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fail(err)
+		return false, err
 	}
-	fail(fmt.Errorf("event stream for %s ended without a terminal event", id))
+	return false, fmt.Errorf("stream ended without a terminal event")
 }
 
 func (c *client) cancel(args []string) {
@@ -271,18 +395,7 @@ func (c *client) cancel(args []string) {
 		fail(fmt.Errorf("client cancel: need exactly one job id"))
 	}
 	var st api.JobStatus
-	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+args[0], nil)
-	if err != nil {
-		fail(err)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		fail(err)
-	}
-	defer resp.Body.Close()
-	dec := json.NewDecoder(resp.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&st); err != nil {
+	if err := c.do(http.MethodDelete, "/v1/jobs/"+args[0], nil, &st); err != nil {
 		fail(err)
 	}
 	fmt.Printf("%s %s\n", st.ID, st.State)
@@ -300,14 +413,9 @@ func (c *client) experiments() {
 
 // printJSON fetches path and prints the (already-indented) body.
 func (c *client) printJSON(path string) {
-	resp, err := http.Get(c.base + path)
-	if err != nil {
+	var raw json.RawMessage
+	if err := c.do(http.MethodGet, path, nil, &raw); err != nil {
 		fail(err)
 	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		fail(err)
-	}
-	os.Stdout.Write(b)
+	os.Stdout.Write(raw)
 }

@@ -27,9 +27,13 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent jobs (each job additionally fans sweep points per -parallel)")
 	queueCap := flag.Int("queue", 64, "max jobs waiting behind the workers (beyond it: HTTP 429)")
 	parallel := flag.Int("parallel", 0, "concurrent sweep points per job (0 = all cores)")
+	queueBytes := flag.Int64("queue-bytes", 0, "byte budget for admitted-but-unfinished job configs (0 = unlimited)")
 	cacheDir := flag.String("cache-dir", "", "result cache directory (empty = in-memory only)")
 	cacheMax := flag.Int64("cache-max", 256<<20, "result cache size cap in bytes")
 	artifacts := flag.String("artifacts", "", "directory for per-job manifest/trace/telemetry artifacts (empty = off)")
+	journal := flag.String("journal", "", "durable job journal file; submissions are fsync'd before ack and replayed on restart (empty = off)")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-attempt wall-clock deadline for jobs that don't set one (0 = none)")
+	maxAttempts := flag.Int("max-attempts", 3, "default attempts per job before quarantine")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long running jobs get to finish on shutdown")
 	showVersion := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
@@ -56,13 +60,21 @@ func main() {
 		}
 	}
 	srv, err := server.New(server.Config{
-		Workers:      *workers,
-		QueueCap:     *queueCap,
-		Cache:        cache,
-		ArtifactsDir: *artifacts,
+		Workers:            *workers,
+		QueueCap:           *queueCap,
+		QueueBytes:         *queueBytes,
+		Cache:              cache,
+		ArtifactsDir:       *artifacts,
+		JournalPath:        *journal,
+		DefaultTimeout:     *jobTimeout,
+		DefaultMaxAttempts: *maxAttempts,
 	})
 	if err != nil {
 		fail(err)
+	}
+	if rec := srv.Recovery(); *journal != "" && rec.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, "ksrsimd: journal %s: replayed %d jobs (%d re-enqueued, %d done from cache, %d terminal)\n",
+			*journal, rec.Replayed, rec.Requeued, rec.Done, rec.Terminal)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -1,14 +1,25 @@
 // Package jobq is ksrsimd's bounded priority job queue: a fixed worker
-// pool draining a priority heap, with per-job context cancellation and
-// explicit backpressure.
+// pool draining a priority heap, with per-job context cancellation,
+// per-job wall-clock deadlines, deterministic bounded-exponential-
+// backoff retry for transient failures, and explicit backpressure.
 //
 // The queue bounds WAITING work, not running work: capacity is how many
 // jobs may sit queued behind the workers. When it is full, Submit
 // returns ErrFull and the server surfaces 429 — load shedding at the
-// door rather than unbounded memory growth behind it. Within a priority
-// level jobs run in submission order (a monotonic sequence breaks ties),
-// so equal-priority traffic is FIFO and the schedule is deterministic
-// for a given submission order.
+// door rather than unbounded memory growth behind it. ShedBelow
+// additionally lets the server displace the lowest-priority queued job
+// to admit a higher-priority one when the queue saturates. Within a
+// priority level jobs run in submission order (a monotonic sequence
+// breaks ties), so equal-priority traffic is FIFO and the schedule is
+// deterministic for a given submission order.
+//
+// Failure semantics: a Run returning a nil error completes; an error
+// wrapped with Permanent fails immediately; context.Canceled means the
+// job was cancelled; any other error is treated as transient and
+// retried with bounded exponential backoff (jitter derived from the
+// job's seed, so retry schedules are reproducible) until
+// Options.MaxAttempts is exhausted, at which point the job is
+// quarantined as poison rather than looping forever.
 //
 // Jobs themselves fan their simulation sweep points across cores via
 // internal/experiments/parallel.go; the queue's Workers knob therefore
@@ -21,6 +32,8 @@ import (
 	"container/heap"
 	"context"
 	"errors"
+	"math/rand"
+	"sort"
 	"sync"
 	"time"
 )
@@ -32,13 +45,106 @@ var ErrFull = errors.New("jobq: queue full")
 // ErrDraining is returned by Submit after Drain has begun.
 var ErrDraining = errors.New("jobq: draining")
 
-// ErrDuplicate is returned by Submit when the id is already queued or
-// running.
+// ErrDuplicate is returned by Submit when the id is already queued,
+// waiting out a retry backoff, or running.
 var ErrDuplicate = errors.New("jobq: duplicate job id")
 
 // Run is a job body. It must honor ctx: when the context is cancelled
-// the job should stop at its next safe point and return.
-type Run func(ctx context.Context)
+// (or its per-job deadline expires) the job should stop at its next
+// safe point and return. The returned error drives the retry policy —
+// see the package comment.
+type Run func(ctx context.Context) error
+
+// permanentError marks a failure as non-retryable.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so the queue fails the job immediately instead of
+// retrying: the failure is deterministic (bad config, experiment error)
+// and re-running it would burn attempts producing the same answer.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) came from
+// Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Options tunes one job's execution policy. The zero value means: no
+// deadline, a single attempt, default backoff.
+type Options struct {
+	// Timeout is the per-attempt wall-clock deadline; 0 disables it.
+	Timeout time.Duration
+	// MaxAttempts bounds total attempts (including the first) before
+	// the job is quarantined as poison. Values below 1 mean 1.
+	MaxAttempts int
+	// BackoffBase and BackoffCap bound the exponential retry backoff:
+	// delay n is min(BackoffBase<<(n-1), BackoffCap), scaled by a
+	// deterministic jitter in [0.5, 1.5) drawn from Seed. Defaults:
+	// 100ms base, 5s cap.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Seed feeds the jitter PRNG so retry schedules are reproducible
+	// for a given job (the server derives it from the job's cache key).
+	Seed uint64
+	// StartAttempt pre-loads the attempt counter — journal recovery
+	// passes the attempts a job had already burned before the crash.
+	StartAttempt int
+	// OnRetry, when non-nil, is called after a transient failure once
+	// the retry is scheduled: the attempt that will run next, the
+	// backoff delay before it, and the error that triggered it.
+	OnRetry func(nextAttempt int, delay time.Duration, err error)
+	// OnQuarantine, when non-nil, is called when the job exhausts
+	// MaxAttempts and is quarantined instead of re-queued.
+	OnQuarantine func(attempts int, err error)
+}
+
+// maxAttempts clamps Options.MaxAttempts to at least one attempt.
+func (o Options) maxAttempts() int {
+	if o.MaxAttempts < 1 {
+		return 1
+	}
+	return o.MaxAttempts
+}
+
+// backoffDelay computes the deterministic backoff before attempt
+// nextAttempt (2 = first retry). Exponential in the retry count,
+// bounded by BackoffCap, jittered by Seed so synchronized failures
+// don't retry in lockstep yet identical jobs replay identical
+// schedules.
+func backoffDelay(o Options, nextAttempt int) time.Duration {
+	base := o.BackoffBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	cap := o.BackoffCap
+	if cap <= 0 {
+		cap = 5 * time.Second
+	}
+	d := base
+	for i := 2; i < nextAttempt; i++ {
+		d *= 2
+		if d >= cap || d <= 0 {
+			d = cap
+			break
+		}
+	}
+	if d > cap {
+		d = cap
+	}
+	// Deterministic jitter: a PRNG seeded from (job seed, attempt), not
+	// the global source — same job, same attempt, same delay, always.
+	rng := rand.New(rand.NewSource(int64(o.Seed ^ uint64(nextAttempt)*0x9e3779b97f4a7c15)))
+	return time.Duration(float64(d) * (0.5 + rng.Float64()))
+}
 
 // item is one queued job.
 type item struct {
@@ -46,6 +152,8 @@ type item struct {
 	priority int
 	seq      uint64
 	run      Run
+	opts     Options
+	attempt  int // attempts started so far
 	index    int // heap index
 }
 
@@ -80,14 +188,19 @@ func (q *pq) Pop() any {
 
 // Stats is a point-in-time snapshot of the queue.
 type Stats struct {
-	Workers   int   `json:"workers"`
-	Capacity  int   `json:"capacity"`
-	Queued    int   `json:"queued"`
-	Running   int   `json:"running"`
-	Submitted int64 `json:"submitted"`
-	Completed int64 `json:"completed"`
-	Rejected  int64 `json:"rejected"`
-	Cancelled int64 `json:"cancelled"`
+	Workers     int   `json:"workers"`
+	Capacity    int   `json:"capacity"`
+	Queued      int   `json:"queued"`
+	Running     int   `json:"running"`
+	RetryWait   int   `json:"retry_wait"`
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Rejected    int64 `json:"rejected"`
+	Cancelled   int64 `json:"cancelled"`
+	Failed      int64 `json:"failed"`
+	Retried     int64 `json:"retried"`
+	Quarantined int64 `json:"quarantined"`
+	Shed        int64 `json:"shed"`
 }
 
 // Queue is the bounded priority queue plus its worker pool.
@@ -95,20 +208,31 @@ type Queue struct {
 	workers  int
 	capacity int
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	heap    pq
-	queued  map[string]*item
-	running map[string]context.CancelFunc
-	seq     uint64
-	closed  bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	heap      pq
+	queued    map[string]*item
+	running   map[string]context.CancelFunc
+	retryWait map[string]*retryWaiter
+	seq       uint64
+	closed    bool
 
-	submitted int64
-	completed int64
-	rejected  int64
-	cancelled int64
+	submitted   int64
+	completed   int64
+	rejected    int64
+	cancelled   int64
+	failed      int64
+	retried     int64
+	quarantined int64
+	shed        int64
 
 	wg sync.WaitGroup
+}
+
+// retryWaiter is a job sitting out its backoff delay.
+type retryWaiter struct {
+	timer *time.Timer
+	it    *item
 }
 
 // New starts a queue with the given worker pool size and waiting
@@ -121,10 +245,11 @@ func New(workers, capacity int) *Queue {
 		capacity = 1
 	}
 	q := &Queue{
-		workers:  workers,
-		capacity: capacity,
-		queued:   make(map[string]*item),
-		running:  make(map[string]context.CancelFunc),
+		workers:   workers,
+		capacity:  capacity,
+		queued:    make(map[string]*item),
+		running:   make(map[string]context.CancelFunc),
+		retryWait: make(map[string]*retryWaiter),
 	}
 	q.cond = sync.NewCond(&q.mu)
 	q.wg.Add(workers)
@@ -136,7 +261,18 @@ func New(workers, capacity int) *Queue {
 
 // Submit enqueues run under id at the given priority (higher runs
 // first). It never blocks: a full queue returns ErrFull immediately.
-func (q *Queue) Submit(id string, priority int, run Run) error {
+func (q *Queue) Submit(id string, priority int, opts Options, run Run) error {
+	return q.submit(id, priority, opts, run, false)
+}
+
+// Restore is Submit exempt from the capacity bound, for journal
+// recovery: jobs the daemon already acknowledged must be re-enqueued
+// even when there are more of them than the configured queue depth.
+func (q *Queue) Restore(id string, priority int, opts Options, run Run) error {
+	return q.submit(id, priority, opts, run, true)
+}
+
+func (q *Queue) submit(id string, priority int, opts Options, run Run, force bool) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -149,12 +285,15 @@ func (q *Queue) Submit(id string, priority int, run Run) error {
 	if _, ok := q.running[id]; ok {
 		return ErrDuplicate
 	}
-	if len(q.heap) >= q.capacity {
+	if _, ok := q.retryWait[id]; ok {
+		return ErrDuplicate
+	}
+	if !force && len(q.heap) >= q.capacity {
 		q.rejected++
 		return ErrFull
 	}
 	q.seq++
-	it := &item{id: id, priority: priority, seq: q.seq, run: run}
+	it := &item{id: id, priority: priority, seq: q.seq, run: run, opts: opts, attempt: opts.StartAttempt}
 	heap.Push(&q.heap, it)
 	q.queued[id] = it
 	q.submitted++
@@ -162,16 +301,50 @@ func (q *Queue) Submit(id string, priority int, run Run) error {
 	return nil
 }
 
-// Cancel cancels the job with the given id. A queued job is removed
-// without ever running (removed=true); a running job has its context
-// cancelled and finishes on its own schedule (removed=false). Unknown
-// ids return found=false.
+// ShedBelow removes the queued job most eligible for shedding — lowest
+// priority first, most recently submitted within a priority — provided
+// its priority is strictly below limit. It returns the shed job's id.
+// The caller (the server's admission control) uses it to displace cheap
+// work instead of rejecting expensive work when the queue saturates.
+func (q *Queue) ShedBelow(limit int) (id string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var victim *item
+	for _, it := range q.heap {
+		if it.priority >= limit {
+			continue
+		}
+		if victim == nil || it.priority < victim.priority ||
+			(it.priority == victim.priority && it.seq > victim.seq) {
+			victim = it
+		}
+	}
+	if victim == nil {
+		return "", false
+	}
+	heap.Remove(&q.heap, victim.index)
+	delete(q.queued, victim.id)
+	q.shed++
+	return victim.id, true
+}
+
+// Cancel cancels the job with the given id. A queued job (including one
+// waiting out a retry backoff) is removed without ever running
+// (removed=true); a running job has its context cancelled and finishes
+// on its own schedule (removed=false). Unknown ids return found=false,
+// so cancelling an already-finished job is an idempotent no-op.
 func (q *Queue) Cancel(id string) (found, removed bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if it, ok := q.queued[id]; ok {
 		heap.Remove(&q.heap, it.index)
 		delete(q.queued, id)
+		q.cancelled++
+		return true, true
+	}
+	if w, ok := q.retryWait[id]; ok {
+		w.timer.Stop()
+		delete(q.retryWait, id)
 		q.cancelled++
 		return true, true
 	}
@@ -197,26 +370,105 @@ func (q *Queue) worker() {
 		}
 		it := heap.Pop(&q.heap).(*item)
 		delete(q.queued, it.id)
-		ctx, cancel := context.WithCancel(context.Background())
+		ctx, cancel := q.attemptContext(it)
 		q.running[it.id] = cancel
+		it.attempt++
 		q.mu.Unlock()
 
-		it.run(ctx)
+		err := it.run(ctx)
+		ctxErr := ctx.Err()
+		cancel()
 
 		q.mu.Lock()
 		delete(q.running, it.id)
-		cancel()
-		q.completed++
+		callback := q.settle(it, err, ctxErr)
 		q.mu.Unlock()
+		if callback != nil {
+			callback()
+		}
 	}
 }
 
+// attemptContext builds one attempt's context: cancellable, plus the
+// per-job wall-clock deadline when configured. Caller holds mu.
+func (q *Queue) attemptContext(it *item) (context.Context, context.CancelFunc) {
+	if it.opts.Timeout > 0 {
+		return context.WithTimeout(context.Background(), it.opts.Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// settle classifies one finished attempt and updates counters,
+// scheduling a retry when the failure is transient. It returns the
+// OnRetry/OnQuarantine callback to invoke after the lock is released
+// (callbacks must not run under mu: they journal and take job locks).
+// Caller holds mu.
+func (q *Queue) settle(it *item, err, ctxErr error) func() {
+	switch {
+	case err == nil:
+		q.completed++
+		return nil
+	case errors.Is(err, context.Canceled) && !errors.Is(ctxErr, context.DeadlineExceeded):
+		// Externally cancelled; Cancel() already counted it.
+		return nil
+	case IsPermanent(err):
+		q.failed++
+		return nil
+	case it.attempt >= it.opts.maxAttempts():
+		q.quarantined++
+		if cb := it.opts.OnQuarantine; cb != nil {
+			attempts := it.attempt
+			return func() { cb(attempts, err) }
+		}
+		return nil
+	default:
+		// Transient failure with attempts left: back off, then requeue.
+		if q.closed {
+			q.cancelled++
+			return nil
+		}
+		next := it.attempt + 1
+		delay := backoffDelay(it.opts, next)
+		q.retried++
+		q.retryWait[it.id] = &retryWaiter{
+			timer: time.AfterFunc(delay, func() { q.requeue(it) }),
+			it:    it,
+		}
+		if cb := it.opts.OnRetry; cb != nil {
+			return func() { cb(next, delay, err) }
+		}
+		return nil
+	}
+}
+
+// requeue moves a job whose backoff expired back into the heap. A job
+// cancelled or drained while waiting is gone from retryWait and is not
+// resurrected.
+func (q *Queue) requeue(it *item) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.retryWait[it.id]; !ok {
+		return
+	}
+	delete(q.retryWait, it.id)
+	if q.closed {
+		q.cancelled++
+		return
+	}
+	q.seq++
+	it.seq = q.seq
+	heap.Push(&q.heap, it)
+	q.queued[it.id] = it
+	q.cond.Signal()
+}
+
 // Drain stops the queue for shutdown: submissions are refused, every
-// still-queued job is removed (returned so the caller can report them
-// cancelled), and running jobs are given at most timeout to finish
-// before their contexts are cancelled. Drain returns once every worker
-// has exited; the second return reports whether shutdown was clean
-// (true) or required cancelling in-flight jobs (false).
+// still-queued job (including retry waiters) is removed and returned so
+// the caller can journal them as still-pending, and running jobs are
+// given at most timeout to finish before their contexts are cancelled.
+// Drain returns once every worker has exited; the second return reports
+// whether shutdown was clean (true) or required cancelling in-flight
+// jobs (false).
 func (q *Queue) Drain(timeout time.Duration) (dropped []string, clean bool) {
 	q.mu.Lock()
 	q.closed = true
@@ -225,6 +477,17 @@ func (q *Queue) Drain(timeout time.Duration) (dropped []string, clean bool) {
 		delete(q.queued, it.id)
 		q.cancelled++
 		dropped = append(dropped, it.id)
+	}
+	var waiting []string
+	for id := range q.retryWait {
+		waiting = append(waiting, id)
+	}
+	sort.Strings(waiting)
+	for _, id := range waiting {
+		q.retryWait[id].timer.Stop()
+		delete(q.retryWait, id)
+		q.cancelled++
+		dropped = append(dropped, id)
 	}
 	q.cond.Broadcast()
 	q.mu.Unlock()
@@ -250,7 +513,32 @@ func (q *Queue) Drain(timeout time.Duration) (dropped []string, clean bool) {
 	return dropped, false
 }
 
-// Len returns how many jobs are waiting (not running).
+// Kill is Drain with no grace at all: it abandons queued work and
+// cancels running jobs immediately, simulating a crash for the chaos
+// harness. Unlike Drain it gives the caller nothing to journal — a
+// crash doesn't get to write a will. It returns once every worker has
+// exited.
+func (q *Queue) Kill() {
+	q.mu.Lock()
+	q.closed = true
+	for len(q.heap) > 0 {
+		it := heap.Pop(&q.heap).(*item)
+		delete(q.queued, it.id)
+	}
+	for id, w := range q.retryWait {
+		w.timer.Stop()
+		delete(q.retryWait, id)
+	}
+	for _, cancel := range q.running {
+		cancel()
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
+// Len returns how many jobs are waiting in the heap (not running, not
+// in retry backoff).
 func (q *Queue) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -262,13 +550,18 @@ func (q *Queue) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return Stats{
-		Workers:   q.workers,
-		Capacity:  q.capacity,
-		Queued:    len(q.heap),
-		Running:   len(q.running),
-		Submitted: q.submitted,
-		Completed: q.completed,
-		Rejected:  q.rejected,
-		Cancelled: q.cancelled,
+		Workers:     q.workers,
+		Capacity:    q.capacity,
+		Queued:      len(q.heap),
+		Running:     len(q.running),
+		RetryWait:   len(q.retryWait),
+		Submitted:   q.submitted,
+		Completed:   q.completed,
+		Rejected:    q.rejected,
+		Cancelled:   q.cancelled,
+		Failed:      q.failed,
+		Retried:     q.retried,
+		Quarantined: q.quarantined,
+		Shed:        q.shed,
 	}
 }

@@ -10,6 +10,14 @@ import (
 	"time"
 )
 
+// ok wraps a no-error job body.
+func ok(body func(ctx context.Context)) Run {
+	return func(ctx context.Context) error {
+		body(ctx)
+		return nil
+	}
+}
+
 func TestPriorityAndFIFOOrder(t *testing.T) {
 	// One worker, gated so everything queues up before any job runs.
 	q := New(1, 16)
@@ -17,15 +25,15 @@ func TestPriorityAndFIFOOrder(t *testing.T) {
 	var mu sync.Mutex
 	var order []string
 	job := func(id string) Run {
-		return func(context.Context) {
+		return ok(func(context.Context) {
 			<-gate
 			mu.Lock()
 			order = append(order, id)
 			mu.Unlock()
-		}
+		})
 	}
 	// A blocker occupies the worker while the rest are submitted.
-	if err := q.Submit("blocker", 100, job("blocker")); err != nil {
+	if err := q.Submit("blocker", 100, Options{}, job("blocker")); err != nil {
 		t.Fatal(err)
 	}
 	// Wait for the blocker to be picked up so submission order below is
@@ -37,7 +45,7 @@ func TestPriorityAndFIFOOrder(t *testing.T) {
 		id   string
 		prio int
 	}{{"low-a", 0}, {"high", 5}, {"low-b", 0}, {"mid", 3}} {
-		if err := q.Submit(spec.id, spec.prio, job(spec.id)); err != nil {
+		if err := q.Submit(spec.id, spec.prio, Options{}, job(spec.id)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -60,27 +68,31 @@ func TestPriorityAndFIFOOrder(t *testing.T) {
 func TestBackpressureAndDuplicates(t *testing.T) {
 	q := New(1, 2)
 	block := make(chan struct{})
-	q.Submit("running", 0, func(context.Context) { <-block })
+	q.Submit("running", 0, Options{}, ok(func(context.Context) { <-block }))
 	for q.Stats().Running == 0 {
 		time.Sleep(time.Millisecond)
 	}
-	if err := q.Submit("a", 0, func(context.Context) {}); err != nil {
+	if err := q.Submit("a", 0, Options{}, ok(func(context.Context) {})); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.Submit("a", 0, func(context.Context) {}); !errors.Is(err, ErrDuplicate) {
+	if err := q.Submit("a", 0, Options{}, ok(func(context.Context) {})); !errors.Is(err, ErrDuplicate) {
 		t.Errorf("duplicate queued id: err = %v", err)
 	}
-	if err := q.Submit("running", 0, func(context.Context) {}); !errors.Is(err, ErrDuplicate) {
+	if err := q.Submit("running", 0, Options{}, ok(func(context.Context) {})); !errors.Is(err, ErrDuplicate) {
 		t.Errorf("duplicate running id: err = %v", err)
 	}
-	if err := q.Submit("b", 0, func(context.Context) {}); err != nil {
+	if err := q.Submit("b", 0, Options{}, ok(func(context.Context) {})); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.Submit("c", 0, func(context.Context) {}); !errors.Is(err, ErrFull) {
+	if err := q.Submit("c", 0, Options{}, ok(func(context.Context) {})); !errors.Is(err, ErrFull) {
 		t.Errorf("overfull queue: err = %v, want ErrFull", err)
 	}
+	// Restore is exempt from the capacity bound (journal recovery).
+	if err := q.Restore("recovered", 0, Options{}, ok(func(context.Context) {})); err != nil {
+		t.Errorf("Restore on a full queue: err = %v", err)
+	}
 	st := q.Stats()
-	if st.Rejected != 1 || st.Queued != 2 {
+	if st.Rejected != 1 || st.Queued != 3 {
 		t.Errorf("stats = %+v", st)
 	}
 	close(block)
@@ -91,14 +103,14 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 	q := New(1, 8)
 	started := make(chan struct{})
 	finished := make(chan struct{})
-	q.Submit("victim-running", 0, func(ctx context.Context) {
+	q.Submit("victim-running", 0, Options{}, ok(func(ctx context.Context) {
 		close(started)
 		<-ctx.Done()
 		close(finished)
-	})
+	}))
 	<-started
 	var ran atomic.Bool
-	q.Submit("victim-queued", 0, func(context.Context) { ran.Store(true) })
+	q.Submit("victim-queued", 0, Options{}, ok(func(context.Context) { ran.Store(true) }))
 
 	if found, removed := q.Cancel("victim-queued"); !found || !removed {
 		t.Errorf("cancel queued: found=%v removed=%v", found, removed)
@@ -124,18 +136,18 @@ func TestDrainDropsQueuedAndReportsDirty(t *testing.T) {
 	q := New(2, 32)
 	release := make(chan struct{})
 	for i := 0; i < 2; i++ {
-		q.Submit(fmt.Sprintf("running-%d", i), 0, func(ctx context.Context) {
+		q.Submit(fmt.Sprintf("running-%d", i), 0, Options{}, ok(func(ctx context.Context) {
 			select {
 			case <-release:
 			case <-ctx.Done():
 			}
-		})
+		}))
 	}
 	for q.Stats().Running < 2 {
 		time.Sleep(time.Millisecond)
 	}
 	for i := 0; i < 3; i++ {
-		q.Submit(fmt.Sprintf("queued-%d", i), 0, func(context.Context) {})
+		q.Submit(fmt.Sprintf("queued-%d", i), 0, Options{}, ok(func(context.Context) {}))
 	}
 	// Tiny grace period: the running jobs only exit via ctx, so the drain
 	// must escalate to cancellation and report dirty.
@@ -146,7 +158,7 @@ func TestDrainDropsQueuedAndReportsDirty(t *testing.T) {
 	if len(dropped) != 3 {
 		t.Errorf("dropped %v, want the 3 queued ids", dropped)
 	}
-	if err := q.Submit("late", 0, func(context.Context) {}); !errors.Is(err, ErrDraining) {
+	if err := q.Submit("late", 0, Options{}, ok(func(context.Context) {})); !errors.Is(err, ErrDraining) {
 		t.Errorf("submit after drain: err = %v", err)
 	}
 }
@@ -162,7 +174,7 @@ func TestConcurrentSubmitRace(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				id := fmt.Sprintf("g%d-i%d", g, i)
-				if err := q.Submit(id, i%3, func(context.Context) { ran.Add(1) }); err != nil {
+				if err := q.Submit(id, i%3, Options{}, ok(func(context.Context) { ran.Add(1) })); err != nil {
 					continue
 				}
 				if i%7 == 0 {
@@ -178,5 +190,320 @@ func TestConcurrentSubmitRace(t *testing.T) {
 	st := q.Stats()
 	if st.Completed != ran.Load() {
 		t.Errorf("completed %d != ran %d", st.Completed, ran.Load())
+	}
+}
+
+// TestCancelDuringDispatchRace hammers the exact window the server's
+// DELETE handler races: Cancel arriving while a worker is popping the
+// job from the heap. Whatever interleaving occurs, the job must either
+// be removed before running or see a cancelled context; Cancel must
+// stay idempotent and Drain must never deadlock. Run under -race.
+func TestCancelDuringDispatchRace(t *testing.T) {
+	q := New(4, 256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := fmt.Sprintf("g%d-i%d", g, i)
+				if err := q.Submit(id, 0, Options{}, ok(func(ctx context.Context) {
+					select {
+					case <-ctx.Done():
+					default:
+					}
+				})); err != nil {
+					continue
+				}
+				// Cancel immediately: races the worker's dispatch.
+				q.Cancel(id)
+				// Second cancel must be an idempotent no-op whatever state
+				// the first one caught the job in.
+				q.Cancel(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		q.Drain(10 * time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Drain deadlocked after cancel/dispatch races")
+	}
+}
+
+// TestCancelAfterCompleteIdempotent: cancelling a finished job reports
+// found=false and changes nothing, no matter how often it is repeated.
+func TestCancelAfterCompleteIdempotent(t *testing.T) {
+	q := New(1, 8)
+	ran := make(chan struct{})
+	q.Submit("once", 0, Options{}, ok(func(context.Context) { close(ran) }))
+	<-ran
+	for q.Stats().Completed == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		if found, removed := q.Cancel("once"); found || removed {
+			t.Errorf("cancel %d of finished job: found=%v removed=%v", i, found, removed)
+		}
+	}
+	st := q.Stats()
+	if st.Cancelled != 0 {
+		t.Errorf("cancel counter moved for a finished job: %+v", st)
+	}
+	if _, clean := q.Drain(5 * time.Second); !clean {
+		t.Fatal("drain not clean")
+	}
+}
+
+// TestRetryBackoffThenSuccess: a transiently failing job is retried
+// with backoff and completes; callbacks report each scheduled retry.
+func TestRetryBackoffThenSuccess(t *testing.T) {
+	q := New(1, 8)
+	var attempts atomic.Int64
+	var retries atomic.Int64
+	opts := Options{
+		MaxAttempts: 5,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  5 * time.Millisecond,
+		Seed:        42,
+		OnRetry:     func(int, time.Duration, error) { retries.Add(1) },
+		OnQuarantine: func(int, error) {
+			t.Error("job quarantined despite eventual success")
+		},
+	}
+	err := q.Submit("flaky", 0, opts, func(context.Context) error {
+		if attempts.Add(1) < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for q.Stats().Completed == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	st := q.Stats()
+	if st.Completed != 1 || attempts.Load() != 3 || retries.Load() != 2 {
+		t.Errorf("completed=%d attempts=%d retries=%d, want 1/3/2 (stats %+v)",
+			st.Completed, attempts.Load(), retries.Load(), st)
+	}
+	q.Drain(5 * time.Second)
+}
+
+// TestQuarantineAfterMaxAttempts: a poison job stops retrying after
+// MaxAttempts and lands in quarantine exactly once.
+func TestQuarantineAfterMaxAttempts(t *testing.T) {
+	q := New(1, 8)
+	var attempts atomic.Int64
+	quarantined := make(chan int, 1)
+	opts := Options{
+		MaxAttempts:  3,
+		BackoffBase:  time.Millisecond,
+		BackoffCap:   2 * time.Millisecond,
+		OnQuarantine: func(n int, err error) { quarantined <- n },
+	}
+	q.Submit("poison", 0, opts, func(context.Context) error {
+		attempts.Add(1)
+		return errors.New("always fails")
+	})
+	select {
+	case n := <-quarantined:
+		if n != 3 {
+			t.Errorf("quarantined after %d attempts, want 3", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never quarantined")
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+	st := q.Stats()
+	if st.Quarantined != 1 || st.Retried != 2 {
+		t.Errorf("stats = %+v, want Quarantined=1 Retried=2", st)
+	}
+	q.Drain(5 * time.Second)
+}
+
+// TestPermanentErrorSkipsRetry: Permanent failures never burn retries.
+func TestPermanentErrorSkipsRetry(t *testing.T) {
+	q := New(1, 8)
+	var attempts atomic.Int64
+	q.Submit("det-fail", 0, Options{MaxAttempts: 5, OnRetry: func(int, time.Duration, error) {
+		t.Error("permanent failure was retried")
+	}}, func(context.Context) error {
+		attempts.Add(1)
+		return Permanent(errors.New("deterministic config error"))
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Stats().Failed == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if attempts.Load() != 1 {
+		t.Errorf("attempts = %d, want 1", attempts.Load())
+	}
+	q.Drain(5 * time.Second)
+}
+
+// TestCancelDuringRetryBackoff: a job waiting out its backoff can be
+// cancelled and never runs again.
+func TestCancelDuringRetryBackoff(t *testing.T) {
+	q := New(1, 8)
+	var attempts atomic.Int64
+	retried := make(chan struct{}, 1)
+	opts := Options{
+		MaxAttempts: 3,
+		BackoffBase: time.Hour, // park it in retryWait essentially forever
+		BackoffCap:  time.Hour,
+		OnRetry:     func(int, time.Duration, error) { retried <- struct{}{} },
+	}
+	q.Submit("backoff", 0, opts, func(context.Context) error {
+		attempts.Add(1)
+		return errors.New("transient")
+	})
+	select {
+	case <-retried:
+	case <-time.After(10 * time.Second):
+		t.Fatal("retry never scheduled")
+	}
+	if found, removed := q.Cancel("backoff"); !found || !removed {
+		t.Errorf("cancel during backoff: found=%v removed=%v", found, removed)
+	}
+	if found, _ := q.Cancel("backoff"); found {
+		t.Error("second cancel during backoff reported found")
+	}
+	if _, clean := q.Drain(5 * time.Second); !clean {
+		t.Fatal("drain not clean with a cancelled retry waiter")
+	}
+	if attempts.Load() != 1 {
+		t.Errorf("cancelled backoff job ran %d times, want 1", attempts.Load())
+	}
+}
+
+// TestPerJobTimeout: an attempt that overruns its deadline sees its
+// context expire; with attempts left it is retried, and the retry can
+// succeed.
+func TestPerJobTimeout(t *testing.T) {
+	q := New(1, 8)
+	var attempts atomic.Int64
+	opts := Options{
+		Timeout:     20 * time.Millisecond,
+		MaxAttempts: 2,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+	}
+	q.Submit("slow-then-fast", 0, opts, func(ctx context.Context) error {
+		if attempts.Add(1) == 1 {
+			<-ctx.Done() // first attempt: stall until the deadline fires
+			return ctx.Err()
+		}
+		return nil
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for q.Stats().Completed == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	st := q.Stats()
+	if st.Completed != 1 || st.Retried != 1 {
+		t.Errorf("stats = %+v, want Completed=1 Retried=1", st)
+	}
+	q.Drain(5 * time.Second)
+}
+
+// TestBackoffDeterministic: identical (seed, attempt) always yields the
+// identical delay, and delays respect the cap.
+func TestBackoffDeterministic(t *testing.T) {
+	opts := Options{BackoffBase: 100 * time.Millisecond, BackoffCap: time.Second, Seed: 7}
+	for attempt := 2; attempt <= 8; attempt++ {
+		a := backoffDelay(opts, attempt)
+		b := backoffDelay(opts, attempt)
+		if a != b {
+			t.Errorf("attempt %d: backoff not deterministic (%v vs %v)", attempt, a, b)
+		}
+		if a < opts.BackoffBase/2 || a > opts.BackoffCap*3/2 {
+			t.Errorf("attempt %d: delay %v outside [base/2, cap*1.5]", attempt, a)
+		}
+	}
+	if backoffDelay(Options{Seed: 1}, 2) == backoffDelay(Options{Seed: 2}, 2) {
+		t.Error("different seeds produced identical jitter (suspicious)")
+	}
+}
+
+// TestShedBelow: shedding removes the lowest-priority, most recently
+// queued job, and never one at or above the limit.
+func TestShedBelow(t *testing.T) {
+	q := New(1, 16)
+	block := make(chan struct{})
+	q.Submit("blocker", 100, Options{}, ok(func(context.Context) { <-block }))
+	for q.Stats().Running == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	for _, spec := range []struct {
+		id   string
+		prio int
+	}{{"low-old", 1}, {"mid", 5}, {"low-new", 1}} {
+		if err := q.Submit(spec.id, spec.prio, Options{}, ok(func(context.Context) {})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if id, ok := q.ShedBelow(1); ok {
+		t.Errorf("shed %q below limit 1; nothing is below it", id)
+	}
+	if id, ok := q.ShedBelow(5); !ok || id != "low-new" {
+		t.Errorf("shed = %q, %v; want low-new (lowest priority, newest)", id, ok)
+	}
+	if id, ok := q.ShedBelow(10); !ok || id != "low-old" {
+		t.Errorf("second shed = %q, %v; want low-old", id, ok)
+	}
+	if st := q.Stats(); st.Shed != 2 || st.Queued != 1 {
+		t.Errorf("stats = %+v, want Shed=2 Queued=1", st)
+	}
+	close(block)
+	q.Drain(5 * time.Second)
+}
+
+// TestKillAbandonsEverything: Kill cancels running work, drops queued
+// work, and returns without deadlock — the crash primitive the chaos
+// harness leans on.
+func TestKillAbandonsEverything(t *testing.T) {
+	q := New(2, 32)
+	sawCancel := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		q.Submit(fmt.Sprintf("running-%d", i), 0, Options{}, func(ctx context.Context) error {
+			<-ctx.Done()
+			sawCancel <- struct{}{}
+			return ctx.Err()
+		})
+	}
+	for q.Stats().Running < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	var ran atomic.Bool
+	q.Submit("queued", 0, Options{}, ok(func(context.Context) { ran.Store(true) }))
+
+	done := make(chan struct{})
+	go func() {
+		q.Kill()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Kill never returned")
+	}
+	if len(sawCancel) != 2 {
+		t.Errorf("only %d of 2 running jobs saw cancellation", len(sawCancel))
+	}
+	if ran.Load() {
+		t.Error("queued job ran after Kill")
+	}
+	if err := q.Submit("late", 0, Options{}, ok(func(context.Context) {})); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit after Kill: err = %v", err)
 	}
 }

@@ -1,8 +1,9 @@
 // Package canonicaljson implements ksrlint/canonicaljson, guarding the
 // two JSON properties the result cache and run manifests depend on:
 //
-//  1. Canonical marshaling. In cache-key and manifest packages
-//     (resultcache, obs, server/api), json.Marshal'd values must be
+//  1. Canonical marshaling. In cache-key, manifest, and journal
+//     packages (resultcache, obs, server/api, jobq), json.Marshal'd
+//     values must be
 //     statically canonical: no interface-typed values (their encoding
 //     depends on dynamic content the checker cannot see) and no maps
 //     with non-string keys (their key encoding is version-fragile).
@@ -28,12 +29,12 @@ import (
 )
 
 // canonicalSegments scope the marshal rule: packages whose output bytes
-// become cache keys or manifest artifacts.
-var canonicalSegments = []string{"resultcache", "obs", "api"}
+// become cache keys, manifest artifacts, or journal records.
+var canonicalSegments = []string{"resultcache", "obs", "api", "jobq"}
 
 // strictSegments scope the decode rule: every package that decodes
-// configs or persisted entries.
-var strictSegments = []string{"resultcache", "obs", "api", "server", "experiments"}
+// configs or persisted entries (including replayed journal records).
+var strictSegments = []string{"resultcache", "obs", "api", "jobq", "server", "experiments"}
 
 var Analyzer = &analysis.Analyzer{
 	Name: "canonicaljson",

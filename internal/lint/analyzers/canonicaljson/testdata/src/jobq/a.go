@@ -1,0 +1,49 @@
+// Fixture for ksrlint/canonicaljson: "jobq" is both a canonical marshal
+// scope (journal records are replayed across restarts, so their bytes
+// must be stable) and a strict decode scope (a record with unknown
+// fields was written by a different schema and must not half-load).
+package jobq
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// Record mirrors the journal record shape: concrete fields plus a
+// self-marshaling RawMessage config payload.
+type Record struct {
+	Type   string          `json:"type"`
+	ID     string          `json:"id,omitempty"`
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
+func encodeRecord(r Record) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+func encodeAnything(v any) ([]byte, error) {
+	return json.Marshal(v) // want `interface-typed value`
+}
+
+type sloppy struct {
+	Attempts map[int]int `json:"attempts"`
+}
+
+func encodeSloppy(s sloppy) ([]byte, error) {
+	return json.Marshal(s) // want `field Attempts: map key type int is not a string`
+}
+
+func replayLoose(b []byte, r *Record) error {
+	return json.Unmarshal(b, r) // want `json.Unmarshal has no strict mode`
+}
+
+func replayLax(b []byte, r *Record) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	return dec.Decode(r) // want `decodes without DisallowUnknownFields`
+}
+
+func replayStrict(b []byte, r *Record) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	return dec.Decode(r)
+}

@@ -125,6 +125,12 @@ func Open(dir string, maxBytes int64) (*Cache, error) {
 	}
 	for _, de := range des {
 		name := de.Name()
+		if !de.IsDir() && strings.HasPrefix(name, "tmp-") {
+			// Leftover from a crash mid-save: the rename never happened,
+			// so the file is garbage by definition.
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
 		if de.IsDir() || !strings.HasSuffix(name, ".json") {
 			continue
 		}
@@ -208,7 +214,7 @@ func (c *Cache) insert(e *Entry, persist bool) {
 	c.stores++
 	if persist && c.dir != "" {
 		if b, err := json.Marshal(e); err == nil {
-			_ = os.WriteFile(c.path(e.Key), b, 0o644)
+			_ = writeAtomic(c.dir, c.path(e.Key), b)
 		}
 	}
 	for c.bytes > c.max {
@@ -229,6 +235,37 @@ func (c *Cache) insert(e *Entry, persist bool) {
 
 // path is the persistence file for key.
 func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".json") }
+
+// writeAtomic persists b to path via temp file + fsync + rename +
+// directory fsync: a crash mid-save leaves either the previous file or
+// the complete new one, never a truncated hybrid. Open additionally
+// sweeps orphaned tmp- files left by a crash before the rename.
+func writeAtomic(dir, path string, b []byte) error {
+	tmp, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
 
 // Keys returns every cached key from most to least recently used.
 func (c *Cache) Keys() []string {

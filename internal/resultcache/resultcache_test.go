@@ -156,6 +156,55 @@ func TestPersistenceSkipsCorruptAndMismatchedFiles(t *testing.T) {
 	}
 }
 
+func TestTornWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(mkEntry("survivor", "latency", 50)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-save under the old non-atomic scheme: a
+	// .json file truncated halfway through a valid entry, plus an
+	// orphaned temp file whose rename never happened.
+	b, _ := json.Marshal(mkEntry("tornkey", "latency", 50))
+	if err := os.WriteFile(filepath.Join(dir, "tornkey.json"), b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tmp-123456"), b[:len(b)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("survivor"); !ok {
+		t.Error("intact entry lost during torn-write recovery")
+	}
+	if _, ok := c2.Get("tornkey"); ok {
+		t.Error("half-written entry loaded as valid")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tmp-123456")); !os.IsNotExist(err) {
+		t.Error("orphaned temp file not swept on open")
+	}
+
+	// The cache still works after recovery, and the rewritten key
+	// round-trips cleanly on the next open.
+	if err := c2.Put(mkEntry("tornkey", "latency", 50)); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c3.Get("tornkey"); !ok || got.Experiment != "latency" {
+		t.Errorf("rewritten entry after torn write: ok=%v entry=%+v", ok, got)
+	}
+}
+
 func TestEvictionRemovesPersistedFile(t *testing.T) {
 	dir := t.TempDir()
 	probe := mkEntry("probe", "latency", 100)

@@ -27,6 +27,13 @@ type JobSpec struct {
 	// Observe requests per-job observability artifacts. It never
 	// affects the cache key: observation does not change results.
 	Observe *ObserveOptions `json:"observe,omitempty"`
+	// TimeoutSeconds is the per-attempt wall-clock deadline. 0 inherits
+	// the daemon's -job-timeout default; negative is rejected.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// MaxAttempts bounds total attempts (first run + retries) before the
+	// job is quarantined as poison. 0 inherits the daemon's -max-attempts
+	// default; negative is rejected.
+	MaxAttempts int `json:"max_attempts,omitempty"`
 }
 
 // ObserveOptions mirrors the CLI's -trace/-sample flags for one job.
@@ -46,14 +53,17 @@ type SubmitRequest struct {
 	Jobs []JobSpec `json:"jobs"`
 }
 
-// Job states, in lifecycle order.
+// Job states, in lifecycle order. A transiently-failed job moves back
+// to "queued" while it waits out its retry backoff (JobStatus.Attempts
+// counts how many attempts have started).
 const (
-	StateQueued    = "queued"
-	StateRunning   = "running"
-	StateDone      = "done"
-	StateFailed    = "failed"
-	StateCancelled = "cancelled"
-	StateRejected  = "rejected" // never admitted: queue full at submit
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateCancelled   = "cancelled"
+	StateRejected    = "rejected"    // never admitted: shed at submit (queue or byte budget full)
+	StateQuarantined = "quarantined" // poison: failed transiently until MaxAttempts ran out
 )
 
 // JobHandle is the per-job acknowledgement in a submit response.
@@ -102,6 +112,13 @@ type JobStatus struct {
 	Result json.RawMessage `json:"result,omitempty"`
 	Text   string          `json:"text,omitempty"`
 	Error  string          `json:"error,omitempty"`
+	// Attempts counts execution attempts started so far (0 while the job
+	// has never been dispatched). Recovered counts attempts journaled
+	// before a daemon restart, too.
+	Attempts int `json:"attempts,omitempty"`
+	// Recovered marks a job re-admitted from the journal after a daemon
+	// restart rather than submitted over HTTP in this process's lifetime.
+	Recovered bool `json:"recovered,omitempty"`
 	// Artifact paths (server-local) when observability was requested.
 	ManifestFile string `json:"manifest_file,omitempty"`
 	TraceFile    string `json:"trace_file,omitempty"`
@@ -122,6 +139,11 @@ type Event struct {
 	State    string    `json:"state"`
 	Progress *Progress `json:"progress,omitempty"`
 	Error    string    `json:"error,omitempty"`
+	// Seq is the job's monotonic lifecycle-event counter, carried as the
+	// SSE `id:` field on "state" events. A client that reconnects with
+	// Last-Event-ID: <seq> is replayed every lifecycle event it missed.
+	// Progress events are ephemeral and carry no Seq.
+	Seq int64 `json:"seq,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
@@ -139,14 +161,36 @@ type Health struct {
 
 // QueueStats mirrors the job queue's counters.
 type QueueStats struct {
-	Workers   int   `json:"workers"`
-	Capacity  int   `json:"capacity"`
-	Queued    int   `json:"queued"`
-	Running   int   `json:"running"`
-	Submitted int64 `json:"submitted"`
-	Completed int64 `json:"completed"`
-	Rejected  int64 `json:"rejected"`
-	Cancelled int64 `json:"cancelled"`
+	Workers     int   `json:"workers"`
+	Capacity    int   `json:"capacity"`
+	Queued      int   `json:"queued"`
+	Running     int   `json:"running"`
+	RetryWait   int   `json:"retry_wait"`
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Rejected    int64 `json:"rejected"`
+	Cancelled   int64 `json:"cancelled"`
+	Failed      int64 `json:"failed"`
+	Retried     int64 `json:"retried"`
+	Quarantined int64 `json:"quarantined"`
+	Shed        int64 `json:"shed"`
+	// QueuedBytes and MaxBytes report the admission byte budget: the
+	// canonical-config bytes of admitted-but-unfinished jobs, and the cap
+	// beyond which admission sheds or rejects (0 = unlimited).
+	QueuedBytes int64 `json:"queued_bytes,omitempty"`
+	MaxBytes    int64 `json:"max_bytes,omitempty"`
+}
+
+// JournalStats reports the durable job journal (absent when the daemon
+// runs without one).
+type JournalStats struct {
+	Path        string `json:"path"`
+	Appends     int64  `json:"appends"`     // records since open/last compaction
+	Compactions int64  `json:"compactions"` // snapshot rewrites since open
+	// Recovery counters from the last startup replay.
+	RecoveredPending int `json:"recovered_pending"` // re-enqueued jobs
+	RecoveredDone    int `json:"recovered_done"`    // answered from the result cache
+	RecoveredOther   int `json:"recovered_other"`   // terminal states resurrected for queries
 }
 
 // CacheStats mirrors the result cache's counters.
@@ -165,6 +209,7 @@ type CacheStats struct {
 type StatsResponse struct {
 	Queue       QueueStats     `json:"queue"`
 	Cache       CacheStats     `json:"cache"`
+	Journal     *JournalStats  `json:"journal,omitempty"`
 	Jobs        map[string]int `json:"jobs"` // count per state
 	Parallelism int            `json:"parallelism"`
 	Version     string         `json:"version"`

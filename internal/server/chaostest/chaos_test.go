@@ -1,0 +1,379 @@
+// Package chaostest is the service-layer chaos harness: it kills the
+// ksrsimd server mid-sweep under concurrent clients and asserts the
+// crash-safety contract end to end —
+//
+//  1. zero lost acknowledged jobs: every submit the daemon acked
+//     before a kill is queryable and reaches "done" after restarts;
+//  2. no duplicate side effects: the result cache ends with exactly
+//     one entry per distinct submitted config;
+//  3. byte-identical results: every recovered job's result equals the
+//     uninterrupted reference run of the same config.
+//
+// The kill is Server.Kill — the queue is abandoned and the journal
+// file handle closed with no compaction and no goodbye records, which
+// is exactly the on-disk state SIGKILL leaves (every record was
+// already fsync'd by Append). CI's chaos-smoke job additionally
+// exercises a real SIGKILL against the ksrsimd binary.
+package chaostest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resultcache"
+	"repro/internal/server"
+	"repro/internal/server/api"
+)
+
+// sweep is the workload: a small latency parameter sweep, several
+// configs submitted by several clients with some overlap, so the run
+// exercises distinct jobs, duplicate submissions, and cache hits.
+func sweep() []api.JobSpec {
+	var specs []api.JobSpec
+	for _, cells := range []int{4, 6, 8, 10, 12, 16} {
+		specs = append(specs, api.JobSpec{
+			Experiment: "latency",
+			Config:     json.RawMessage(fmt.Sprintf(`{"Cells":%d,"RegionBytes":16384,"Procs":[1,2]}`, cells)),
+		})
+	}
+	specs = append(specs,
+		api.JobSpec{Experiment: "alloc"},
+		api.JobSpec{Experiment: "barriers", Config: json.RawMessage(`{"Procs":[1,2,4]}`)},
+	)
+	return specs
+}
+
+// daemon is one restartable server incarnation over a shared journal
+// and cache directory.
+type daemon struct {
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+func startDaemon(t *testing.T, dir string, slowdown time.Duration) daemon {
+	t.Helper()
+	cache, err := resultcache.Open(filepath.Join(dir, "cache"), 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.Config{
+		Workers:     2,
+		QueueCap:    64,
+		Cache:       cache,
+		JournalPath: filepath.Join(dir, "journal.log"),
+	}
+	if slowdown > 0 {
+		// Stretch each attempt so kills reliably land mid-sweep; the
+		// hook honors ctx so Kill never hangs on it.
+		cfg.BeforeRun = func(ctx context.Context, id string, attempt int) error {
+			select {
+			case <-time.After(slowdown):
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return daemon{srv: srv, ts: httptest.NewServer(srv.Handler())}
+}
+
+// referenceResults computes the uninterrupted baseline: one quiet
+// server runs the whole sweep to completion; results are keyed by the
+// job's content address.
+func referenceResults(t *testing.T, specs []api.JobSpec) map[string]api.JobStatus {
+	t.Helper()
+	d := startDaemon(t, t.TempDir(), 0)
+	defer func() {
+		d.srv.Drain(10 * time.Second)
+		d.ts.Close()
+	}()
+	ref := make(map[string]api.JobStatus)
+	for _, spec := range specs {
+		h := submitSpec(t, d.ts.URL, spec)
+		st := waitDone(t, d.ts.URL, h.ID, 60*time.Second)
+		if st.State != api.StateDone {
+			t.Fatalf("reference job %s: %s (%s)", h.ID, st.State, st.Error)
+		}
+		ref[h.Key] = st
+	}
+	return ref
+}
+
+func submitSpec(t *testing.T, base string, spec api.JobSpec) api.JobHandle {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sub api.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil || len(sub.Jobs) != 1 {
+		t.Fatalf("submit: %v (%d)", err, resp.StatusCode)
+	}
+	return sub.Jobs[0]
+}
+
+func waitDone(t *testing.T, base, id string, timeout time.Duration) api.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st, code, err := getJob(base, id)
+		if err == nil && code == http.StatusOK {
+			switch st.State {
+			case api.StateDone, api.StateFailed, api.StateCancelled, api.StateRejected, api.StateQuarantined:
+				return st
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return api.JobStatus{}
+}
+
+func getJob(base, id string) (api.JobStatus, int, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return api.JobStatus{}, 0, err
+	}
+	defer resp.Body.Close()
+	var st api.JobStatus
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return api.JobStatus{}, resp.StatusCode, err
+		}
+	}
+	return st, resp.StatusCode, nil
+}
+
+// TestKillRestartMidSweepRecoversEverything is the harness's main
+// scenario: concurrent clients submit the sweep while the daemon is
+// killed and restarted twice; every acknowledged job must survive and
+// finish with bytes identical to the uninterrupted reference.
+func TestKillRestartMidSweepRecoversEverything(t *testing.T) {
+	specs := sweep()
+	ref := referenceResults(t, specs)
+
+	dir := t.TempDir()
+	const slowdown = 30 * time.Millisecond
+
+	// base always holds the current incarnation's URL; submitters
+	// re-read it when a request fails across a kill.
+	var base atomic.Value
+	d := startDaemon(t, dir, slowdown)
+	base.Store(d.ts.URL)
+
+	// Concurrent clients: each submits the whole sweep, retrying any
+	// submission the daemon never acknowledged (connection error or
+	// 5xx/429). Only acknowledged handles enter acked.
+	var mu sync.Mutex
+	var acked []api.JobHandle
+	var wg sync.WaitGroup
+	stopRetry := make(chan struct{})
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(clientID int) {
+			defer wg.Done()
+			for i, spec := range specs {
+				if clientID > 0 && i%2 == clientID%2 {
+					continue // overlap, not identical workloads
+				}
+				for {
+					h, err := trySubmit(base.Load().(string), spec)
+					if err == nil {
+						mu.Lock()
+						acked = append(acked, h)
+						mu.Unlock()
+						break
+					}
+					select {
+					case <-stopRetry:
+						return
+					case <-time.After(25 * time.Millisecond):
+					}
+				}
+			}
+		}(c)
+	}
+
+	// Two kill/restart cycles while the sweep is in flight.
+	for cycle := 0; cycle < 2; cycle++ {
+		time.Sleep(4 * slowdown)
+		d.srv.Kill()
+		d.ts.Close()
+		d = startDaemon(t, dir, slowdown)
+		base.Store(d.ts.URL)
+	}
+	wg.Wait()
+	close(stopRetry)
+
+	// Final incarnation: no fault slowdown, let recovery run to done.
+	d.srv.Kill()
+	d.ts.Close()
+	d = startDaemon(t, dir, 0)
+	base.Store(d.ts.URL)
+	defer func() {
+		d.srv.Drain(10 * time.Second)
+		d.ts.Close()
+	}()
+
+	if len(acked) == 0 {
+		t.Fatal("harness acknowledged no jobs; nothing was tested")
+	}
+	// 1. Zero lost acknowledged jobs, and 3. byte-identical results.
+	finalBase := base.Load().(string)
+	for _, h := range acked {
+		st, code, err := getJob(finalBase, h.ID)
+		if err != nil || code != http.StatusOK {
+			t.Errorf("acked job %s lost after kill/restart: code %d err %v", h.ID, code, err)
+			continue
+		}
+		st = waitDone(t, finalBase, h.ID, 120*time.Second)
+		if st.State != api.StateDone {
+			t.Errorf("acked job %s: state %s (%s)", h.ID, st.State, st.Error)
+			continue
+		}
+		want, ok := ref[h.Key]
+		if !ok {
+			t.Errorf("job %s has key %s that the reference run never produced", h.ID, h.Key)
+			continue
+		}
+		if !bytes.Equal(st.Result, want.Result) {
+			t.Errorf("job %s: recovered result differs from uninterrupted run", h.ID)
+		}
+		if st.Text != want.Text {
+			t.Errorf("job %s: recovered text differs from uninterrupted run", h.ID)
+		}
+	}
+
+	// 2. No duplicate side effects: the cache holds exactly one entry
+	// per distinct config, none extra, each byte-identical to reference.
+	d.srv.Drain(10 * time.Second)
+	cache, err := resultcache.Open(filepath.Join(dir, "cache"), 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cache.Stats().Entries, len(ref); got != want {
+		t.Errorf("final cache has %d entries, want %d (one per distinct config)", got, want)
+	}
+	for key, want := range ref {
+		e, ok := cache.Get(key)
+		if !ok {
+			t.Errorf("config %s missing from final cache", key)
+			continue
+		}
+		// The HTTP layer re-indents embedded JSON; compare compact forms.
+		if !bytes.Equal(compactJSON(t, e.Result), compactJSON(t, want.Result)) || e.Text != want.Text {
+			t.Errorf("config %s: cached bytes differ from reference", key)
+		}
+	}
+}
+
+func compactJSON(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, b); err != nil {
+		t.Fatalf("compacting %q: %v", b, err)
+	}
+	return buf.Bytes()
+}
+
+func trySubmit(base string, spec api.JobSpec) (api.JobHandle, error) {
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return api.JobHandle{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return api.JobHandle{}, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var sub api.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil || len(sub.Jobs) != 1 {
+		return api.JobHandle{}, fmt.Errorf("bad submit response: %v", err)
+	}
+	h := sub.Jobs[0]
+	if h.State == api.StateRejected {
+		return api.JobHandle{}, fmt.Errorf("rejected: %s", h.Error)
+	}
+	return h, nil
+}
+
+// TestKillDuringSubmitNeverLies: hammer submit while killing the
+// daemon; any submission the client got a 202 for must exist after
+// restart. (Submissions that got errors may or may not have been
+// journaled — the client retries those — but an acknowledgement is a
+// durability contract.)
+func TestKillDuringSubmitNeverLies(t *testing.T) {
+	dir := t.TempDir()
+	d := startDaemon(t, dir, 10*time.Millisecond)
+	var base atomic.Value
+	base.Store(d.ts.URL)
+
+	var mu sync.Mutex
+	var acked []api.JobHandle
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				spec := api.JobSpec{
+					Experiment: "latency",
+					Config:     json.RawMessage(fmt.Sprintf(`{"Cells":%d,"RegionBytes":16384,"Procs":[1]}`, 4+2*((n+i)%8))),
+				}
+				if h, err := trySubmit(base.Load().(string), spec); err == nil {
+					mu.Lock()
+					acked = append(acked, h)
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	// Kill in the thick of the submit storm, twice.
+	for cycle := 0; cycle < 2; cycle++ {
+		time.Sleep(50 * time.Millisecond)
+		d.srv.Kill()
+		d.ts.Close()
+		d = startDaemon(t, dir, 10*time.Millisecond)
+		base.Store(d.ts.URL)
+	}
+	close(stop)
+	wg.Wait()
+
+	if len(acked) == 0 {
+		t.Fatal("no submissions were acknowledged")
+	}
+	finalBase := base.Load().(string)
+	lost := 0
+	for _, h := range acked {
+		if _, code, err := getJob(finalBase, h.ID); err != nil || code != http.StatusOK {
+			lost++
+			t.Errorf("acked job %s not found after restarts (code %d, err %v)", h.ID, code, err)
+		}
+	}
+	if lost == 0 {
+		t.Logf("%d acknowledged submissions, all recovered", len(acked))
+	}
+	d.srv.Drain(10 * time.Second)
+	d.ts.Close()
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/jobq"
 	"repro/internal/obs"
 	"repro/internal/resultcache"
 	"repro/internal/server/api"
@@ -210,11 +211,11 @@ func TestBackpressure429(t *testing.T) {
 	// jobs so a real submission must be rejected.
 	gate := make(chan struct{})
 	defer close(gate)
-	s.queue.Submit("blocker-running", 0, func(context.Context) { <-gate })
+	s.queue.Submit("blocker-running", 0, jobq.Options{}, func(context.Context) error { <-gate; return nil })
 	for s.queue.Stats().Running == 0 {
 		time.Sleep(time.Millisecond)
 	}
-	s.queue.Submit("blocker-queued", 0, func(context.Context) {})
+	s.queue.Submit("blocker-queued", 0, jobq.Options{}, func(context.Context) error { return nil })
 
 	resp, body := postJSON(t, ts.URL+"/v1/jobs", api.JobSpec{Experiment: "alloc", Recompute: true})
 	if resp.StatusCode != http.StatusTooManyRequests {
@@ -233,7 +234,7 @@ func TestCancelQueuedJob(t *testing.T) {
 	s, ts := newTestServer(t, 1, 8)
 	gate := make(chan struct{})
 	defer close(gate)
-	s.queue.Submit("blocker", 0, func(context.Context) { <-gate })
+	s.queue.Submit("blocker", 0, jobq.Options{}, func(context.Context) error { <-gate; return nil })
 	for s.queue.Stats().Running == 0 {
 		time.Sleep(time.Millisecond)
 	}
