@@ -29,6 +29,12 @@ type BenchReport struct {
 
 	// Wall-clock seconds for the experiment sweeps (scaled-down sizes).
 	Sweeps map[string]float64 `json:"sweep_wall_seconds"`
+
+	// BytesPerCell is the committed simulator state per simulated cell on
+	// the 1088-cell machine after the big_machine sweep — the sparse/lazy
+	// state footprint CI gates on (hardware-independent, so the gate is
+	// tight).
+	BytesPerCell float64 `json:"bytes_per_cell"`
 }
 
 // benchLoop runs fn once for warmup-free measurement of wall time and
@@ -127,6 +133,17 @@ func cmdBench(args []string) {
 	timeSweep("faults", func() error {
 		_, err := experiments.RunDegradation(experiments.DefaultDegradationConfig())
 		return err
+	})
+	timeSweep("big_machine", func() error {
+		cfg := experiments.DefaultBigEPExperiment()
+		cfg.Procs = []int{1088}
+		cfg.LogPairs = 16
+		res, err := experiments.RunBigEPExperiment(cfg)
+		if err != nil {
+			return err
+		}
+		rep.BytesPerCell = res.BytesPerCell[0]
+		return nil
 	})
 
 	b, err := json.MarshalIndent(rep, "", "  ")

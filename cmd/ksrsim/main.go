@@ -31,6 +31,9 @@ Global flags:
   -parallel n        run up to n sweep points concurrently (0 = all cores;
                      default 1 = sequential; output is identical either way,
                      and a progress heartbeat goes to stderr when n > 1)
+  -partitions n      drive a big machine's ring partitions with n OS threads
+                     (0 = all cores; default 1; results are byte-identical
+                     at every setting — see docs/PERF.md)
   -cpuprofile file   write a CPU profile of the whole invocation
   -memprofile file   write a heap profile at exit
 
@@ -51,6 +54,8 @@ Commands:
   barriers    Figure 4 (KSR-1) / Figure 5 (-machine ksr2 -cells 64)
   compare     Section 3.2.3: barriers on Symmetry (bus) and Butterfly (MIN)
   ep          Section 3.3: Embarrassingly Parallel scalability
+  bigep       extension: EP on the partitioned two-level ring (to 1088 cells)
+  biglatency  extension: cross-ring fetch latency on the two-level ring
   cg          Table 1 + Figure 8: Conjugate Gradient
   is          Table 2 + Figure 8: Integer Sort
   sp          Table 3: Scalar Pentadiagonal (-opts for Table 4)
@@ -120,6 +125,7 @@ func fail(err error) {
 var (
 	jsonOut     bool   // render results as JSON
 	parallelN   int    // sweep-point concurrency (0 = all cores)
+	partitionsN int    // PDES workers per big machine (0 = all cores)
 	cpuProfile  string // pprof CPU profile path
 	memProfile  string // pprof heap profile path
 	cpuProfileF *os.File
@@ -185,6 +191,7 @@ func main() {
 	flag.Usage = usage
 	flag.BoolVar(&jsonOut, "json", false, "emit results as JSON")
 	flag.IntVar(&parallelN, "parallel", 1, "concurrent sweep points (0 = all cores)")
+	flag.IntVar(&partitionsN, "partitions", 1, "PDES workers per big machine (0 = all cores)")
 	flag.StringVar(&cpuProfile, "cpuprofile", "", "write CPU profile to file")
 	flag.StringVar(&memProfile, "memprofile", "", "write heap profile to file")
 	flag.StringVar(&traceFile, "trace", "", "write Chrome trace_event JSON to file")
@@ -200,6 +207,7 @@ func main() {
 	}
 	workers := experiments.SetParallelism(parallelN)
 	experiments.SetProgress(workers > 1)
+	experiments.SetPartitions(partitionsN)
 	startProfiles()
 	defer stopProfiles()
 	cmd, args := argv[0], argv[1:]
@@ -217,6 +225,10 @@ func main() {
 		cmdCompare(args)
 	case "ep":
 		cmdEP(args)
+	case "bigep":
+		cmdBigEP(args)
+	case "biglatency":
+		cmdBigLatency(args)
 	case "cg":
 		cmdCG(args)
 	case "is":
@@ -408,6 +420,45 @@ func cmdEP(args []string) {
 	if !res.Verified {
 		fail(fmt.Errorf("EP results differ across processor counts"))
 	}
+}
+
+func cmdBigEP(args []string) {
+	fs := flag.NewFlagSet("bigep", flag.ExitOnError)
+	machineFlag := fs.String("machine", "ksr2", "ksr1 | ksr2")
+	logPairs := fs.Int("logpairs", 20, "generate 2^logpairs pairs (paper scale: 28)")
+	procsFlag := fs.String("procs", "", "comma-separated total processor counts (multiples of 32 past one ring)")
+	fs.Parse(args)
+	cfg := experiments.DefaultBigEPExperiment()
+	cfg.Machine = experiments.MachineKind(*machineFlag)
+	cfg.LogPairs = *logPairs
+	if p, err := parseProcs(*procsFlag); err != nil {
+		fail(err)
+	} else if p != nil {
+		cfg.Procs = p
+	}
+	res, err := experiments.RunBigEPExperiment(cfg)
+	if err != nil {
+		fail(err)
+	}
+	emit(res)
+	if !res.Verified {
+		fail(fmt.Errorf("EP results differ across processor counts"))
+	}
+}
+
+func cmdBigLatency(args []string) {
+	fs := flag.NewFlagSet("biglatency", flag.ExitOnError)
+	machineFlag := fs.String("machine", "ksr2", "ksr1 | ksr2")
+	rings := fs.Int("rings", 34, "leaf rings (34 = the full 1088-cell machine)")
+	fs.Parse(args)
+	res, err := experiments.RunBigLatency(experiments.BigLatencyConfig{
+		Machine: experiments.MachineKind(*machineFlag),
+		Rings:   *rings,
+	})
+	if err != nil {
+		fail(err)
+	}
+	emit(res)
 }
 
 func cmdCG(args []string) {

@@ -17,6 +17,8 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
+	"unsafe"
 
 	"repro/internal/memory"
 	"repro/internal/obs"
@@ -130,19 +132,37 @@ func (s Stats) MissRatio() float64 {
 
 type frame struct {
 	valid   bool
-	tag     uint64 // allocation-unit index
-	present []bool // per transfer unit within the allocation unit
-	nset    int    // count of present transfer units
-	lastUse uint64 // access stamp for the LRU ablation policy
+	tag     uint64   // allocation-unit index
+	present []uint64 // bitmap, one bit per transfer unit in the allocation unit
+	nset    int      // count of present transfer units
+	lastUse uint64   // access stamp for the LRU ablation policy
 }
 
-// Cache is one set-associative cache level.
+func (f *frame) has(i int) bool { return f.present[i>>6]&(1<<(i&63)) != 0 }
+func (f *frame) setBit(i int)   { f.present[i>>6] |= 1 << (i & 63) }
+func (f *frame) clearBit(i int) { f.present[i>>6] &^= 1 << (i & 63) }
+
+// rowsPerSlab is how many set rows one slab allocation covers: frames and
+// presence words are carved from slabs so warming a cache costs a couple
+// of allocations per 64 sets rather than assoc+1 per set.
+const rowsPerSlab = 64
+
+// Cache is one set-associative cache level. Set rows are allocated
+// lazily on the first allocation miss that maps to them: a cold cache
+// costs one nil slice header per set, which is what keeps a 1088-cell
+// machine's start-up footprint in megabytes (the eager layout was
+// ~0.7 MB per cell in local-cache frames alone).
 type Cache struct {
-	cfg   Config
-	nsets int64
-	sets  [][]frame
-	rng   *sim.RNG
-	stats Stats
+	cfg          Config
+	nsets        int64
+	presentWords int // uint64 words per frame bitmap
+	sets         [][]frame
+	rng          *sim.RNG
+	stats        Stats
+
+	frameSlab []frame  // carve source for new rows
+	wordSlab  []uint64 // carve source for new presence bitmaps
+	slabBytes int64    // total bytes committed to slabs, for Footprint
 
 	// Fast path: the most recently touched frame.
 	lastUnit  uint64
@@ -161,15 +181,43 @@ func New(cfg Config, rng *sim.RNG) *Cache {
 		panic("cache: geometry yields no sets: " + cfg.Name)
 	}
 	c := &Cache{cfg: cfg, nsets: nsets, rng: rng, lastFrame: nil}
-	c.sets = make([][]frame, nsets)
-	upa := cfg.unitsPerAlloc()
-	for i := range c.sets {
-		c.sets[i] = make([]frame, cfg.Assoc)
-		for j := range c.sets[i] {
-			c.sets[i][j].present = make([]bool, upa)
-		}
-	}
+	c.presentWords = (cfg.unitsPerAlloc() + 63) / 64
+	c.sets = make([][]frame, nsets) // rows stay nil until first touched
 	return c
+}
+
+// row returns set si's frames, carving them from the slabs on first use.
+func (c *Cache) row(si int64) []frame {
+	if c.sets[si] == nil {
+		assoc := c.cfg.Assoc
+		if len(c.frameSlab) < assoc {
+			n := assoc * rowsPerSlab
+			c.frameSlab = make([]frame, n)
+			c.slabBytes += int64(n) * int64(unsafe.Sizeof(frame{}))
+		}
+		words := assoc * c.presentWords
+		if len(c.wordSlab) < words {
+			n := words * rowsPerSlab
+			c.wordSlab = make([]uint64, n)
+			c.slabBytes += int64(n) * 8
+		}
+		row := c.frameSlab[:assoc:assoc]
+		c.frameSlab = c.frameSlab[assoc:]
+		for j := range row {
+			row[j].present = c.wordSlab[j*c.presentWords : (j+1)*c.presentWords : (j+1)*c.presentWords]
+		}
+		c.wordSlab = c.wordSlab[words:]
+		c.sets[si] = row
+	}
+	return c.sets[si]
+}
+
+// Footprint returns the heap bytes currently committed to frame state:
+// the row index plus every slab backing touched rows. It is the basis of
+// the bytes_per_cell metric that ksrsim bench reports and CI gates on.
+func (c *Cache) Footprint() int64 {
+	const sliceHeader = int64(unsafe.Sizeof([]frame(nil)))
+	return int64(len(c.sets))*sliceHeader + c.slabBytes
 }
 
 // Config returns the geometry.
@@ -200,7 +248,8 @@ func (c *Cache) transferIdx(a memory.Addr, unit uint64) int {
 	return int((int64(a) - int64(unit)*c.cfg.AllocUnit) / c.cfg.TransferUnit)
 }
 
-// find returns the frame holding unit, or nil.
+// find returns the frame holding unit, or nil. An untouched (nil) set
+// row trivially holds nothing.
 func (c *Cache) find(unit uint64) *frame {
 	c.clock++
 	if c.lastFrame != nil && c.lastFrame.valid && c.lastUnit == unit && c.lastFrame.tag == unit {
@@ -224,7 +273,7 @@ func (c *Cache) find(unit uint64) *frame {
 func (c *Cache) Lookup(a memory.Addr) bool {
 	unit := c.unitOf(a)
 	f := c.find(unit)
-	return f != nil && f.present[c.transferIdx(a, unit)]
+	return f != nil && f.has(c.transferIdx(a, unit))
 }
 
 // Touch performs an access to a: on a miss the transfer unit is filled,
@@ -235,11 +284,11 @@ func (c *Cache) Touch(a memory.Addr) (Outcome, *Evicted) {
 	unit := c.unitOf(a)
 	ti := c.transferIdx(a, unit)
 	if f := c.find(unit); f != nil {
-		if f.present[ti] {
+		if f.has(ti) {
 			c.stats.Hits++
 			return Hit, nil
 		}
-		f.present[ti] = true
+		f.setBit(ti)
 		f.nset++
 		c.stats.TransferMisses++
 		if c.rec != nil {
@@ -247,9 +296,10 @@ func (c *Cache) Touch(a memory.Addr) (Outcome, *Evicted) {
 		}
 		return TransferMiss, nil
 	}
-	// Allocation miss: claim a frame in the set.
+	// Allocation miss: claim a frame in the set, materializing the row if
+	// this is the set's first allocation.
 	c.stats.AllocMisses++
-	set := c.sets[c.setOf(unit)]
+	set := c.row(c.setOf(unit))
 	victim := -1
 	for i := range set {
 		if !set[i].valid {
@@ -272,18 +322,20 @@ func (c *Cache) Touch(a memory.Addr) (Outcome, *Evicted) {
 		f := &set[victim]
 		c.stats.Evictions++
 		ev = &Evicted{Unit: f.tag}
-		for i, p := range f.present {
-			if p {
-				ev.Present = append(ev.Present, f.tag*uint64(c.cfg.unitsPerAlloc())+uint64(i))
-				f.present[i] = false
+		base := f.tag * uint64(c.cfg.unitsPerAlloc())
+		for wi, w := range f.present {
+			for ; w != 0; w &= w - 1 {
+				i := wi<<6 + bits.TrailingZeros64(w)
+				ev.Present = append(ev.Present, base+uint64(i))
 			}
+			f.present[wi] = 0
 		}
 		f.nset = 0
 	}
 	f := &set[victim]
 	f.valid = true
 	f.tag = unit
-	f.present[ti] = true
+	f.setBit(ti)
 	f.nset = 1
 	f.lastUse = c.clock
 	c.lastUnit = unit
@@ -307,8 +359,8 @@ func (c *Cache) PurgeTransferUnit(a memory.Addr) {
 	unit := c.unitOf(a)
 	if f := c.find(unit); f != nil {
 		ti := c.transferIdx(a, unit)
-		if f.present[ti] {
-			f.present[ti] = false
+		if f.has(ti) {
+			f.clearBit(ti)
 			f.nset--
 			c.stats.Purges++
 		}

@@ -22,7 +22,9 @@ package coherence
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
+	"unsafe"
 
 	"repro/internal/fabric"
 	"repro/internal/faults"
@@ -83,14 +85,31 @@ type Stats struct {
 	MaxRetryRun int // deepest consecutive retry run of one request
 }
 
-// bitset is a fixed-width set of cell ids.
+// bitset is a sparse, grow-on-demand set of cell ids. A nil bitset is an
+// empty set: entries for sub-pages that only ever see a few low-numbered
+// cells never allocate the full cells/64 words, which at 1088 cells is
+// the difference between 4×17 words per directory entry up front and a
+// couple of words on demand.
 type bitset []uint64
 
-func newBitset(cells int) bitset { return make(bitset, (cells+63)/64) }
-
-func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
-func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
-func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b *bitset) set(i int) {
+	w := i >> 6
+	if w >= len(*b) {
+		nb := make(bitset, w+1)
+		copy(nb, *b)
+		*b = nb
+	}
+	(*b)[w] |= 1 << (i & 63)
+}
+func (b bitset) clear(i int) {
+	if w := i >> 6; w < len(b) {
+		b[w] &^= 1 << (i & 63)
+	}
+}
+func (b bitset) has(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(i&63)) != 0
+}
 func (b bitset) empty() bool {
 	for _, w := range b {
 		if w != 0 {
@@ -102,11 +121,7 @@ func (b bitset) empty() bool {
 func (b bitset) lowest() int {
 	for wi, w := range b {
 		if w != 0 {
-			for j := 0; j < 64; j++ {
-				if w&(1<<j) != 0 {
-					return wi*64 + j
-				}
-			}
+			return wi<<6 + bits.TrailingZeros64(w)
 		}
 	}
 	return -1
@@ -114,9 +129,7 @@ func (b bitset) lowest() int {
 func (b bitset) count() int {
 	n := 0
 	for _, w := range b {
-		for ; w != 0; w &= w - 1 {
-			n++
-		}
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
@@ -154,6 +167,16 @@ type Directory struct {
 
 	entries map[memory.SubPageID]*entry
 	stats   Stats
+
+	// slab is the carve source for new entries: one allocation per
+	// entrySlabSize sub-pages instead of one per sub-page, since a big
+	// NAS-kernel run touches hundreds of thousands of them.
+	slab []entry
+
+	// idScratch backs the sorted-ID snapshot in CheckInvariants, reused
+	// across calls — checked-mode sweeps run after every experiment, and
+	// the per-call allocation showed up on the large-machine profile.
+	idScratch []memory.SubPageID
 
 	// OnInvalidate, if set, is called whenever a cell's valid copy is
 	// invalidated (the machine uses it to purge the cell's sub-cache).
@@ -194,14 +217,17 @@ type Directory struct {
 }
 
 // crossDomainTarget returns a cell from the affected set that lies outside
-// cell's domain, or -1 if none does (or no topology is configured).
+// cell's domain, or -1 if none does (or no topology is configured). It
+// scans set bits word-at-a-time, in ascending cell order.
 func (d *Directory) crossDomainTarget(cell int, affected bitset) int {
 	if d.SameDomain == nil {
 		return -1
 	}
-	for c := 0; c < d.cells; c++ {
-		if affected.has(c) && !d.SameDomain(cell, c) {
-			return c
+	for wi, w := range affected {
+		for ; w != 0; w &= w - 1 {
+			if c := wi<<6 + bits.TrailingZeros64(w); !d.SameDomain(cell, c) {
+				return c
+			}
 		}
 	}
 	return -1
@@ -217,19 +243,37 @@ func NewDirectory(e *sim.Engine, fab fabric.Fabric) *Directory {
 	}
 }
 
+// entrySlabSize is how many directory entries one slab allocation holds.
+const entrySlabSize = 256
+
 func (d *Directory) get(sp memory.SubPageID) *entry {
 	en := d.entries[sp]
 	if en == nil {
-		en = &entry{
-			holders:      newBitset(d.cells),
-			placeholders: newBitset(d.cells),
-			owner:        -1,
-			prefetching:  newBitset(d.cells),
-			snarfJoin:    newBitset(d.cells),
+		if len(d.slab) == 0 {
+			d.slab = make([]entry, entrySlabSize)
 		}
+		en = &d.slab[0]
+		d.slab = d.slab[1:]
+		en.owner = -1 // bitsets start nil (empty) and grow on demand
 		d.entries[sp] = en
 	}
 	return en
+}
+
+// Footprint estimates the heap bytes the directory currently holds:
+// entry records (at slab granularity, counting the map's per-key
+// overhead) plus every grown bitset. It feeds the bytes_per_cell metric
+// that ksrsim bench reports and CI gates on.
+func (d *Directory) Footprint() int64 {
+	const entryBytes = int64(unsafe.Sizeof(entry{}))
+	const mapSlotBytes = 48 // ballpark per-key map overhead (key, pointer, bucket share)
+	var words int64
+	for _, en := range d.entries {
+		// Integer accumulation over an unordered map is order-independent.
+		words += int64(len(en.holders) + len(en.placeholders) + len(en.prefetching) + len(en.snarfJoin))
+	}
+	n := int64(len(d.entries))
+	return n*(entryBytes+mapSlotBytes) + words*8
 }
 
 func (d *Directory) condOf(en *entry, sp memory.SubPageID) *sim.Cond {
@@ -330,9 +374,14 @@ func (d *Directory) checkEntry(sp memory.SubPageID, en *entry) *InvariantError {
 	fail := func(format string, args ...any) *InvariantError {
 		return &InvariantError{SubPage: sp, At: d.eng.Now(), Desc: fmt.Sprintf(format, args...)}
 	}
-	for c := 0; c < d.cells; c++ {
-		if en.holders.has(c) && en.placeholders.has(c) {
-			return fail("cell %d is simultaneously a holder and a place-holder", c)
+	n := len(en.holders)
+	if len(en.placeholders) < n {
+		n = len(en.placeholders)
+	}
+	for wi := 0; wi < n; wi++ {
+		if both := en.holders[wi] & en.placeholders[wi]; both != 0 {
+			return fail("cell %d is simultaneously a holder and a place-holder",
+				wi<<6+bits.TrailingZeros64(both))
 		}
 	}
 	if en.owner >= d.cells {
@@ -387,11 +436,12 @@ func (d *Directory) CheckInvariants() error {
 	if d.violation != nil {
 		return d.violation
 	}
-	ids := make([]memory.SubPageID, 0, len(d.entries))
+	ids := d.idScratch[:0]
 	for sp := range d.entries {
 		ids = append(ids, sp)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	d.idScratch = ids
 	for _, sp := range ids {
 		if err := d.checkEntry(sp, d.entries[sp]); err != nil {
 			return err
@@ -478,8 +528,14 @@ func (d *Directory) responder(en *entry, cell int) int {
 // invalidated.
 func (d *Directory) invalidateOthers(en *entry, sp memory.SubPageID, keep int) int {
 	n := 0
-	for c := 0; c < d.cells; c++ {
-		if c != keep && en.holders.has(c) {
+	for wi := range en.holders {
+		// Snapshot the word: the loop clears bits in the word it walks.
+		w := en.holders[wi]
+		for ; w != 0; w &= w - 1 {
+			c := wi<<6 + bits.TrailingZeros64(w)
+			if c == keep {
+				continue
+			}
 			en.holders.clear(c)
 			en.placeholders.set(c)
 			n++
@@ -497,10 +553,14 @@ func (d *Directory) invalidateOthers(en *entry, sp memory.SubPageID, keep int) i
 	}
 	if d.Checked {
 		// No valid copy survives an invalidation: only keep may remain.
-		for c := 0; c < d.cells; c++ {
-			if c != keep && en.holders.has(c) {
+		for wi, w := range en.holders {
+			if keep >= 0 && keep>>6 == wi {
+				w &^= 1 << (keep & 63)
+			}
+			if w != 0 {
 				d.record(&InvariantError{SubPage: sp, At: d.eng.Now(),
-					Desc: fmt.Sprintf("cell %d's copy survived invalidation (keep=%d)", c, keep)})
+					Desc: fmt.Sprintf("cell %d's copy survived invalidation (keep=%d)",
+						wi<<6+bits.TrailingZeros64(w), keep)})
 			}
 		}
 	}
@@ -517,10 +577,14 @@ func (d *Directory) snarf(en *entry) {
 	if d.DisableSnarfing {
 		return
 	}
-	for c := 0; c < d.cells; c++ {
-		if en.placeholders.has(c) {
-			en.placeholders.clear(c)
-			en.holders.set(c)
+	for wi := range en.placeholders {
+		w := en.placeholders[wi]
+		if w == 0 {
+			continue
+		}
+		en.placeholders[wi] = 0
+		for ; w != 0; w &= w - 1 {
+			en.holders.set(wi<<6 + bits.TrailingZeros64(w))
 			d.stats.Snarfs++
 		}
 	}
@@ -589,9 +653,14 @@ func (d *Directory) EnsureReadable(p *sim.Process, cell int, sp memory.SubPageID
 		en.owner = cell
 	}
 	// Fill joiners and place-holders as the response passes them.
-	for c := 0; c < d.cells; c++ {
-		if en.snarfJoin.has(c) {
-			en.snarfJoin.clear(c)
+	for wi := range en.snarfJoin {
+		w := en.snarfJoin[wi]
+		if w == 0 {
+			continue
+		}
+		en.snarfJoin[wi] = 0
+		for ; w != 0; w &= w - 1 {
+			c := wi<<6 + bits.TrailingZeros64(w)
 			if !en.holders.has(c) {
 				en.holders.set(c)
 				en.placeholders.clear(c)
@@ -742,10 +811,14 @@ func (d *Directory) Poststore(cell int, sp memory.SubPageID, done func()) {
 	}
 	d.accessAsync(cell, dst, sp.Base(), func() {
 		filled := 0
-		for c := 0; c < d.cells; c++ {
-			if en.placeholders.has(c) {
-				en.placeholders.clear(c)
-				en.holders.set(c)
+		for wi := range en.placeholders {
+			w := en.placeholders[wi]
+			if w == 0 {
+				continue
+			}
+			en.placeholders[wi] = 0
+			for ; w != 0; w &= w - 1 {
+				en.holders.set(wi<<6 + bits.TrailingZeros64(w))
 				d.stats.PoststoreFill++
 				filled++
 			}

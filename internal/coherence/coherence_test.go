@@ -379,7 +379,7 @@ func TestDistinctSubPagesNoInterference(t *testing.T) {
 
 func TestPropertyBitset(t *testing.T) {
 	f := func(ops []uint16) bool {
-		b := newBitset(1088)
+		var b bitset // nil = empty; grows on demand
 		ref := map[int]bool{}
 		for _, op := range ops {
 			i := int(op) % 1088

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestRunBigEPExperimentSmall(t *testing.T) {
+	res, err := RunBigEPExperiment(BigEPConfig{
+		Machine: KSR2Kind, Procs: []int{32, 64, 96}, LogPairs: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("per-P EP statistics diverged")
+	}
+	if len(res.Rows) != 3 || len(res.Cross) != 3 || len(res.BytesPerCell) != 3 {
+		t.Fatalf("row shapes: %+v", res)
+	}
+	if res.Cross[0] != 0 {
+		t.Errorf("single-ring point reported %d cross-ring transactions", res.Cross[0])
+	}
+	if res.Cross[2] == 0 || res.BytesPerCell[2] <= 0 {
+		t.Errorf("3-ring point observables: cross=%d bytes/cell=%v", res.Cross[2], res.BytesPerCell[2])
+	}
+	if res.String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestRunBigEPExperimentRejectsUnevenProcs(t *testing.T) {
+	if _, err := RunBigEPExperiment(BigEPConfig{
+		Machine: KSR2Kind, Procs: []int{33}, LogPairs: 10,
+	}); err == nil {
+		t.Fatal("33 procs over 2 rings accepted")
+	}
+}
+
+func TestRunBigLatency(t *testing.T) {
+	res, err := RunBigLatency(BigLatencyConfig{Machine: KSR2Kind, Rings: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Intra <= 0 || len(res.Rows) == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	for _, row := range res.Rows {
+		// Unloaded, the cross path is three rotations + three crossings vs
+		// one rotation intra: the ratio must sit well above 1 and be flat
+		// across target rings.
+		if row.Ratio < 3 || row.Ratio != res.Rows[0].Ratio {
+			t.Errorf("ring %d: ratio %.2f (first %.2f)", row.TargetRing, row.Ratio, res.Rows[0].Ratio)
+		}
+	}
+}
+
+// TestSeedStabilityBigEP extends the byte-identity regression to the
+// PDES engine: the 1088-cell EP run must serialize identically across
+// repeated runs and across -partitions 1/4/16. Workers only change
+// which OS thread drives each ring's window, never event order.
+func TestSeedStabilityBigEP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a 1088-cell sweep three times")
+	}
+	r, ok := LookupExperiment("bigep")
+	if !ok {
+		t.Fatal("bigep experiment not registered")
+	}
+	runOnce := func(workers int) []byte {
+		t.Helper()
+		defer SetPartitions(SetPartitions(workers))
+		sess := obs.NewSession(obs.Options{})
+		cfg, err := r.DecodeConfig([]byte(`{"Machine":"ksr2","Procs":[64,1088],"LogPairs":14}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(sess, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := obs.Manifest{
+			Schema:      obs.ManifestSchema,
+			Command:     "bigep",
+			GoVersion:   "go-test",
+			GitRevision: "pinned",
+			StartedAt:   "2026-01-01T00:00:00Z",
+			Machines:    sess.MachineRecords(),
+			Results:     []obs.NamedResult{{Name: "bigep", Data: data}},
+		}
+		b, err := json.MarshalIndent(&m, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	ref := runOnce(1)
+	if again := runOnce(1); !bytes.Equal(ref, again) {
+		t.Errorf("repeated sequential runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", ref, again)
+	}
+	for _, w := range []int{4, 16} {
+		if got := runOnce(w); !bytes.Equal(ref, got) {
+			t.Errorf("partitions=%d differs from sequential:\n--- sequential ---\n%s\n--- partitions %d ---\n%s",
+				w, ref, w, got)
+		}
+	}
+}

@@ -131,6 +131,24 @@ var registry = map[string]Runner{
 			return RunBTExperiment(c)
 		},
 	},
+	"bigep": {
+		Name: "bigep", Describe: "extension: EP on the partitioned two-level ring, to 1088 cells",
+		New: func() any { c := DefaultBigEPExperiment(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*BigEPConfig)
+			c.Obs = s
+			return RunBigEPExperiment(c)
+		},
+	},
+	"biglatency": {
+		Name: "biglatency", Describe: "extension: cross-ring fetch latency on the two-level ring",
+		New: func() any { c := DefaultBigLatencyExperiment(); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*BigLatencyConfig)
+			c.Obs = s
+			return RunBigLatency(c)
+		},
+	},
 	"qlocks": {
 		Name: "qlocks", Describe: "extension: Anderson/MCS queue locks vs the hardware lock",
 		New: func() any { c := DefaultQueueLocksConfig(); return &c },

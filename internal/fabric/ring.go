@@ -25,6 +25,15 @@ type RingConfig struct {
 	Overhead        sim.Time // fixed per-transaction processing outside the slot
 
 	TopSlotFactor int // slot multiplier for the level-1 ring (higher bandwidth)
+
+	// ARDCross is the explicit latency of handing a packet through an ARD
+	// between ring levels. 0 (the calibrated single-machine default)
+	// folds the crossing into the rotation times, preserving the
+	// published 175-cycle figure; the KSR-2 big-machine presets set it to
+	// one rotation, and the PDES coordinator uses the same number as its
+	// conservative lookahead — no cross-ring effect can propagate faster
+	// than one ARD crossing.
+	ARDCross sim.Time
 }
 
 // DefaultRingConfig returns the calibrated KSR-1 leaf-ring parameters.
@@ -65,6 +74,9 @@ func (c RingConfig) Validate() error {
 	if c.Cells > c.LeafSize && c.Cells%c.LeafSize != 0 {
 		return fmt.Errorf("fabric: %d cells do not divide into %d-cell leaf rings; pick a multiple of %d (or at most %d cells)",
 			c.Cells, c.LeafSize, c.LeafSize, c.LeafSize)
+	}
+	if c.ARDCross < 0 {
+		return fmt.Errorf("fabric: negative ARD crossing cost %d", c.ARDCross)
 	}
 	return nil
 }
@@ -175,7 +187,10 @@ func (r *Ring) Access(p *sim.Process, src, dst int, addr memory.Addr) sim.Time {
 		r.crossTransactions++
 	}
 	var wait sim.Time
-	for _, res := range path {
+	for hi, res := range path {
+		if hi > 0 && r.cfg.ARDCross > 0 {
+			p.Sleep(r.cfg.ARDCross) // ARD hand-off between ring levels
+		}
 		// One slot for one rotation; an injected slot loss corrupts the
 		// packet in transit and it re-circulates, claiming a fresh slot
 		// for another full rotation. A degraded link stretches the hold.
@@ -245,7 +260,11 @@ func (r *Ring) AccessAsync(src, dst int, addr memory.Addr, done func()) {
 					step(i, losses+1) // packet corrupted: re-circulate this hop
 					return
 				}
-				r.eng.Schedule(r.cfg.Overhead, func() { step(i+1, 0) })
+				d := r.cfg.Overhead
+				if i+1 < len(path) {
+					d += r.cfg.ARDCross // ARD hand-off before the next ring level
+				}
+				r.eng.Schedule(d, func() { step(i+1, 0) })
 			})
 		})
 	}
@@ -272,5 +291,5 @@ func (r *Ring) CrossRingTransactions() uint64 { return r.crossTransactions }
 // between src and dst — the number the paper publishes as "175 cycles".
 func (r *Ring) UnloadedLatency(src, dst int, addr memory.Addr) sim.Time {
 	hops := sim.Time(len(r.path(src, dst, addr)))
-	return hops * (r.cfg.SlotHold + r.cfg.Overhead)
+	return hops*(r.cfg.SlotHold+r.cfg.Overhead) + (hops-1)*r.cfg.ARDCross
 }

@@ -1,0 +1,154 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/memory"
+	"repro/internal/sim"
+)
+
+// BigEPConfig parameterizes EP on a partitioned two-level machine. The
+// pair budget is split across every processor of every ring by global
+// jump-ahead, so the workload is the same function of (Seed, LogPairs)
+// whatever the machine shape — BigEP on 1 ring of 32 and EP on 32 cells
+// walk identical per-processor LCG streams.
+type BigEPConfig struct {
+	LogPairs     int // generate 2^LogPairs pairs machine-wide
+	ProcsPerRing int
+	Seed         uint64
+	// See EPConfig: 55 flops per 100 cycles matches the published rate.
+	FlopsPerPair  int64
+	CyclesPerPair int64
+}
+
+// DefaultBigEPConfig returns a test-scale hierarchical EP configuration.
+func DefaultBigEPConfig(procsPerRing int) BigEPConfig {
+	return BigEPConfig{
+		LogPairs: 16, ProcsPerRing: procsPerRing, Seed: DefaultNASSeed,
+		FlopsPerPair: 55, CyclesPerPair: 100,
+	}
+}
+
+// BigEPResult extends EPResult with the hierarchy's own observables.
+type BigEPResult struct {
+	EPResult
+	Rings             int
+	CrossTransactions uint64
+	MeanCrossLatency  sim.Time
+	BytesPerCell      float64
+}
+
+// RunBigEP executes EP across every ring of a partitioned machine with a
+// two-level reduction mirroring how hierarchical NAS codes ran on real
+// multi-ring KSRs: procs reduce into a ring-local root over ring-local
+// shared memory (never crossing the ARD), ring roots post an arrival to
+// the global root on ring 0, and the global root pulls each ring's
+// 12-word total with one cross-ring fetch per ring. Cross-ring traffic
+// is therefore Θ(rings), not Θ(procs) — the property that keeps EP's
+// speedup linear to 1088 cells.
+func RunBigEP(b *machine.BigMachine, cfg BigEPConfig) (BigEPResult, error) {
+	if cfg.ProcsPerRing < 1 || cfg.ProcsPerRing > b.RingSize() ||
+		cfg.LogPairs < 1 || cfg.LogPairs > 40 {
+		return BigEPResult{}, fmt.Errorf("kernels: bad BigEP config %+v", cfg)
+	}
+	rings := b.Rings()
+	procs := rings * cfg.ProcsPerRing
+	pairs := int64(1) << cfg.LogPairs
+	per := pairs / int64(procs)
+
+	// Ring-local result slots (each ring reduces in its own address
+	// space): per-proc 12-word partials plus the ring's own total slot.
+	partialSlots := make([]memory.Region, rings)
+	totalSlots := make([]memory.Region, rings)
+	for r := 0; r < rings; r++ {
+		partialSlots[r] = b.Ring(r).AllocPadded("ep.partial", int64(cfg.ProcsPerRing)*2)
+		totalSlots[r] = b.Ring(r).AllocPadded("ep.total", 1)
+	}
+	arrived := b.NewArrivals(0, "ep.reduce")
+
+	partials := make([][10]int64, procs)
+	partSums := make([][2]float64, procs)
+	accepted := make([]int64, procs)
+
+	var res BigEPResult
+	res.Pairs = pairs
+	res.Rings = rings
+	const batch = 4096
+
+	elapsed, err := b.Run(cfg.ProcsPerRing, func(ring int, p *machine.Proc) {
+		gid := ring*cfg.ProcsPerRing + p.CellID()
+		lo := int64(gid) * per
+		hi := lo + per
+		if gid == procs-1 {
+			hi = pairs
+		}
+		g := JumpedLCG(cfg.Seed, uint64(2*lo))
+		var ann [10]int64
+		var sx, sy float64
+		var acc int64
+		done := int64(0)
+		for i := lo; i < hi; i++ {
+			u1 := g.Next()
+			u2 := g.Next()
+			if gx, gy, ok := GaussianPair(u1, u2); ok {
+				acc++
+				sx += gx
+				sy += gy
+				l := int(math.Max(math.Abs(gx), math.Abs(gy)))
+				if l > 9 {
+					l = 9
+				}
+				ann[l]++
+			}
+			done++
+			if done%batch == 0 {
+				p.Compute(cfg.CyclesPerPair * batch)
+			}
+		}
+		if rem := done % batch; rem > 0 {
+			p.Compute(cfg.CyclesPerPair * rem)
+		}
+		partials[gid] = ann
+		partSums[gid] = [2]float64{sx, sy}
+		accepted[gid] = acc
+		p.WriteRange(partialSlots[ring].PaddedSlot(int64(2*p.CellID())), 12, memory.WordSize)
+		if p.CellID() != 0 {
+			return
+		}
+		// Ring root: gather the ring's partials locally, publish the
+		// 12-word ring total, and signal the global root across the ARD.
+		for q := 0; q < cfg.ProcsPerRing; q++ {
+			p.ReadRange(partialSlots[ring].PaddedSlot(int64(2*q)), 12, memory.WordSize)
+		}
+		p.WriteRange(totalSlots[ring].Base, 12, memory.WordSize)
+		if ring != 0 {
+			b.CrossPost(p, ring, 0, totalSlots[ring].Base, arrived.Arrive)
+			return
+		}
+		// Global root: wait for every ring's post, then pull each total.
+		arrived.Await(p.Process(), rings-1)
+		for r := 1; r < rings; r++ {
+			b.CrossFetch(p, 0, r, totalSlots[r].Base)
+		}
+	})
+	if err != nil {
+		return BigEPResult{}, err
+	}
+	for q := 0; q < procs; q++ {
+		for l := 0; l < 10; l++ {
+			res.Annuli[l] += partials[q][l]
+		}
+		res.SumX += partSums[q][0]
+		res.SumY += partSums[q][1]
+		res.Accepted += accepted[q]
+	}
+	res.Elapsed = elapsed
+	if elapsed > 0 {
+		res.MFLOPS = float64(pairs*cfg.FlopsPerPair) / (elapsed.Seconds() * 1e6)
+	}
+	res.CrossTransactions, res.MeanCrossLatency = b.CrossStats()
+	res.BytesPerCell = b.BytesPerCell()
+	return res, nil
+}

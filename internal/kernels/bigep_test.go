@@ -1,0 +1,70 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func newBig(t *testing.T, cells int) *machine.BigMachine {
+	t.Helper()
+	b, err := machine.NewBig(machine.KSR2Big(cells))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// The pair budget splits by global jump-ahead, so the statistics must
+// not depend on machine shape: BigEP on 2x32 cells equals EP on one
+// flat 64-proc machine walking the same streams.
+func TestBigEPMatchesFlatEP(t *testing.T) {
+	b := newBig(t, 64)
+	defer b.Close()
+	cfg := DefaultBigEPConfig(32)
+	big, err := RunBigEP(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := RunEP(machine.New(machine.KSR2(64)), DefaultEPConfig(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Accepted != flat.Accepted || big.Annuli != flat.Annuli ||
+		big.SumX != flat.SumX || big.SumY != flat.SumY {
+		t.Fatalf("hierarchical EP diverged from flat EP:\n big %+v\nflat %+v", big.EPResult, flat)
+	}
+	if big.Rings != 2 || big.CrossTransactions == 0 || big.BytesPerCell <= 0 {
+		t.Fatalf("hierarchy observables: %+v", big)
+	}
+}
+
+func TestBigEPDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) BigEPResult {
+		b := newBig(t, 96)
+		defer b.Close()
+		b.Coordinator().SetWorkers(workers)
+		r, err := RunBigEP(b, DefaultBigEPConfig(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ref := run(1)
+	for _, w := range []int{4, 16} {
+		if got := run(w); got != ref {
+			t.Fatalf("workers=%d diverged:\n got %+v\nwant %+v", w, got, ref)
+		}
+	}
+}
+
+func TestBigEPRejectsBadConfig(t *testing.T) {
+	b := newBig(t, 64)
+	defer b.Close()
+	if _, err := RunBigEP(b, BigEPConfig{LogPairs: 10, ProcsPerRing: 33}); err == nil {
+		t.Fatal("oversized ProcsPerRing accepted")
+	}
+	if _, err := RunBigEP(b, BigEPConfig{LogPairs: 0, ProcsPerRing: 1}); err == nil {
+		t.Fatal("zero LogPairs accepted")
+	}
+}

@@ -124,3 +124,43 @@ func suppressed() time.Time { return time.Now() }
 func suppressedSameLine() time.Time {
 	return time.Now() //lint:ignore ksrlint/determinism fixture: trailing directive suppresses the finding
 }
+
+// xmsg mirrors the PDES coordinator's cross-partition message: merging
+// events straight out of a map hands the window protocol a
+// schedule-dependent order, which breaks byte-identity across worker
+// counts. The sanctioned idiom extracts, sorts by (at, seq), then
+// delivers.
+type xmsg struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+func mergeUnsorted(outboxes map[int][]xmsg, deliver func(xmsg)) {
+	for _, msgs := range outboxes { // want `order-dependent`
+		for _, m := range msgs {
+			deliver(m)
+		}
+	}
+}
+
+func mergeCanonical(outboxes map[int][]xmsg, deliver func(xmsg)) {
+	parts := make([]int, 0, len(outboxes))
+	for p := range outboxes {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	var merged []xmsg
+	for _, p := range parts {
+		merged = append(merged, outboxes[p]...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].at != merged[j].at {
+			return merged[i].at < merged[j].at
+		}
+		return merged[i].seq < merged[j].seq
+	})
+	for _, m := range merged {
+		deliver(m)
+	}
+}

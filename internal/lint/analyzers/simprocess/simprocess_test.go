@@ -8,5 +8,5 @@ import (
 )
 
 func TestSimprocess(t *testing.T) {
-	analysistest.Run(t, "testdata", simprocess.Analyzer, "fabric", "experiments")
+	analysistest.Run(t, "testdata", simprocess.Analyzer, "fabric", "experiments", "sim")
 }

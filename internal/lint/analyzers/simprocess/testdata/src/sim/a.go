@@ -1,0 +1,38 @@
+// Fixture: "sim" is a sim-managed segment, but methods of the PDES
+// coordinator type Partitioned are the sanctioned goroutine site — the
+// barrier-window protocol confines workers to disjoint partitions.
+// Everything else in the package stays under the normal rules.
+package sim
+
+import "time"
+
+type Partitioned struct{ workers int }
+
+// window mirrors the real coordinator's worker fan-out: exempt.
+func (pd *Partitioned) window(run func(part int)) {
+	for w := 0; w < pd.workers; w++ {
+		go run(w)
+	}
+}
+
+// Value-receiver methods are the same carve-out.
+func (pd Partitioned) broadcast(fn func()) {
+	go fn()
+}
+
+// hostWait is NOT exempt: the carve-out covers goroutines only.
+func (pd *Partitioned) hostWait() {
+	time.Sleep(time.Millisecond) // want `time.Sleep waits on the host clock`
+}
+
+type engine struct{}
+
+// Other receivers in the package keep the full rule.
+func (e *engine) spawnRaw(work func()) {
+	go work() // want `single-control-token discipline`
+}
+
+// Free functions too.
+func fanOut(work func()) {
+	go work() // want `single-control-token discipline`
+}

@@ -182,6 +182,37 @@ func KSR2(cells int) Config {
 	return c
 }
 
+// RingLeafSize is the cells per ring:0 on every KSR model, and
+// KSR2MaxCells the architectural limit of the extended study's machine:
+// 34 ring:0s of 32 cells on one level-1 ring.
+const (
+	RingLeafSize = 32
+	KSR2MaxCells = 34 * RingLeafSize
+)
+
+// KSR1Big returns the KSR-1 description scaled past one leaf ring (cells
+// a multiple of 32, up to KSR2MaxCells), with the ARD crossing cost made
+// explicit: one rotation (175 KSR-1 cycles) per level transition. That
+// cost is both the model's inter-ring latency floor and the lookahead
+// the PDES coordinator exploits, so NewBig requires it to be set.
+func KSR1Big(cells int) Config {
+	c := KSR1(cells)
+	c.Name = "ksr1big"
+	c.Ring.ARDCross = c.Ring.SlotHold + c.Ring.Overhead
+	return c
+}
+
+// KSR2Big returns the two-level-ring KSR-2 model at the given cell count
+// (a multiple of 32, up to KSR2MaxCells = 1088 = 34 leaf rings) — the
+// extended study's machine. Identical to KSR1Big except the doubled CPU
+// clock; the ring and ARD stay at KSR-1 speed.
+func KSR2Big(cells int) Config {
+	c := KSR1Big(cells)
+	c.Name = "ksr2big"
+	c.CPUCycle = 25
+	return c
+}
+
 // Symmetry returns a Sequent-Symmetry-like model: snooping coherent caches
 // on a single shared bus. Cache geometry is reused from the KSR model (the
 // comparison in Section 3.2.3 depends only on the bus's serialization and

@@ -246,6 +246,23 @@ func (m *Machine) FailedCells() []int {
 	return ids
 }
 
+// FootprintBytes returns the heap bytes currently committed to the
+// machine's simulation state — cache frames and directory entries, the
+// structures the sparse/lazy layout keeps cold until touched. Divided by
+// the cell count it is the bytes_per_cell metric ksrsim bench reports.
+func (m *Machine) FootprintBytes() int64 {
+	var n int64
+	for _, c := range m.cells {
+		if c.sub != nil {
+			n += c.sub.Footprint() + c.local.Footprint()
+		}
+	}
+	if m.dir != nil {
+		n += m.dir.Footprint()
+	}
+	return n
+}
+
 // CheckInvariants runs the coherence invariant checker (see
 // coherence.Directory.CheckInvariants). It returns nil on a non-coherent
 // machine.
@@ -332,17 +349,19 @@ func (m *Machine) AllocPerCell(name string) PerCell {
 	return pc
 }
 
-// Run spawns one Proc on each of cells 0..procs-1 executing body, runs the
-// simulation to completion, and returns the elapsed simulated time for
-// this program (from spawn to last completion).
-func (m *Machine) Run(procs int, body func(p *Proc)) (sim.Time, error) {
+// SpawnProcs spawns one Proc on each of cells 0..procs-1 executing body
+// without running the engine. Run is SpawnProcs plus a drive of the
+// engine to completion; the BigMachine instead spawns every ring's
+// program this way and drives all the engines through one PDES
+// coordinator. namePrefix distinguishes processes across rings in
+// aggregated deadlock reports ("ring3.cell7").
+func (m *Machine) SpawnProcs(procs int, namePrefix string, body func(p *Proc)) error {
 	if procs < 1 || procs > m.cfg.Cells {
-		return 0, fmt.Errorf("machine: Run with %d procs on %d cells", procs, m.cfg.Cells)
+		return fmt.Errorf("machine: Run with %d procs on %d cells", procs, m.cfg.Cells)
 	}
-	start := m.eng.Now()
 	for i := 0; i < procs; i++ {
 		i := i
-		m.eng.Spawn(fmt.Sprintf("cell%d", i), func(p *sim.Process) {
+		m.eng.Spawn(fmt.Sprintf("%scell%d", namePrefix, i), func(p *sim.Process) {
 			// A fail-stop unwinds the cell's program with a cellFailStop
 			// panic; the process simply ends. Peers synchronizing with the
 			// halted cell wedge, which Run reports as a DeadlockError
@@ -358,6 +377,17 @@ func (m *Machine) Run(procs int, body func(p *Proc)) (sim.Time, error) {
 			pr := &Proc{m: m, cell: m.cells[i], sp: p, procs: procs}
 			body(pr)
 		})
+	}
+	return nil
+}
+
+// Run spawns one Proc on each of cells 0..procs-1 executing body, runs the
+// simulation to completion, and returns the elapsed simulated time for
+// this program (from spawn to last completion).
+func (m *Machine) Run(procs int, body func(p *Proc)) (sim.Time, error) {
+	start := m.eng.Now()
+	if err := m.SpawnProcs(procs, "", body); err != nil {
+		return 0, err
 	}
 	m.startSampler()
 	if err := m.eng.Run(); err != nil {

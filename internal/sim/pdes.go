@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Conservative parallel discrete-event simulation (PDES) over independent
+// engines.
+//
+// A Partitioned groups several Engines — partitions — that interact only
+// through explicitly-delayed messages whose delay is at least a fixed
+// lookahead L (for the KSR-2 model: the minimum latency of an ARD
+// crossing between ring:0s). That bound makes a barrier-window protocol
+// safe: if T is the earliest pending event across all partitions, every
+// event in [T, T+L) can execute without seeing a message that has not
+// been sent yet, because any message sent from inside the window carries
+// a timestamp >= T + L. The coordinator therefore alternates
+//
+//	deliver buffered messages -> T = min over partitions -> run every
+//	partition's RunWindow(T+L) -> repeat
+//
+// until no events remain anywhere.
+//
+// Determinism does not depend on the worker count. Within a window each
+// partition runs its own sequential engine; sends are buffered in
+// per-sender outboxes (each touched only by the goroutine running that
+// partition, so windows race on nothing); and between windows the
+// coordinator merges all outboxes into one canonical order — by
+// (timestamp, sender sequence number, sender partition) — before
+// injecting them. Running with 1 worker or 16 produces byte-identical
+// simulations; workers only change wall-clock time.
+type Partitioned struct {
+	parts     []*Engine
+	lookahead Time
+	workers   int
+
+	// outbox[from] is appended to only by the goroutine currently running
+	// partition from (inside its window), and drained only by the
+	// coordinator between windows.
+	outbox [][]xmsg
+	seqs   []uint64 // per-sender send counters, for the canonical merge
+
+	merged []xmsg  // merge scratch, reused across windows
+	errs   []error // per-partition window results, reused across windows
+
+	windows  uint64
+	messages uint64
+}
+
+// xmsg is one cross-partition message: run fn in partition to at absolute
+// time at. from and seq only serve the canonical merge order.
+type xmsg struct {
+	at   Time
+	seq  uint64
+	from int
+	to   int
+	fn   func()
+}
+
+// NewPartitioned builds a coordinator over the given engines. lookahead
+// is the minimum cross-partition delay every Send must respect; it must
+// be positive, since a zero lookahead admits no parallel window at all.
+func NewPartitioned(lookahead Time, parts ...*Engine) *Partitioned {
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: Partitioned needs a positive lookahead, got %v", lookahead))
+	}
+	if len(parts) == 0 {
+		panic("sim: Partitioned needs at least one engine")
+	}
+	return &Partitioned{
+		parts:     parts,
+		lookahead: lookahead,
+		workers:   1,
+		outbox:    make([][]xmsg, len(parts)),
+		seqs:      make([]uint64, len(parts)),
+		errs:      make([]error, len(parts)),
+	}
+}
+
+// SetWorkers sets how many OS-level goroutines run partition windows
+// concurrently. 1 (the default) is fully sequential; values above the
+// partition count are clamped. The setting never changes simulation
+// results, only wall-clock time.
+func (pd *Partitioned) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	pd.workers = n
+}
+
+// Parts returns the number of partitions.
+func (pd *Partitioned) Parts() int { return len(pd.parts) }
+
+// Part returns partition i's engine.
+func (pd *Partitioned) Part(i int) *Engine { return pd.parts[i] }
+
+// Lookahead returns the minimum cross-partition delay.
+func (pd *Partitioned) Lookahead() Time { return pd.lookahead }
+
+// Windows returns how many barrier windows Run has executed.
+func (pd *Partitioned) Windows() uint64 { return pd.windows }
+
+// Messages returns how many cross-partition messages have been delivered.
+func (pd *Partitioned) Messages() uint64 { return pd.messages }
+
+// Send queues fn to run in partition to at the sending partition's
+// current time plus delay. It must be called from code executing inside
+// partition from (an event or process holding that engine's control
+// token). delay below the lookahead is a protocol violation — the target
+// window may already have run past the message's timestamp — and panics.
+func (pd *Partitioned) Send(from, to int, delay Time, fn func()) {
+	if delay < pd.lookahead {
+		panic(fmt.Sprintf("sim: cross-partition delay %v below the lookahead %v", delay, pd.lookahead))
+	}
+	pd.seqs[from]++
+	pd.outbox[from] = append(pd.outbox[from], xmsg{
+		at:   pd.parts[from].Now() + delay,
+		seq:  pd.seqs[from],
+		from: from,
+		to:   to,
+		fn:   fn,
+	})
+}
+
+// Run drives all partitions to completion and returns the first error in
+// partition order (deadline, livelock, or Stop outcomes surface exactly
+// as under Engine.Run). When every queue drains, processes still parked
+// across the partitions mean a global deadlock; the report aggregates
+// every partition's blocked processes.
+func (pd *Partitioned) Run() error {
+	for {
+		pd.deliver()
+		t, ok := pd.earliest()
+		if !ok {
+			break
+		}
+		if err := pd.window(t + pd.lookahead); err != nil {
+			return err
+		}
+		pd.windows++
+	}
+	live := 0
+	var at Time
+	var blocked []BlockedProc
+	for _, e := range pd.parts {
+		live += e.Live()
+		if e.Now() > at {
+			at = e.Now()
+		}
+		blocked = append(blocked, e.BlockedProcs()...)
+	}
+	if live == 0 || len(blocked) == 0 {
+		return nil
+	}
+	return &DeadlockError{At: at, Blocked: blocked}
+}
+
+// deliver merges every outbox into the canonical (at, seq, from) order
+// and injects the messages into their target engines. Injection order
+// matters: it fixes the engines' internal sequence numbers, hence the
+// same-timestamp tie-break, hence byte-identity across worker counts.
+func (pd *Partitioned) deliver() {
+	pd.merged = pd.merged[:0]
+	for from := range pd.outbox {
+		pd.merged = append(pd.merged, pd.outbox[from]...)
+		pd.outbox[from] = pd.outbox[from][:0]
+	}
+	if len(pd.merged) == 0 {
+		return
+	}
+	sort.Slice(pd.merged, func(i, j int) bool {
+		a, b := &pd.merged[i], &pd.merged[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.seq != b.seq {
+			return a.seq < b.seq
+		}
+		return a.from < b.from
+	})
+	for i := range pd.merged {
+		m := &pd.merged[i]
+		pd.parts[m.to].ScheduleAt(m.at, m.fn)
+		m.fn = nil // release the closure; merged is reused
+	}
+	pd.messages += uint64(len(pd.merged))
+}
+
+// earliest returns the minimum pending event time across partitions.
+func (pd *Partitioned) earliest() (Time, bool) {
+	var min Time
+	any := false
+	for _, e := range pd.parts {
+		if at, ok := e.NextEventAt(); ok && (!any || at < min) {
+			min, any = at, true
+		}
+	}
+	return min, any
+}
+
+// window runs every partition up to limit, fanning across workers. All
+// partitions run even when one fails, so the engines are left in a
+// consistent all-paused state; the error returned is the
+// lowest-partition-index one, mirroring the sweep runner's
+// lowest-index-error convention.
+func (pd *Partitioned) window(limit Time) error {
+	n := len(pd.parts)
+	w := pd.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		var first error
+		for _, e := range pd.parts {
+			if err := e.RunWindow(limit); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		// Each worker drains partitions from a shared atomic counter; a
+		// partition's whole window runs on one goroutine, and wg.Wait is
+		// the happens-before edge back to the coordinator. This is the
+		// one sanctioned goroutine site in the PDES layer — see the
+		// Partitioned carve-out in ksrlint/simprocess.
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				pd.errs[i] = pd.parts[i].RunWindow(limit)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range pd.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

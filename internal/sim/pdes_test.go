@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRunWindowStopsBeforeLimit(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{5, 10, 15, 20} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	if err := e.RunWindow(11); err != nil {
+		t.Fatalf("RunWindow: %v", err)
+	}
+	if want := []Time{5, 10}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v inside window [0,11), want %v", fired, want)
+	}
+	if at, ok := e.NextEventAt(); !ok || at != 15 {
+		t.Fatalf("NextEventAt = %v, %v; want 15, true", at, ok)
+	}
+	if err := e.RunWindow(100); err != nil {
+		t.Fatalf("second RunWindow: %v", err)
+	}
+	if want := []Time{5, 10, 15, 20}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v after second window, want %v", fired, want)
+	}
+}
+
+func TestRunWindowCarriesProcessAcrossWindows(t *testing.T) {
+	e := NewEngine()
+	var woke Time
+	e.Spawn("sleeper", func(p *Process) {
+		p.Sleep(50)
+		woke = p.Now()
+	})
+	// Window [0,10): the spawn resume fires at 0 and the process parks
+	// until t=50, past the limit. No deadlock may be reported — the
+	// window protocol defers that judgment to the coordinator.
+	if err := e.RunWindow(10); err != nil {
+		t.Fatalf("RunWindow: %v", err)
+	}
+	if woke != 0 {
+		t.Fatalf("process woke at %v inside window [0,10)", woke)
+	}
+	if err := e.RunWindow(60); err != nil {
+		t.Fatalf("second RunWindow: %v", err)
+	}
+	if woke != 50 {
+		t.Fatalf("process woke at %v, want 50", woke)
+	}
+	if e.Live() != 0 {
+		t.Fatalf("%d processes still live", e.Live())
+	}
+	// A full Run afterwards sees an empty, finished engine.
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run after windows: %v", err)
+	}
+}
+
+func TestRunWindowEmptyQueueIsNotDeadlock(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e, "inbox")
+	e.Spawn("waiter", func(p *Process) { c.Wait(p) })
+	if err := e.RunWindow(10); err != nil {
+		t.Fatalf("RunWindow on blocked-but-windowed engine: %v", err)
+	}
+	if got := e.BlockedProcs(); len(got) != 1 || got[0].Name != "waiter" {
+		t.Fatalf("BlockedProcs = %v, want the one waiter", got)
+	}
+	// Under plain Run the same state is a real deadlock.
+	var derr *DeadlockError
+	if err := e.Run(); !errors.As(err, &derr) {
+		t.Fatalf("Run = %v, want DeadlockError", err)
+	}
+	e.Shutdown()
+}
+
+func TestScheduleAtRejectsPast(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt into the past did not panic")
+		}
+	}()
+	e.ScheduleAt(5, func() {})
+}
+
+func TestPartitionedSendBelowLookaheadPanics(t *testing.T) {
+	pd := NewPartitioned(100, NewEngine(), NewEngine())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send below the lookahead did not panic")
+		}
+	}()
+	pd.Send(0, 1, 99, func() {})
+}
+
+// runPingPong builds a 3-partition ring of processes (plus one idle
+// partition with no work at all) that exchange cross-partition messages
+// for several rounds, and returns each partition's private log. Logs are
+// only ever appended by code running inside their own partition, so the
+// harness itself is race-free at any worker count; determinism of the
+// simulation is what makes the logs comparable.
+func runPingPong(t *testing.T, workers int) ([][]string, uint64, uint64) {
+	t.Helper()
+	const parts = 3
+	const rounds = 5
+	engines := make([]*Engine, parts+1)
+	for i := range engines {
+		engines[i] = NewEngine()
+	}
+	pd := NewPartitioned(100, engines...)
+	pd.SetWorkers(workers)
+	logs := make([][]string, parts)
+	counts := make([]int, parts)
+	conds := make([]*Cond, parts)
+	for i := 0; i < parts; i++ {
+		conds[i] = NewCond(engines[i], fmt.Sprintf("inbox%d", i))
+	}
+	for i := 0; i < parts; i++ {
+		i := i
+		engines[i].Spawn(fmt.Sprintf("p%d", i), func(p *Process) {
+			for round := 0; round < rounds; round++ {
+				p.Sleep(Time(10 + i))
+				to := (i + 1) % parts
+				pd.Send(i, to, 100+Time(7*i), func() {
+					counts[to]++
+					conds[to].Broadcast()
+				})
+				for counts[i] < round+1 {
+					conds[i].Wait(p)
+				}
+				logs[i] = append(logs[i], fmt.Sprintf("c=%d t=%v", counts[i], p.Now()))
+			}
+		})
+	}
+	if err := pd.Run(); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return logs, pd.Messages(), pd.Windows()
+}
+
+func TestPartitionedDeterministicAcrossWorkers(t *testing.T) {
+	refLogs, refMsgs, refWins := runPingPong(t, 1)
+	if refMsgs != 15 {
+		t.Fatalf("delivered %d messages, want 15", refMsgs)
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		logs, msgs, wins := runPingPong(t, workers)
+		if !reflect.DeepEqual(logs, refLogs) {
+			t.Fatalf("workers=%d logs diverge:\n got %v\nwant %v", workers, logs, refLogs)
+		}
+		if msgs != refMsgs || wins != refWins {
+			t.Fatalf("workers=%d stats (%d msgs, %d windows) != reference (%d, %d)",
+				workers, msgs, wins, refMsgs, refWins)
+		}
+	}
+}
+
+func TestPartitionedAggregatesDeadlock(t *testing.T) {
+	e1, e2 := NewEngine(), NewEngine()
+	pd := NewPartitioned(50, e1, e2)
+	c := NewCond(e2, "never-signaled")
+	e1.Spawn("finisher", func(p *Process) { p.Sleep(5) })
+	e2.Spawn("wedged", func(p *Process) { c.Wait(p) })
+	err := pd.Run()
+	var derr *DeadlockError
+	if !errors.As(err, &derr) {
+		t.Fatalf("Run = %v, want DeadlockError", err)
+	}
+	if len(derr.Blocked) != 1 || derr.Blocked[0].Name != "wedged" {
+		t.Fatalf("blocked = %v, want the one wedged process", derr.Blocked)
+	}
+	e1.Shutdown()
+	e2.Shutdown()
+}

@@ -93,15 +93,38 @@ func (q *eventQueue) pop() *event {
 			ev.queued = false
 			return ev
 		}
-		// Wheel drained: jump the window to the earliest far-future event
-		// and pull everything inside the new window into the wheel.
-		min := q.overflow[0].at
-		q.base = min &^ Time(wheelMask)
-		q.cursor = int(min) & wheelMask
-		limit := q.base + wheelSize
-		for len(q.overflow) > 0 && q.overflow[0].at < limit {
-			q.bucketAppend(q.heapPop())
+		q.advanceWindow()
+	}
+}
+
+// peek returns the earliest pending timestamp without dequeuing. It may
+// advance the window (moving far-future events into the wheel), which is
+// the same state transition pop would perform — never a reordering — so
+// interleaving peek with push/pop leaves the pop sequence unchanged.
+func (q *eventQueue) peek() (Time, bool) {
+	if q.size == 0 {
+		return 0, false
+	}
+	for {
+		if q.wheelCount > 0 {
+			i := q.nextOccupied()
+			return q.buckets[i].head.at, true
 		}
+		q.advanceWindow()
+	}
+}
+
+// advanceWindow jumps the wheel window forward to the earliest far-future
+// event and pulls everything inside the new window into the wheel — in
+// heap order, which preserves FIFO within buckets. The caller guarantees
+// the wheel is empty and the overflow heap is not.
+func (q *eventQueue) advanceWindow() {
+	min := q.overflow[0].at
+	q.base = min &^ Time(wheelMask)
+	q.cursor = int(min) & wheelMask
+	limit := q.base + wheelSize
+	for len(q.overflow) > 0 && q.overflow[0].at < limit {
+		q.bucketAppend(q.heapPop())
 	}
 }
 

@@ -24,7 +24,6 @@ package sim
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"strings"
 )
 
@@ -110,6 +109,7 @@ type Engine struct {
 	stopped  bool
 	shutdown bool
 	maxTime  Time // 0 = unlimited
+	pauseAt  Time // window limit while inside RunWindow; 0 = no window
 	runErr   error
 
 	// Livelock watchdog: trip when more than watchdogLimit events fire
@@ -185,6 +185,29 @@ func (e *Engine) Schedule(d Time, fn func()) {
 	ev.fn = fn
 	e.q.push(ev)
 }
+
+// ScheduleAt runs fn at the absolute simulated time at, which must not be
+// in the engine's past. It exists for the PDES coordinator, which injects
+// cross-partition messages stamped with the sender's clock into a target
+// engine whose clock lags behind; the conservative window protocol
+// guarantees at is beyond the target's current window, so the absolute
+// form never violates the no-scheduling-into-the-past invariant.
+func (e *Engine) ScheduleAt(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%v) into the past (now %v)", at, e.now))
+	}
+	ev := e.alloc()
+	ev.at = at
+	e.seq++
+	ev.seq = e.seq
+	ev.fn = fn
+	e.q.push(ev)
+}
+
+// NextEventAt reports the timestamp of the earliest pending event, or
+// false when the queue is empty. The PDES coordinator uses it between
+// windows to pick the next global barrier time.
+func (e *Engine) NextEventAt() (Time, bool) { return e.q.peek() }
 
 // scheduleResume queues p's intrusive resume event at Now()+d. A process
 // has at most one pending resumption (it is either sleeping on its timer
@@ -288,6 +311,16 @@ func (e *Engine) dispatch(self *Process) *Process {
 		if e.stopped {
 			e.runErr = nil
 			return nil
+		}
+		if e.pauseAt > 0 {
+			// Inside RunWindow: an empty queue or an event at/after the
+			// window limit ends the window, not the run — blocked
+			// processes may be waiting on another partition's messages,
+			// so the deadlock check is deferred to the coordinator.
+			if at, ok := e.q.peek(); !ok || at >= e.pauseAt {
+				e.runErr = nil
+				return nil
+			}
 		}
 		ev := e.q.pop()
 		if ev == nil {
@@ -421,10 +454,23 @@ func (e *Engine) deadlockErr() error {
 	if e.nlive == 0 {
 		return nil
 	}
-	derr := &DeadlockError{At: e.now}
-	for _, p := range e.procs {
+	blocked := e.BlockedProcs()
+	if len(blocked) == 0 {
+		return nil
+	}
+	return &DeadlockError{At: e.now, Blocked: blocked}
+}
+
+// BlockedProcs lists the processes currently parked with no pending
+// resume event, in process-id order. A within-engine deadlock report is
+// built from this; the PDES coordinator aggregates it across partitions,
+// where a locally-wedged process may legitimately be waiting on another
+// partition's message.
+func (e *Engine) BlockedProcs() []BlockedProc {
+	var blocked []BlockedProc
+	for _, p := range e.procs { // spawn order == id order
 		if !p.done && p.blocked {
-			derr.Blocked = append(derr.Blocked, BlockedProc{
+			blocked = append(blocked, BlockedProc{
 				Name:   p.name,
 				ID:     p.id,
 				Reason: p.blockWhy,
@@ -432,13 +478,7 @@ func (e *Engine) deadlockErr() error {
 			})
 		}
 	}
-	sort.Slice(derr.Blocked, func(i, j int) bool {
-		return derr.Blocked[i].ID < derr.Blocked[j].ID
-	})
-	if len(derr.Blocked) == 0 {
-		return nil
-	}
-	return derr
+	return blocked
 }
 
 // LivelockError reports that the progress watchdog tripped: more than
@@ -481,6 +521,32 @@ func (e *Engine) Run() error {
 		next.wake <- struct{}{}
 		<-e.mainWake
 	}
+	err := e.runErr
+	e.runErr = nil
+	return err
+}
+
+// RunWindow executes events strictly before limit, then returns with the
+// engine paused: parked processes stay parked, pending events at or after
+// limit stay queued, and a later RunWindow (or Run) picks up where this
+// one stopped. An exhausted queue ends the window without a deadlock
+// check — under the PDES window protocol, locally-blocked processes may
+// be waiting on messages another partition will deliver at the next
+// barrier. Deadline, watchdog, and Stop behave as in Run.
+func (e *Engine) RunWindow(limit Time) error {
+	if e.shutdown {
+		panic("sim: RunWindow on a shut-down engine")
+	}
+	if limit <= 0 {
+		panic(fmt.Sprintf("sim: RunWindow with non-positive limit %v", limit))
+	}
+	e.pauseAt = limit
+	e.runErr = nil
+	if next := e.dispatch(nil); next != nil {
+		next.wake <- struct{}{}
+		<-e.mainWake
+	}
+	e.pauseAt = 0
 	err := e.runErr
 	e.runErr = nil
 	return err
