@@ -162,6 +162,7 @@ func (b *BigMachine) Run(procsPerRing int, body func(ring int, p *Proc)) (sim.Ti
 		if err := m.SpawnProcs(procsPerRing, fmt.Sprintf("ring%d.", r), func(p *Proc) {
 			body(r, p)
 		}); err != nil {
+			b.Close() // release procs already parked on earlier rings
 			return 0, err
 		}
 	}

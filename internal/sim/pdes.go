@@ -152,8 +152,14 @@ func (pd *Partitioned) Run() error {
 		}
 		blocked = append(blocked, e.BlockedProcs()...)
 	}
-	if live == 0 || len(blocked) == 0 {
+	if live == 0 {
 		return nil
+	}
+	if len(blocked) == 0 {
+		// Unreachable under the engine's invariants: a live process with
+		// no pending events must be parked. Surface a broken invariant
+		// loudly rather than reporting clean completion.
+		panic(fmt.Sprintf("sim: %d live processes remain with empty queues but none blocked", live))
 	}
 	return &DeadlockError{At: at, Blocked: blocked}
 }

@@ -80,6 +80,32 @@ func TestRunWindowEmptyQueueIsNotDeadlock(t *testing.T) {
 	e.Shutdown()
 }
 
+// TestScheduleAtAfterWindowPeek reproduces the coordinator's injection
+// pattern against a partition whose next local event is distant: an
+// empty window peeks past the far event (RunWindow's pause check), then
+// a cross-partition message arrives stamped well below it. The injected
+// event must be the reported minimum and must execute first — a peek
+// that advanced the queue's wheel window would misfile it and run the
+// events out of timestamp order.
+func TestScheduleAtAfterWindowPeek(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(Millisecond, func() { fired = append(fired, e.Now()) })
+	if err := e.RunWindow(100); err != nil { // empty window; peeks the far event
+		t.Fatalf("RunWindow: %v", err)
+	}
+	e.ScheduleAt(5*Microsecond, func() { fired = append(fired, e.Now()) })
+	if at, ok := e.NextEventAt(); !ok || at != 5*Microsecond {
+		t.Fatalf("NextEventAt = %v, %v; want 5us, true", at, ok)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := []Time{5 * Microsecond, Millisecond}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+}
+
 func TestScheduleAtRejectsPast(t *testing.T) {
 	e := NewEngine()
 	e.Schedule(10, func() {})

@@ -97,27 +97,34 @@ func (q *eventQueue) pop() *event {
 	}
 }
 
-// peek returns the earliest pending timestamp without dequeuing. It may
-// advance the window (moving far-future events into the wheel), which is
-// the same state transition pop would perform — never a reordering — so
-// interleaving peek with push/pop leaves the pop sequence unchanged.
+// peek returns the earliest pending timestamp without dequeuing. It must
+// not mutate the queue: the PDES coordinator peeks (NextEventAt, and
+// RunWindow's pause check) and then injects cross-partition messages
+// whose timestamps, while never in the engine's past, can lie below the
+// window an eager advance would have jumped to — a push below base files
+// the event in a bucket of the wrong window, reordering pops. Leaving
+// the window alone keeps the invariant that only pop advances it, so
+// base never exceeds the last popped timestamp and every push lands at
+// or above base. When the wheel is empty the overflow minimum is already
+// the global minimum (wheel entries are < base+wheelSize, overflow
+// entries >= base+wheelSize), so no advance is needed to answer.
 func (q *eventQueue) peek() (Time, bool) {
 	if q.size == 0 {
 		return 0, false
 	}
-	for {
-		if q.wheelCount > 0 {
-			i := q.nextOccupied()
-			return q.buckets[i].head.at, true
-		}
-		q.advanceWindow()
+	if q.wheelCount > 0 {
+		i := q.nextOccupied()
+		return q.buckets[i].head.at, true
 	}
+	return q.overflow[0].at, true
 }
 
 // advanceWindow jumps the wheel window forward to the earliest far-future
 // event and pulls everything inside the new window into the wheel — in
 // heap order, which preserves FIFO within buckets. The caller guarantees
-// the wheel is empty and the overflow heap is not.
+// the wheel is empty and the overflow heap is not. Only pop may call
+// this: advancing anywhere else would let base outrun the engine clock,
+// breaking push's assumption that ev.at >= base.
 func (q *eventQueue) advanceWindow() {
 	min := q.overflow[0].at
 	q.base = min &^ Time(wheelMask)

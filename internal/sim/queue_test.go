@@ -106,6 +106,36 @@ func TestQueueSameInstantFIFO(t *testing.T) {
 	}
 }
 
+// TestQueuePeekDoesNotAdvanceWindow pins peek's non-mutating contract.
+// The PDES coordinator peeks a partition whose only pending event is far
+// in the future (a long Compute block) and then injects a cross-partition
+// message stamped just past the lookahead — far below that event. If peek
+// had advanced the window to the far event, the injected push would land
+// in a bucket of the wrong window: peek would report the wrong minimum
+// and pops would run backwards in time.
+func TestQueuePeekDoesNotAdvanceWindow(t *testing.T) {
+	var q eventQueue
+	far := &event{at: Millisecond, seq: 1} // far beyond the initial window
+	q.push(far)
+	if at, ok := q.peek(); !ok || at != far.at {
+		t.Fatalf("peek = (%v, %v), want (%v, true)", at, ok, far.at)
+	}
+	if q.base != 0 {
+		t.Fatalf("peek advanced the window base to %d", q.base)
+	}
+	near := &event{at: 5 * Microsecond, seq: 2} // below far, above base
+	q.push(near)
+	if at, ok := q.peek(); !ok || at != near.at {
+		t.Fatalf("peek after near push = (%v, %v), want (%v, true)", at, ok, near.at)
+	}
+	if got := q.pop(); got != near {
+		t.Fatalf("first pop = (at=%d seq=%d), want the near event", got.at, got.seq)
+	}
+	if got := q.pop(); got != far {
+		t.Fatalf("second pop = (at=%d seq=%d), want the far event", got.at, got.seq)
+	}
+}
+
 // BenchmarkQueueShortDelays exercises the pure wheel path.
 func BenchmarkQueueShortDelays(b *testing.B) {
 	var q eventQueue
