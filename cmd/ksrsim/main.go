@@ -46,6 +46,11 @@ Observability (see docs/OBSERVABILITY.md):
   -sample-csv file   write the sampled telemetry as CSV
   -manifest file     write a JSON run manifest: config, seeds, fault plans,
                      git revision, wall-clock, results, final counters
+  -profile file      write a pprof-format simulated-time phase profile
+                     ("-" = print the phase report only) and print a
+                     per-cell top-N table to stderr
+  -profile-csv file  write the per-cell phase breakdown as CSV ("-" = stdout)
+  -profile-top n     rows in the profile report's top-N table (default 16)
 
 Commands:
   latency     Figure 2: read/write latencies per memory-hierarchy level
@@ -69,6 +74,8 @@ Commands:
   all         run everything at default sizes
   client      submit jobs to a ksrsimd daemon instead of running locally
               (see docs/SERVER.md)
+  top         live fleet view of a ksrsimd daemon from /v1/metrics
+              (latency histogram, queue depth sparkline, cache hit ratio)
   version     print build identity (revision, go version)
 
 Run 'ksrsim <command> -h' for per-command flags.
@@ -116,6 +123,7 @@ func parseRates(s string) ([]float64, error) {
 
 func fail(err error) {
 	finishObs()    // flush trace/manifest artifacts for the partial run
+	finishProf()   // same for the simulated-time phase profile
 	stopProfiles() // os.Exit skips defers; flush profiles explicitly
 	fmt.Fprintln(os.Stderr, "ksrsim:", err)
 	os.Exit(1)
@@ -199,6 +207,9 @@ func main() {
 	flag.Int64Var(&sampleNs, "sample", 0, "telemetry sampling interval in simulated ns (0 = off)")
 	flag.StringVar(&sampleCSV, "sample-csv", "", "write sampled telemetry CSV to file")
 	flag.StringVar(&manifestFile, "manifest", "", "write a JSON run manifest to file")
+	flag.StringVar(&profileFile, "profile", "", "write a simulated-time pprof phase profile to file (\"-\" = report only)")
+	flag.StringVar(&profileCSV, "profile-csv", "", "write the per-cell phase breakdown CSV to file (\"-\" = stdout)")
+	flag.IntVar(&profileTopN, "profile-top", 16, "cells shown in the -profile report (0 = all)")
 	flag.Parse()
 	argv := flag.Args()
 	if len(argv) == 0 {
@@ -212,6 +223,7 @@ func main() {
 	defer stopProfiles()
 	cmd, args := argv[0], argv[1:]
 	startObs(cmd, args)
+	startProf()
 	switch cmd {
 	case "latency":
 		cmdLatency(args)
@@ -253,6 +265,8 @@ func main() {
 		cmdAll(args)
 	case "client":
 		cmdClient(args)
+	case "top":
+		cmdTop(args)
 	case "version":
 		fmt.Println(version.String())
 	case "-h", "--help", "help":
@@ -262,7 +276,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if !finishObs() {
+	ok := finishObs()
+	if !finishProf() {
+		ok = false
+	}
+	if !ok {
 		stopProfiles()
 		os.Exit(1)
 	}

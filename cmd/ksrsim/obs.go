@@ -131,6 +131,7 @@ func finishObs() bool {
 			TraceFile:   traceFile,
 			SampleNs:    sampleNs,
 			Machines:    s.MachineRecords(),
+			PDES:        s.PDESRecords(),
 			Results:     obsState.results,
 		}
 		if traceFile != "" {

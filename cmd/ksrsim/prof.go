@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/prof"
+)
+
+// Simulated-time profiler flags (see docs/OBSERVABILITY.md, "Profiling").
+var (
+	profileFile string // pprof-format phase profile output path
+	profileCSV  string // per-cell phase breakdown CSV output path
+	profileTopN int    // top-N cells in the stderr report
+)
+
+// profState is the per-invocation profiling context, mirroring obsState:
+// startProf installs the session, finishProf renders and writes exactly
+// once (also on the fail path, so aborted runs keep their partial
+// profile).
+var profState struct {
+	session  *prof.Session
+	finished bool
+	err      bool
+}
+
+// profActive reports whether simulated-time profiling was requested.
+func profActive() bool { return profState.session != nil }
+
+// startProf installs the profiling session that labeled machines (and
+// big-machine rings) attach recorders to.
+func startProf() {
+	if profileFile == "" && profileCSV == "" {
+		return
+	}
+	profState.session = prof.NewSession()
+	experiments.SetProfSession(profState.session)
+}
+
+// finishProf writes the requested profile artifacts and prints the phase
+// report to stderr. Safe to call more than once. Returns false when an
+// artifact failed to write, so main can exit nonzero.
+func finishProf() bool {
+	if !profActive() || profState.finished {
+		return !profState.err
+	}
+	profState.finished = true
+	s := profState.session
+	report := func(what string, err error) {
+		if err != nil {
+			profState.err = true
+			fmt.Fprintf(os.Stderr, "ksrsim: %s: %v\n", what, err)
+		}
+	}
+	if profileFile != "" {
+		// "-" keeps the binary profile off the terminal: report only.
+		if profileFile == "-" {
+			fmt.Fprint(os.Stderr, s.Report(profileTopN))
+		} else {
+			f, err := os.Create(profileFile)
+			if err != nil {
+				report("profile", err)
+			} else {
+				if err := s.Pprof(f); err != nil {
+					report("profile", err)
+				}
+				if err := f.Close(); err != nil {
+					report("profile", err)
+				}
+				fmt.Fprint(os.Stderr, s.Report(profileTopN))
+			}
+		}
+	}
+	if profileCSV != "" {
+		csv := s.CSV()
+		if profileCSV == "-" {
+			// CSV to stdout for shell pipelines (the determinism check in
+			// CI diffs two of these).
+			fmt.Print(csv)
+		} else if err := os.WriteFile(profileCSV, []byte(csv), 0o644); err != nil {
+			report("profile csv", err)
+		}
+		if profileFile == "" && profileCSV != "-" {
+			fmt.Fprint(os.Stderr, s.Report(profileTopN))
+		}
+	}
+	return !profState.err
+}

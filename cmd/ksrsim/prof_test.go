@@ -1,0 +1,104 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// updateGolden refreshes testdata/profile_ep2.csv instead of comparing
+// against it: go test ./cmd/ksrsim -run TestProfileGolden -update-prof
+var updateGolden = flag.Bool("update-prof", false, "rewrite the golden profile CSV")
+
+// resetProfGlobals restores the profiler flag globals a test perturbs.
+func resetProfGlobals(t *testing.T) {
+	t.Helper()
+	oldFile, oldCSV, oldTop := profileFile, profileCSV, profileTopN
+	t.Cleanup(func() {
+		profileFile, profileCSV, profileTopN = oldFile, oldCSV, oldTop
+		profState.session = nil
+		profState.finished = false
+		profState.err = false
+		experiments.SetProfSession(nil)
+	})
+}
+
+// TestProfileGoldenEP2 drives the full CLI profiling path in-process —
+// a 2-processor EP run with -profile and -profile-csv — and diffs the
+// per-cell phase breakdown against a checked-in golden. The profile is
+// simulated-time, so the bytes are stable across hosts, Go versions,
+// and -parallel settings; any diff means the attribution model changed
+// and the golden (plus docs/OBSERVABILITY.md) needs a deliberate update.
+func TestProfileGoldenEP2(t *testing.T) {
+	resetProfGlobals(t)
+	dir := t.TempDir()
+	profileFile = filepath.Join(dir, "profile.pb.gz")
+	profileCSV = filepath.Join(dir, "profile.csv")
+	profileTopN = 4
+
+	startProf()
+	if !profActive() {
+		t.Fatal("profiling session not armed")
+	}
+	cfg := experiments.DefaultEPExperiment()
+	cfg.Procs = []int{1, 2}
+	cfg.LogPairs = 10
+	if _, err := experiments.RunEPExperiment(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !finishProf() {
+		t.Fatal("finishProf reported artifact errors")
+	}
+
+	got, err := os.ReadFile(profileCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "profile_ep2.csv")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-prof)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("phase breakdown diverged from golden (regenerate with -update-prof if intended):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The binary artifact must exist and be non-trivial (gzipped proto).
+	if fi, err := os.Stat(profileFile); err != nil || fi.Size() == 0 {
+		t.Errorf("pprof artifact: %v, size %d", err, fi.Size())
+	}
+
+	// Sanity on content: both sweep points, both cells of the p=2 point,
+	// and a compute-dominated profile (EP is embarrassingly parallel).
+	csv := string(got)
+	for _, want := range []string{"ep/p=1,0,compute,", "ep/p=2,0,compute,", "ep/p=2,1,compute,"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("CSV missing row prefix %q:\n%s", want, csv)
+		}
+	}
+}
+
+// TestStartProfNoFlagsIsInert pins the zero-overhead default: without
+// -profile/-profile-csv no session exists and finishProf is a no-op.
+func TestStartProfNoFlagsIsInert(t *testing.T) {
+	resetProfGlobals(t)
+	profileFile, profileCSV = "", ""
+	startProf()
+	if profActive() {
+		t.Fatal("session armed with no flags")
+	}
+	if !finishProf() {
+		t.Fatal("inert finishProf reported an error")
+	}
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// cmdTop renders a live fleet view of a running ksrsimd daemon from its
+// /v1/metrics scrape: the submit-to-result latency histogram with
+// quantiles, queue state with a sparkline of recent depth, and the
+// cache/journal counters. One scrape per -interval; -once prints a
+// single frame and exits (what CI and scripts want).
+func cmdTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7788", "ksrsimd base URL")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "print one frame and exit")
+	width := fs.Int("width", 40, "histogram bar width in cells")
+	raw := fs.Bool("raw", false, "also dump every scraped metric name=value")
+	fs.Parse(args)
+
+	base := strings.TrimRight(*addr, "/")
+	var depthHistory []float64
+	for {
+		samples, err := scrapeMetrics(base)
+		if err != nil {
+			fail(fmt.Errorf("top: %w", err))
+		}
+		byName := map[string]float64{}
+		for _, s := range samples {
+			if s.Labels == nil {
+				byName[s.Name] = s.Value
+			}
+		}
+		depthHistory = append(depthHistory, byName["ksrsimd_queue_depth"])
+		if len(depthHistory) > 60 {
+			depthHistory = depthHistory[len(depthHistory)-60:]
+		}
+		renderTop(os.Stdout, base, samples, byName, depthHistory, *width, *raw)
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// scrapeMetrics fetches and parses one /v1/metrics exposition.
+func scrapeMetrics(base string) ([]metrics.Sample, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	return metrics.ParsePrometheus(string(b))
+}
+
+// renderTop prints one frame.
+func renderTop(w io.Writer, base string, samples []metrics.Sample, byName map[string]float64, depthHistory []float64, width int, raw bool) {
+	fmt.Fprintf(w, "ksrsimd %s  up %s\n\n", base, time.Duration(byName["ksrsimd_uptime_seconds"]*float64(time.Second)).Round(time.Second))
+
+	fmt.Fprintf(w, "queue  depth %.0f  running %.0f/%.0f  retry-wait %.0f   %s\n",
+		byName["ksrsimd_queue_depth"], byName["ksrsimd_queue_running"],
+		byName["ksrsimd_queue_workers"], byName["ksrsimd_queue_retry_wait"],
+		metrics.Sparkline(depthHistory, len(depthHistory)))
+	fmt.Fprintf(w, "jobs   submitted %.0f  completed %.0f  failed %.0f  retried %.0f  shed %.0f  quarantined %.0f\n",
+		byName["ksrsimd_queue_submitted_total"], byName["ksrsimd_queue_completed_total"],
+		byName["ksrsimd_queue_failed_total"], byName["ksrsimd_queue_retried_total"],
+		byName["ksrsimd_queue_shed_total"], byName["ksrsimd_queue_quarantined_total"])
+	fmt.Fprintf(w, "cache  entries %.0f  %.0f/%.0f bytes  hit-ratio %.2f  evictions %.0f\n",
+		byName["ksrsimd_cache_entries"], byName["ksrsimd_cache_bytes"],
+		byName["ksrsimd_cache_max_bytes"], byName["ksrsimd_cache_hit_ratio"],
+		byName["ksrsimd_cache_evictions_total"])
+	if jb, ok := byName["ksrsimd_journal_bytes"]; ok {
+		fmt.Fprintf(w, "journal %.0f bytes  %.0f appends since compaction  %.0f compactions\n",
+			jb, byName["ksrsimd_journal_appends"], byName["ksrsimd_journal_compactions_total"])
+	}
+
+	fmt.Fprintf(w, "\nsubmit-to-result latency (seconds)\n")
+	if snap, ok := metrics.HistogramFromSamples(samples, "ksrsimd_job_latency_seconds"); ok {
+		fmt.Fprint(w, metrics.RenderHistogram(snap, width))
+	} else {
+		fmt.Fprintln(w, "(histogram not exported)")
+	}
+
+	if raw {
+		fmt.Fprintln(w)
+		names := make([]string, 0, len(byName))
+		for n := range byName {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "%s %s\n", n, formatTopValue(byName[n]))
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func formatTopValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/memory"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -214,6 +215,12 @@ type Directory struct {
 	// sets it when the recorder's coh category is enabled, so the
 	// disabled cost is one nil check per protocol action.
 	Obs *obs.Recorder
+
+	// Prof is the simulated-time profiler's directory surface, held by
+	// value (all-nil = unprofiled): NACK backoff sleeps are reported per
+	// requesting cell so the profiler can give retry storms their own
+	// phase instead of folding them into memory-stall time.
+	Prof prof.DirHooks
 }
 
 // crossDomainTarget returns a cell from the affected set that lies outside
@@ -319,6 +326,9 @@ func (d *Directory) access(p *sim.Process, src, dst int, addr memory.Addr) sim.T
 		if d.Obs != nil {
 			d.Obs.Instant(obs.CatCoh, src, "nack",
 				obs.Arg{Key: "attempt", Val: int64(attempt)}, obs.Arg{Key: "backoff_ns", Val: int64(delay)})
+		}
+		if fn := d.Prof.Backoff; fn != nil {
+			fn(src, delay)
 		}
 		p.Sleep(delay)
 	}

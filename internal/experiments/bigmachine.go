@@ -51,8 +51,9 @@ func ConfigForBig(kind MachineKind, cells int) (machine.Config, error) {
 // newBigMachine validates and builds a big machine with the current
 // PDES worker count applied. Big machines run unobserved (tracing
 // assumes one engine), but the sweep around them still reports progress
-// through the usual session hooks.
-func newBigMachine(kind MachineKind, cells int) (*machine.BigMachine, error) {
+// through the usual session hooks; when a profiling session is
+// installed, each ring gets its own recorder under label.
+func newBigMachine(kind MachineKind, cells int, label string) (*machine.BigMachine, error) {
 	cfg, err := ConfigForBig(kind, cells)
 	if err != nil {
 		return nil, err
@@ -62,7 +63,31 @@ func newBigMachine(kind MachineKind, cells int) (*machine.BigMachine, error) {
 		return nil, err
 	}
 	b.Coordinator().SetWorkers(Partitions())
+	b.AttachProf(ProfSession(), label)
 	return b, nil
+}
+
+// pdesRecord converts the coordinator's accounting into its manifest
+// form under the given label.
+func pdesRecord(label string, st sim.PartitionedStats) obs.PDESRecord {
+	rec := obs.PDESRecord{
+		Label:       label,
+		Windows:     st.Windows,
+		Messages:    st.Messages,
+		LookaheadNs: int64(st.Lookahead),
+	}
+	for _, p := range st.Partitions {
+		rec.Partitions = append(rec.Partitions, obs.PDESPartition{
+			Events:           p.Events,
+			ActiveWindows:    p.ActiveWindows,
+			StragglerWindows: p.StragglerWindows,
+			IdleNs:           int64(p.IdleTime),
+			Sent:             p.Sent,
+			Recv:             p.Recv,
+			LookaheadLimited: p.LookaheadLimited,
+		})
+	}
+	return rec
 }
 
 // BigEPConfig parameterizes the extended-study EP sweep past one ring:
@@ -119,7 +144,8 @@ func RunBigEPExperiment(cfg BigEPConfig) (BigScaleResult, error) {
 		if procs%rings != 0 {
 			return fmt.Errorf("experiments: %d processors do not spread evenly over %d rings", procs, rings)
 		}
-		b, err := newBigMachine(cfg.Machine, rings*machine.RingLeafSize)
+		label := fmt.Sprintf("bigep/p=%d", procs)
+		b, err := newBigMachine(cfg.Machine, rings*machine.RingLeafSize, label)
 		if err != nil {
 			return err
 		}
@@ -130,6 +156,7 @@ func RunBigEPExperiment(cfg BigEPConfig) (BigScaleResult, error) {
 		if err != nil {
 			return err
 		}
+		sessionOr(cfg.Obs).RecordPDES(pdesRecord(label, b.Coordinator().Stats()))
 		outs[i] = out
 		points[i] = metrics.Point{Procs: procs, Elapsed: out.Elapsed}
 		return nil
@@ -199,7 +226,7 @@ func RunBigLatency(cfg BigLatencyConfig) (BigLatencyResult, error) {
 	if cfg.Rings < 2 {
 		return res, fmt.Errorf("experiments: the cross-ring probe needs at least 2 rings (got %d)", cfg.Rings)
 	}
-	b, err := newBigMachine(cfg.Machine, cfg.Rings*machine.RingLeafSize)
+	b, err := newBigMachine(cfg.Machine, cfg.Rings*machine.RingLeafSize, "biglatency")
 	if err != nil {
 		return res, err
 	}
@@ -227,6 +254,7 @@ func RunBigLatency(cfg BigLatencyConfig) (BigLatencyResult, error) {
 	if err != nil {
 		return res, err
 	}
+	sessionOr(cfg.Obs).RecordPDES(pdesRecord("biglatency", b.Coordinator().Stats()))
 	for i, t := range targets {
 		res.Rows = append(res.Rows, BigLatencyRow{
 			TargetRing: t,

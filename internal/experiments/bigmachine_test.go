@@ -86,6 +86,26 @@ func TestSeedStabilityBigEP(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		pdes := sess.PDESRecords()
+		if len(pdes) != 2 {
+			t.Fatalf("PDES records = %d, want one per sweep point (2)", len(pdes))
+		}
+		for _, rec := range pdes {
+			if rec.Windows == 0 {
+				t.Errorf("%s: zero barrier windows recorded", rec.Label)
+			}
+			if rec.LookaheadNs <= 0 {
+				t.Errorf("%s: lookahead %d ns", rec.Label, rec.LookaheadNs)
+			}
+		}
+		// The 1088-cell point spans 34 leaf rings plus the hub partition.
+		// Records sort by label, so "bigep/p=1088" comes first.
+		if pdes[0].Label != "bigep/p=1088" {
+			t.Fatalf("pdes[0].Label = %q, want bigep/p=1088", pdes[0].Label)
+		}
+		if got := len(pdes[0].Partitions); got != 35 {
+			t.Errorf("%s: %d partitions, want 35 (34 rings + hub)", pdes[0].Label, got)
+		}
 		m := obs.Manifest{
 			Schema:      obs.ManifestSchema,
 			Command:     "bigep",
@@ -93,6 +113,7 @@ func TestSeedStabilityBigEP(t *testing.T) {
 			GitRevision: "pinned",
 			StartedAt:   "2026-01-01T00:00:00Z",
 			Machines:    sess.MachineRecords(),
+			PDES:        pdes,
 			Results:     []obs.NamedResult{{Name: "bigep", Data: data}},
 		}
 		b, err := json.MarshalIndent(&m, "", "  ")

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/prof"
 )
 
 // MachineKind names a machine model for experiment configs.
@@ -77,6 +78,19 @@ func SetSession(s *obs.Session) { obsSession.Store(s) }
 // ObsSession returns the current observability session, or nil.
 func ObsSession() *obs.Session { return obsSession.Load() }
 
+// profSession is the simulated-time profiling session sweep machines
+// attach to. Nil (the default) means unprofiled.
+var profSession atomic.Pointer[prof.Session]
+
+// SetProfSession installs the profiling session every subsequent labeled
+// machine records phase attributions into (one recorder per label, so
+// merged profiles do not depend on worker scheduling). Pass nil to
+// detach. The CLI sets this once, before running a command.
+func SetProfSession(s *prof.Session) { profSession.Store(s) }
+
+// ProfSession returns the current profiling session, or nil.
+func ProfSession() *prof.Session { return profSession.Load() }
+
 // sessionOr resolves the session an experiment records into: the
 // config-carried session when one was set (the ksrsimd daemon gives every
 // job its own), else the process-global one (the CLI path). Both may be
@@ -116,6 +130,7 @@ func newMachineObs(s *obs.Session, cfg machine.Config, label string) (*machine.M
 		return nil, err
 	}
 	cfg.Obs = sessionOr(s).Recorder(label)
+	cfg.Prof = ProfSession().Recorder(label)
 	return machine.New(cfg), nil
 }
 

@@ -79,6 +79,7 @@ type Journal struct {
 	f           *os.File
 	appends     int64
 	compactions int64
+	bytes       int64
 }
 
 // errIncompatible rejects journals written by a different schema.
@@ -125,7 +126,7 @@ func OpenJournal(path string) (*Journal, []Record, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("jobq: journal: %w", err)
 	}
-	j := &Journal{path: path, f: f}
+	j := &Journal{path: path, f: f, bytes: int64(valid)}
 	if valid == 0 {
 		if err := j.Append(Record{Type: RecHeader, Format: JournalFormatV1}); err != nil {
 			f.Close()
@@ -155,6 +156,7 @@ func (j *Journal) Append(rec Record) error {
 		return fmt.Errorf("jobq: journal fsync: %w", err)
 	}
 	j.appends++
+	j.bytes += int64(len(line))
 	return nil
 }
 
@@ -190,12 +192,14 @@ func (j *Journal) Compact(live []Record) error {
 		return fmt.Errorf("jobq: journal compact: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	written := int64(0)
 	write := func(rec Record) error {
 		line, err := encodeRecord(rec)
 		if err != nil {
 			return err
 		}
 		_, err = tmp.Write(line)
+		written += int64(len(line))
 		return err
 	}
 	if err := write(Record{Type: RecHeader, Format: JournalFormatV1}); err != nil {
@@ -227,7 +231,17 @@ func (j *Journal) Compact(live []Record) error {
 	j.f = f
 	j.appends = 0
 	j.compactions++
+	j.bytes = written
 	return nil
+}
+
+// Bytes returns the journal's current on-disk size in bytes: what was
+// replayed at open plus every append since, reset by compaction. Cheaper
+// than a stat and exact, since all writes go through this struct.
+func (j *Journal) Bytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bytes
 }
 
 // Close releases the file handle. Records already appended are durable;

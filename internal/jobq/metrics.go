@@ -1,0 +1,37 @@
+package jobq
+
+import "repro/internal/metrics"
+
+// InstrumentMetrics registers the queue's observables on reg under the
+// given prefix (e.g. "ksrsimd_queue"). Everything is sampled from
+// Stats() at scrape time, so the queue pays nothing between scrapes.
+func (q *Queue) InstrumentMetrics(reg *metrics.Registry, prefix string) {
+	gauge := func(name, help string, get func(Stats) float64) {
+		reg.GaugeFunc(prefix+name, help, func() float64 { return get(q.Stats()) })
+	}
+	counter := func(name, help string, get func(Stats) int64) {
+		reg.CounterFunc(prefix+name, help, func() uint64 { return uint64(get(q.Stats())) })
+	}
+	gauge("_workers", "Worker pool size.", func(s Stats) float64 { return float64(s.Workers) })
+	gauge("_capacity", "Waiting-queue capacity.", func(s Stats) float64 { return float64(s.Capacity) })
+	gauge("_depth", "Jobs waiting to run.", func(s Stats) float64 { return float64(s.Queued) })
+	gauge("_running", "Jobs currently executing.", func(s Stats) float64 { return float64(s.Running) })
+	gauge("_retry_wait", "Jobs sitting out a retry backoff.", func(s Stats) float64 { return float64(s.RetryWait) })
+	counter("_submitted_total", "Jobs accepted.", func(s Stats) int64 { return s.Submitted })
+	counter("_completed_total", "Jobs finished successfully.", func(s Stats) int64 { return s.Completed })
+	counter("_rejected_total", "Submissions refused (queue full or duplicate).", func(s Stats) int64 { return s.Rejected })
+	counter("_cancelled_total", "Jobs cancelled.", func(s Stats) int64 { return s.Cancelled })
+	counter("_failed_total", "Jobs that exhausted their attempts.", func(s Stats) int64 { return s.Failed })
+	counter("_retried_total", "Attempts re-queued after a retryable failure.", func(s Stats) int64 { return s.Retried })
+	counter("_quarantined_total", "Jobs quarantined after repeated crashes.", func(s Stats) int64 { return s.Quarantined })
+	counter("_shed_total", "Jobs shed under overload.", func(s Stats) int64 { return s.Shed })
+}
+
+// InstrumentMetrics exposes the journal's durability counters on reg
+// under prefix (e.g. "ksrsimd_journal").
+func (j *Journal) InstrumentMetrics(reg *metrics.Registry, prefix string) {
+	reg.GaugeFunc(prefix+"_bytes", "Journal size on disk.", func() float64 { return float64(j.Bytes()) })
+	// Appends resets at compaction, so it is a gauge, not a counter.
+	reg.GaugeFunc(prefix+"_appends", "Records appended since the last compaction.", func() float64 { return float64(j.Appends()) })
+	reg.CounterFunc(prefix+"_compactions_total", "Journal compactions.", func() uint64 { return uint64(j.Compactions()) })
+}

@@ -44,19 +44,20 @@ type Factory struct {
 }
 
 // Algorithms lists every barrier in the order of the paper's Figure 4
-// legend. Each factory wraps its barrier with Traced, so barrier phases
-// show up in traces on observed machines at no cost to unobserved ones.
+// legend. Each factory wraps its barrier with Traced and Profiled, so
+// barrier phases show up in traces on observed machines and in profiles
+// on profiled ones, at no cost to plain machines.
 func Algorithms() []Factory {
 	return []Factory{
-		{"system", func(m *machine.Machine, n int) Barrier { return Traced(m, NewSystem(m, n)) }},
-		{"counter", func(m *machine.Machine, n int) Barrier { return Traced(m, NewCounter(m, n)) }},
-		{"tree", func(m *machine.Machine, n int) Barrier { return Traced(m, NewTree(m, n, false)) }},
-		{"tree(M)", func(m *machine.Machine, n int) Barrier { return Traced(m, NewTree(m, n, true)) }},
-		{"dissemination", func(m *machine.Machine, n int) Barrier { return Traced(m, NewDissemination(m, n)) }},
-		{"tournament", func(m *machine.Machine, n int) Barrier { return Traced(m, NewTournament(m, n, false)) }},
-		{"tournament(M)", func(m *machine.Machine, n int) Barrier { return Traced(m, NewTournament(m, n, true)) }},
-		{"mcs", func(m *machine.Machine, n int) Barrier { return Traced(m, NewMCS(m, n, false)) }},
-		{"mcs(M)", func(m *machine.Machine, n int) Barrier { return Traced(m, NewMCS(m, n, true)) }},
+		{"system", func(m *machine.Machine, n int) Barrier { return Traced(m, Profiled(m, NewSystem(m, n))) }},
+		{"counter", func(m *machine.Machine, n int) Barrier { return Traced(m, Profiled(m, NewCounter(m, n))) }},
+		{"tree", func(m *machine.Machine, n int) Barrier { return Traced(m, Profiled(m, NewTree(m, n, false))) }},
+		{"tree(M)", func(m *machine.Machine, n int) Barrier { return Traced(m, Profiled(m, NewTree(m, n, true))) }},
+		{"dissemination", func(m *machine.Machine, n int) Barrier { return Traced(m, Profiled(m, NewDissemination(m, n))) }},
+		{"tournament", func(m *machine.Machine, n int) Barrier { return Traced(m, Profiled(m, NewTournament(m, n, false))) }},
+		{"tournament(M)", func(m *machine.Machine, n int) Barrier { return Traced(m, Profiled(m, NewTournament(m, n, true))) }},
+		{"mcs", func(m *machine.Machine, n int) Barrier { return Traced(m, Profiled(m, NewMCS(m, n, false))) }},
+		{"mcs(M)", func(m *machine.Machine, n int) Barrier { return Traced(m, Profiled(m, NewMCS(m, n, true))) }},
 	}
 }
 

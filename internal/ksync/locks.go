@@ -4,6 +4,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memory"
 	"repro/internal/obs"
+	"repro/internal/prof"
 )
 
 // HWLock is the naive hardware exclusive lock of Section 3.2.1: a bare
@@ -22,18 +23,23 @@ func NewHWLock(m *machine.Machine) *HWLock {
 
 // Acquire spins until the sub-page is held atomically.
 func (l *HWLock) Acquire(p *machine.Proc) {
+	span := p.ProfSpan(prof.PhaseLock)
 	if r := p.Obs(); r.Enabled(obs.CatSync) {
 		start := p.Now()
 		p.AcquireSubPage(l.addr)
 		r.CompleteAt(obs.CatSync, p.CellID(), "hwlock.acquire", start, p.Now())
+		p.ProfSpanEnd(span)
 		return
 	}
 	p.AcquireSubPage(l.addr)
+	p.ProfSpanEnd(span)
 }
 
 // Release drops the atomic hold.
 func (l *HWLock) Release(p *machine.Proc) {
+	span := p.ProfSpan(prof.PhaseLock)
 	p.ReleaseSubPage(l.addr)
+	p.ProfSpanEnd(span)
 	if r := p.Obs(); r.Enabled(obs.CatSync) {
 		r.Instant(obs.CatSync, p.CellID(), "hwlock.release")
 	}
@@ -100,6 +106,8 @@ func (l *RWLock) countAddr(ticket uint64) memory.Addr {
 // Acquire obtains the lock in read-shared (read=true) or write-exclusive
 // mode, returning the token to pass to Release.
 func (l *RWLock) Acquire(p *machine.Proc, read bool) Token {
+	span := p.ProfSpan(prof.PhaseLock)
+	defer p.ProfSpanEnd(span)
 	start := p.Now()
 	p.AcquireSubPage(l.meta)
 	next := p.ReadWord(l.meta + rwNextOff)
@@ -136,6 +144,8 @@ func (l *RWLock) Acquire(p *machine.Proc, read bool) Token {
 // Release returns the lock. The last reader of a batch, or the writer,
 // advances the serving ticket.
 func (l *RWLock) Release(p *machine.Proc, t Token) {
+	span := p.ProfSpan(prof.PhaseLock)
+	defer p.ProfSpanEnd(span)
 	if r := p.Obs(); r.Enabled(obs.CatSync) {
 		r.Instant(obs.CatSync, p.CellID(), "rwlock.release", obs.Arg{Key: "ticket", Val: int64(t.ticket)})
 	}

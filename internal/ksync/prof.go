@@ -1,0 +1,32 @@
+package ksync
+
+import (
+	"repro/internal/machine"
+	"repro/internal/prof"
+)
+
+// Profiled wraps b so every Wait runs inside a barrier-phase profiling
+// span: all simulated time the participant spends between arrival and
+// departure — spins, coherence traffic, parked waits — is attributed to
+// the barrier phase instead of its natural phases. When the machine is
+// unprofiled b is returned unchanged, so the wrapper costs nothing in
+// the usual case. Algorithms applies it (inside Traced) to every
+// factory.
+func Profiled(m *machine.Machine, b Barrier) Barrier {
+	if m.Prof() == nil {
+		return b
+	}
+	return &profiledBarrier{b: b}
+}
+
+type profiledBarrier struct {
+	b Barrier
+}
+
+func (pb *profiledBarrier) Name() string { return pb.b.Name() }
+
+func (pb *profiledBarrier) Wait(p *machine.Proc) {
+	span := p.ProfSpan(prof.PhaseBarrier)
+	pb.b.Wait(p)
+	p.ProfSpanEnd(span)
+}

@@ -1,6 +1,6 @@
 // Package hookcheck implements ksrlint/hookcheck: every call through an
 // observability hook — a function-typed field of a Hooks struct declared
-// in a sim or obs package — must use the nil-checked-local pattern
+// in a sim, obs, or prof package — must use the nil-checked-local pattern
 //
 //	if fn := h.X; fn != nil {
 //		fn(...)
@@ -22,7 +22,7 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "hookcheck",
-	Doc: "calls through sim/obs Hooks function fields must bind the field to a " +
+	Doc: "calls through sim/obs/prof Hooks function fields must bind the field to a " +
 		"local and nil-check it: if fn := h.X; fn != nil { fn(...) }",
 	Run: run,
 }
@@ -55,7 +55,7 @@ func run(pass *analysis.Pass) error {
 
 // hookField reports whether sel selects a function-typed field of a
 // struct type named "Hooks" (or "...Hooks") declared in a package with
-// a sim or obs path segment, returning the field's name.
+// a sim, obs, or prof path segment, returning the field's name.
 func hookField(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
 	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
 	if !ok || !obj.IsField() {
@@ -81,7 +81,7 @@ func hookField(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
 		return "", false
 	}
 	declPkg := named.Obj().Pkg()
-	if declPkg == nil || !analysis.HasAnySegment(declPkg.Path(), "sim", "obs") {
+	if declPkg == nil || !analysis.HasAnySegment(declPkg.Path(), "sim", "obs", "prof") {
 		return "", false
 	}
 	return name + "." + obj.Name(), true

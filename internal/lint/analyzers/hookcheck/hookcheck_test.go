@@ -8,5 +8,5 @@ import (
 )
 
 func TestHookcheck(t *testing.T) {
-	analysistest.Run(t, "testdata", hookcheck.Analyzer, "sim", "machine", "other")
+	analysistest.Run(t, "testdata", hookcheck.Analyzer, "sim", "machine", "other", "prof")
 }

@@ -1,0 +1,46 @@
+// Fixture: the profiler's hook bundles. A "prof" path segment marks
+// Hooks/DirHooks structs as real hook bundles, so the simulated-time
+// profiler's charge points obey the same nil-checked-local contract as
+// sim/obs hooks.
+package prof
+
+// Hooks mirrors internal/prof.Hooks.
+type Hooks struct {
+	Charge func(cell, phase int, d int64)
+	Access func(cell int, d int64)
+}
+
+// DirHooks exercises the "...Hooks" suffix rule for the directory-side
+// bundle.
+type DirHooks struct {
+	Backoff func(cell int, d int64)
+}
+
+type Machine struct {
+	prof Hooks
+	dir  DirHooks
+}
+
+// charge is the sanctioned shape.
+func (m *Machine) charge(cell int, d int64) {
+	if fn := m.prof.Charge; fn != nil {
+		fn(cell, 0, d)
+	}
+}
+
+func (m *Machine) direct(cell int, d int64) {
+	m.prof.Access(cell, d) // want `direct call through hook field`
+}
+
+// guardedDirect nil-checks but still calls through the field: two loads.
+func (m *Machine) guardedDirect(cell int, d int64) {
+	if m.dir.Backoff != nil {
+		m.dir.Backoff(cell, d) // want `direct call through hook field`
+	}
+}
+
+// unguardedLocal binds the local but forgets the nil check.
+func (m *Machine) unguardedLocal(cell int, d int64) {
+	fn := m.prof.Charge
+	fn(cell, 0, d) // want `hook local fn is called without a nil check`
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/memory"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -73,6 +74,9 @@ func NewBig(cfg Config) (*BigMachine, error) {
 	}
 	if cfg.Obs != nil {
 		return nil, fmt.Errorf("machine: big machines run unobserved (tracing assumes one engine)")
+	}
+	if cfg.Prof != nil {
+		return nil, fmt.Errorf("machine: big machines need per-ring profile recorders; use AttachProf")
 	}
 	if cfg.Cells > KSR2MaxCells {
 		return nil, fmt.Errorf("machine: %d cells exceed the %d-cell architectural limit", cfg.Cells, KSR2MaxCells)
@@ -171,6 +175,21 @@ func (b *BigMachine) Run(procsPerRing int, body func(ring int, p *Proc)) (sim.Ti
 		return 0, err
 	}
 	return b.maxNow() - start, nil
+}
+
+// AttachProf arms the simulated-time profiler on every leaf ring, one
+// recorder per partition labelled "<label>/ringNN". Per-partition
+// recorders keep the no-locking invariant (each ring's charges stay on
+// its own engine's goroutine) while the session's label-sorted merge
+// keeps the combined profile byte-identical at any -partitions count.
+// A nil session is a no-op.
+func (b *BigMachine) AttachProf(s *prof.Session, label string) {
+	if s == nil {
+		return
+	}
+	for r, m := range b.rings {
+		m.AttachProf(s.Recorder(fmt.Sprintf("%s/ring%02d", label, r)))
+	}
 }
 
 func (b *BigMachine) maxNow() sim.Time {
@@ -331,6 +350,9 @@ func (b *BigMachine) CrossFetch(p *Proc, src, dst int, addr memory.Addr) sim.Tim
 	b.crossTx[src]++
 	b.fetchTx[src]++
 	b.crossTime[src] += lat
+	if fn := b.rings[src].prof.Charge; fn != nil {
+		fn(p.CellID(), prof.PhaseCross, lat)
+	}
 	return lat
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -97,6 +98,12 @@ type Config struct {
 	// the telemetry sampler and captures the final counter snapshot.
 	// Nil (the default) leaves every instrumentation hook disabled.
 	Obs *obs.Recorder
+
+	// Prof, if set, profiles the machine: New arms the simulated-time
+	// phase-attribution hooks on the processor interface and the
+	// coherence directory. Nil (the default) leaves profiling disabled
+	// at one predictable branch per charge point.
+	Prof *prof.Recorder
 }
 
 // Validate reports, with an actionable message, why the configuration

@@ -20,6 +20,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/memory"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -100,6 +101,12 @@ type Machine struct {
 	rng   *sim.RNG
 	inj   *faults.Injector // nil when cfg.Faults injects nothing
 	obs   *obs.Recorder    // nil when the machine is unobserved
+
+	// prof is the simulated-time profiler's charge surface, held by
+	// value so each charge point is one function-pointer load and one
+	// predictable branch; all-nil (the default) means unprofiled.
+	prof    prof.Hooks
+	profRec *prof.Recorder // nil when the machine is unprofiled
 }
 
 // New builds a machine from a config.
@@ -196,8 +203,28 @@ func New(cfg Config) *Machine {
 		}
 		m.obs = rec
 	}
+	if rec := cfg.Prof; rec != nil {
+		m.AttachProf(rec)
+	}
 	return m
 }
+
+// AttachProf arms the simulated-time profiler: subsequent processor
+// activity is attributed per cell and phase into rec. Attaching nil is a
+// no-op (the machine stays unprofiled).
+func (m *Machine) AttachProf(rec *prof.Recorder) {
+	if rec == nil {
+		return
+	}
+	m.prof = *rec.MachineHooks()
+	m.profRec = rec
+	if m.dir != nil {
+		m.dir.Prof = *rec.DirectoryHooks()
+	}
+}
+
+// Prof returns the machine's profile recorder, or nil when unprofiled.
+func (m *Machine) Prof() *prof.Recorder { return m.profRec }
 
 // Obs returns the machine's trace recorder, or nil when unobserved.
 func (m *Machine) Obs() *obs.Recorder { return m.obs }

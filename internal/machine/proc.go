@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/memory"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -43,6 +44,26 @@ func (p *Proc) Now() sim.Time { return p.sp.Now() }
 // higher layers (ksync) use it to emit their own trace events.
 func (p *Proc) Obs() *obs.Recorder { return p.m.obs }
 
+// ProfSpan opens a simulated-time re-attribution span on this cell:
+// until the matching ProfSpanEnd, every charge lands on ph (the
+// outermost span wins, so nested spans are safe). Higher layers (ksync)
+// bracket lock and barrier episodes with it. Returns the token
+// ProfSpanEnd needs; when the machine is unprofiled both calls are one
+// branch each.
+func (p *Proc) ProfSpan(ph prof.Phase) prof.Phase {
+	if fn := p.m.prof.SpanBegin; fn != nil {
+		return fn(p.cell.id, ph)
+	}
+	return prof.PhaseNone
+}
+
+// ProfSpanEnd closes the span opened by the ProfSpan that returned prev.
+func (p *Proc) ProfSpanEnd(prev prof.Phase) {
+	if fn := p.m.prof.SpanEnd; fn != nil {
+		fn(p.cell.id, prev)
+	}
+}
+
 // Compute spends ops local operations (one CPU cycle each: the unit the
 // paper uses for its synthetic lock workloads).
 func (p *Proc) Compute(ops int64) {
@@ -70,10 +91,17 @@ func (p *Proc) checkFailStop() {
 	}
 }
 
-// chargeCycles advances simulated time by n CPU cycles, injecting a timer
-// interrupt or a transient stall when one is due (if the machine models
-// them).
+// chargeCycles advances simulated time by n CPU cycles of computation.
 func (p *Proc) chargeCycles(n int64) {
+	p.chargeCyclesAs(n, prof.PhaseCompute)
+}
+
+// chargeCyclesAs advances simulated time by n CPU cycles attributed to
+// profile phase ph, injecting a timer interrupt or a transient stall
+// when one is due (if the machine models them). Inflation from
+// interrupts and stalls stays on the phase that absorbed it, exactly as
+// a hardware counter would see it.
+func (p *Proc) chargeCyclesAs(n int64, ph prof.Phase) {
 	p.checkFailStop()
 	d := sim.Time(n) * p.m.cfg.CPUCycle
 	cfg := &p.m.cfg
@@ -90,6 +118,9 @@ func (p *Proc) chargeCycles(n int64) {
 			c.nextStall += p.m.inj.StallInterval(c.stallRNG)
 			c.mon.Stalls++
 		}
+	}
+	if fn := p.m.prof.Charge; fn != nil {
+		fn(p.cell.id, ph, d)
 	}
 	p.sp.Sleep(d)
 }
@@ -129,6 +160,9 @@ func (p *Proc) accessOne(addr memory.Addr, write bool, acc *int64) {
 		lat := p.m.fab.Access(p.sp, c.id, home, addr)
 		c.mon.RemoteAccesses++
 		c.mon.RingTime += lat
+		if fn := p.m.prof.Access; fn != nil {
+			fn(c.id, prof.PhaseMemory, lat)
+		}
 		return
 	}
 
@@ -185,6 +219,9 @@ func (p *Proc) accessOne(addr memory.Addr, write bool, acc *int64) {
 	}
 	c.mon.RemoteAccesses++
 	c.mon.RingTime += lat
+	if fn := p.m.prof.Access; fn != nil {
+		fn(c.id, prof.PhaseMemory, lat)
+	}
 	out, ev := c.local.Touch(addr)
 	p.handleEvictions(ev)
 	if out == cache.AllocMiss {
@@ -240,7 +277,9 @@ func (p *Proc) PrefetchSub(addr memory.Addr) {
 
 func (p *Proc) flush(acc *int64) {
 	if *acc > 0 {
-		p.chargeCycles(*acc)
+		// Accumulated cycles are cache hits and allocation overheads:
+		// memory time, not computation.
+		p.chargeCyclesAs(*acc, prof.PhaseMemory)
 		*acc = 0
 	}
 }
@@ -313,6 +352,9 @@ func (p *Proc) GetSubPage(addr memory.Addr) bool {
 	ok, lat := p.m.dir.GetSubPage(p.sp, p.cell.id, sp)
 	p.cell.mon.RemoteAccesses++
 	p.cell.mon.RingTime += lat
+	if fn := p.m.prof.Access; fn != nil {
+		fn(p.cell.id, prof.PhaseMemory, lat)
+	}
 	if !ok {
 		p.cell.mon.GSPRetries++
 		return false
@@ -336,7 +378,12 @@ func (p *Proc) AcquireSubPage(addr memory.Addr) {
 		if p.GetSubPage(addr) {
 			return
 		}
+		start := p.sp.Now()
 		p.m.dir.WaitChange(p.sp, sp, ver)
+		if fn := p.m.prof.Charge; fn != nil {
+			// Parked waiting for the atomic holder to release: lock time.
+			fn(p.cell.id, prof.PhaseLock, p.sp.Now()-start)
+		}
 	}
 }
 
@@ -346,6 +393,9 @@ func (p *Proc) ReleaseSubPage(addr memory.Addr) {
 	lat := p.m.dir.ReleaseSubPage(p.sp, p.cell.id, addr.SubPage())
 	p.cell.mon.RemoteAccesses++
 	p.cell.mon.RingTime += lat
+	if fn := p.m.prof.Access; fn != nil {
+		fn(p.cell.id, prof.PhaseMemory, lat)
+	}
 }
 
 // FetchAdd atomically adds delta to the word at addr and returns the
@@ -365,6 +415,9 @@ func (p *Proc) FetchAdd(addr memory.Addr, delta uint64) uint64 {
 	lat := p.m.fab.Access(p.sp, p.cell.id, home, addr)
 	p.cell.mon.RemoteAccesses++
 	p.cell.mon.RingTime += lat
+	if fn := p.m.prof.Access; fn != nil {
+		fn(p.cell.id, prof.PhaseMemory, lat)
+	}
 	old := p.m.space.ReadWord(addr)
 	p.m.space.WriteWord(addr, old+delta)
 	return old
@@ -386,6 +439,9 @@ func (p *Proc) FetchStore(addr memory.Addr, v uint64) uint64 {
 	lat := p.m.fab.Access(p.sp, p.cell.id, home, addr)
 	p.cell.mon.RemoteAccesses++
 	p.cell.mon.RingTime += lat
+	if fn := p.m.prof.Access; fn != nil {
+		fn(p.cell.id, prof.PhaseMemory, lat)
+	}
 	old := p.m.space.ReadWord(addr)
 	p.m.space.WriteWord(addr, v)
 	return old
@@ -408,6 +464,9 @@ func (p *Proc) CompareAndSwap(addr memory.Addr, old, new uint64) bool {
 	lat := p.m.fab.Access(p.sp, p.cell.id, home, addr)
 	p.cell.mon.RemoteAccesses++
 	p.cell.mon.RingTime += lat
+	if fn := p.m.prof.Access; fn != nil {
+		fn(p.cell.id, prof.PhaseMemory, lat)
+	}
 	if p.m.space.ReadWord(addr) != old {
 		return false
 	}
@@ -431,7 +490,12 @@ func (p *Proc) SpinUntilWord(addr memory.Addr, pred func(uint64) bool) uint64 {
 			if pred(v) {
 				return v
 			}
+			start := p.sp.Now()
 			p.m.dir.WaitChange(p.sp, sp, ver)
+			if fn := p.m.prof.Charge; fn != nil {
+				// Flag-spin wait outside any synchronization span: other.
+				fn(p.cell.id, prof.PhaseOther, p.sp.Now()-start)
+			}
 		}
 	}
 	for {
@@ -439,7 +503,7 @@ func (p *Proc) SpinUntilWord(addr memory.Addr, pred func(uint64) bool) uint64 {
 		if pred(v) {
 			return v
 		}
-		p.Compute(20) // poll gap between remote probes
+		p.chargeCyclesAs(20, prof.PhaseOther) // poll gap between remote probes
 	}
 }
 
@@ -473,7 +537,11 @@ func (p *Proc) SpinUntilWords(addr memory.Addr, n int, pred func([]uint64) bool)
 			if pred(vals) {
 				return
 			}
+			start := p.sp.Now()
 			p.m.dir.WaitChange(p.sp, sp, ver)
+			if fn := p.m.prof.Charge; fn != nil {
+				fn(p.cell.id, prof.PhaseOther, p.sp.Now()-start)
+			}
 		}
 	}
 	for {
@@ -481,7 +549,7 @@ func (p *Proc) SpinUntilWords(addr memory.Addr, n int, pred func([]uint64) bool)
 		if pred(vals) {
 			return
 		}
-		p.Compute(20)
+		p.chargeCyclesAs(20, prof.PhaseOther)
 	}
 }
 

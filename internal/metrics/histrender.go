@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderHistogram draws a HistogramSnapshot as an ASCII bar chart, one
+// row per bucket, bars scaled so the fullest bucket spans width cells:
+//
+//	    ≤ 0.01  ██████████████████████████████  412
+//	    ≤ 0.05  ███████                          98
+//	      +Inf  ▏                                 1
+//	p50 0.0082  p95 0.041  p99 0.21  (n=511, sum=4.2)
+//
+// Empty buckets render an empty bar rather than being dropped, so the
+// shape of the distribution stays readable. An empty histogram renders
+// a single "(no observations)" line.
+func RenderHistogram(s HistogramSnapshot, width int) string {
+	if width < 1 {
+		width = 1
+	}
+	var b strings.Builder
+	if s.Total == 0 {
+		b.WriteString("(no observations)\n")
+		return b.String()
+	}
+	labels := make([]string, 0, len(s.Counts))
+	for _, bound := range s.Bounds {
+		labels = append(labels, "≤ "+formatFloat(bound))
+	}
+	labels = append(labels, "+Inf")
+	labelW := 0
+	max := uint64(0)
+	for i, c := range s.Counts {
+		if n := len([]rune(labels[i])); n > labelW {
+			labelW = n
+		}
+		if c > max {
+			max = c
+		}
+	}
+	countW := len(fmt.Sprintf("%d", max))
+	for i, c := range s.Counts {
+		bar := barCells(c, max, width)
+		pad := strings.Repeat(" ", labelW-len([]rune(labels[i])))
+		fmt.Fprintf(&b, "%s%s  %-*s %*d\n", pad, labels[i], width, bar, countW, c)
+	}
+	// %.3g: interpolated quantiles are estimates, full float precision is
+	// noise.
+	fmt.Fprintf(&b, "p50 %.3g  p95 %.3g  p99 %.3g  (n=%d, sum=%.4g)\n",
+		s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99), s.Total, s.Sum)
+	return b.String()
+}
+
+// barCells renders a count as a bar of at most width cells using
+// eighth-block characters for the fractional tail. A nonzero count
+// always shows at least a sliver ("▏") so rare events stay visible.
+func barCells(c, max uint64, width int) string {
+	if c == 0 || max == 0 {
+		return ""
+	}
+	eighths := int(float64(c) / float64(max) * float64(width) * 8)
+	if eighths < 1 {
+		eighths = 1
+	}
+	full := eighths / 8
+	rem := eighths % 8
+	bar := strings.Repeat("█", full)
+	if rem > 0 {
+		// U+2589..U+258F: ▉▊▋▌▍▎▏ (7/8 down to 1/8).
+		bar += string(rune(0x2590 - rem))
+	}
+	return bar
+}

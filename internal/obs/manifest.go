@@ -30,6 +30,31 @@ type MachineRecord struct {
 	Counters  []Counter       `json:"counters,omitempty"`
 }
 
+// PDESPartition is one partition's share of a partitioned (big-machine)
+// run: how busy it was, how often it set a window's critical path, and
+// how much cross-partition traffic it originated and absorbed.
+type PDESPartition struct {
+	Events           uint64 `json:"events"`
+	ActiveWindows    uint64 `json:"active_windows"`
+	StragglerWindows uint64 `json:"straggler_windows"`
+	IdleNs           int64  `json:"idle_ns"`
+	Sent             uint64 `json:"sent"`
+	Recv             uint64 `json:"recv"`
+	LookaheadLimited uint64 `json:"lookahead_limited"`
+}
+
+// PDESRecord is the manifest entry for one partitioned run's coordinator
+// accounting. Like everything else in the manifest it is deterministic:
+// the per-window accounting depends only on simulation state, never on
+// the -partitions worker count.
+type PDESRecord struct {
+	Label       string          `json:"label"`
+	Windows     uint64          `json:"windows"`
+	Messages    uint64          `json:"messages"`
+	LookaheadNs int64           `json:"lookahead_ns"`
+	Partitions  []PDESPartition `json:"partitions,omitempty"`
+}
+
 // NamedResult is one experiment result embedded in a manifest, kept as
 // raw JSON so the manifest does not depend on every result type.
 type NamedResult struct {
@@ -54,6 +79,7 @@ type Manifest struct {
 	SampleNs    int64    `json:"sample_ns,omitempty"`
 
 	Machines []MachineRecord `json:"machines,omitempty"`
+	PDES     []PDESRecord    `json:"pdes,omitempty"`
 	Results  []NamedResult   `json:"results,omitempty"`
 }
 
@@ -89,6 +115,14 @@ func ValidateManifest(b []byte) (*Manifest, error) {
 		}
 		if mr.Cells < 1 {
 			return nil, fmt.Errorf("obs: manifest machine %q has %d cells", mr.Label, mr.Cells)
+		}
+	}
+	for i, pr := range m.PDES {
+		if pr.Label == "" {
+			return nil, fmt.Errorf("obs: manifest pdes record %d missing label", i)
+		}
+		if pr.LookaheadNs <= 0 {
+			return nil, fmt.Errorf("obs: manifest pdes record %q has non-positive lookahead", pr.Label)
 		}
 	}
 	for i, r := range m.Results {

@@ -157,6 +157,7 @@ type Session struct {
 
 	mu   sync.Mutex
 	recs []*Recorder
+	pdes []PDESRecord
 
 	// Live progress, updated with atomics so another goroutine (the
 	// ksrsimd SSE streamer) can poll a running session without racing
@@ -587,5 +588,32 @@ func (s *Session) MachineRecords() []MachineRecord {
 	for _, r := range s.sorted() {
 		out = append(out, r.meta)
 	}
+	return out
+}
+
+// RecordPDES adds one partitioned run's coordinator accounting to the
+// session for inclusion in the manifest. Nil-safe (no session, no
+// record) and concurrency-safe: parallel sweep points may record from
+// any worker; PDESRecords sorts by label, so manifest output stays
+// byte-identical across worker counts.
+func (s *Session) RecordPDES(rec PDESRecord) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.pdes = append(s.pdes, rec)
+	s.mu.Unlock()
+}
+
+// PDESRecords returns the recorded partitioned-run accounting in label
+// order.
+func (s *Session) PDESRecords() []PDESRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := append([]PDESRecord(nil), s.pdes...)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
 	return out
 }

@@ -1,0 +1,162 @@
+package prof
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// Pprof writes the session's profile in the gzipped pprof protobuf
+// format (`go tool pprof` readable). Each sample is one nonzero
+// (machine, cell, phase) triple with a leaf-first synthetic stack
+// phase <- cell <- machine, so pprof's tree groups by machine, then
+// cell, then phase. The sample value type is simtime/nanoseconds.
+//
+// The encoding is hand-rolled over the stable subset of
+// profile.proto the pprof readers require — the repo takes no
+// dependency on protobuf — and is deterministic: no time_nanos field,
+// fixed field order, and gzip with default settings carries no
+// timestamp.
+func (s *Session) Pprof(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(s.pprofProto()); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// pprofProto encodes the uncompressed profile.proto message.
+func (s *Session) pprofProto() []byte {
+	// String table: index 0 must be "". Strings are interned in first-use
+	// order, which the canonical row order makes deterministic.
+	strs := []string{""}
+	idx := map[string]int64{"": 0}
+	intern := func(str string) int64 {
+		if i, ok := idx[str]; ok {
+			return i
+		}
+		i := int64(len(strs))
+		strs = append(strs, str)
+		idx[str] = i
+		return i
+	}
+
+	// Functions and locations: one per distinct frame name, 1-based ids.
+	var funcs []int64 // funcs[i] = string index of function id i+1
+	locOf := map[string]uint64{}
+	location := func(name string) uint64 {
+		if id, ok := locOf[name]; ok {
+			return id
+		}
+		funcs = append(funcs, intern(name))
+		id := uint64(len(funcs))
+		locOf[name] = id
+		return id
+	}
+
+	type sample struct {
+		locs  []uint64
+		value int64
+	}
+	var samples []sample
+	for _, row := range s.Rows() {
+		cellFrame := location(cellFrameName(row.Cell))
+		machineFrame := location(row.Label)
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			if row.Phase[ph] == 0 {
+				continue
+			}
+			samples = append(samples, sample{
+				locs:  []uint64{location(ph.String()), cellFrame, machineFrame},
+				value: int64(row.Phase[ph]),
+			})
+		}
+	}
+
+	simtime := intern("simtime")
+	nanos := intern("nanoseconds")
+
+	var p buf
+	// sample_type = 1: ValueType{type: "simtime", unit: "nanoseconds"}
+	var vt buf
+	vt.varintField(1, uint64(simtime))
+	vt.varintField(2, uint64(nanos))
+	p.bytesField(1, vt.b)
+	// sample = 2
+	for _, sm := range samples {
+		var sb, locs, vals buf
+		for _, l := range sm.locs {
+			locs.varint(l)
+		}
+		vals.varint(uint64(sm.value))
+		sb.bytesField(1, locs.b) // location_id, packed
+		sb.bytesField(2, vals.b) // value, packed
+		p.bytesField(2, sb.b)
+	}
+	// location = 4: Location{id, line: [Line{function_id, line: 0}]}
+	for i := range funcs {
+		var lb, line buf
+		lb.varintField(1, uint64(i+1))
+		line.varintField(1, uint64(i+1))
+		lb.bytesField(4, line.b)
+		p.bytesField(4, lb.b)
+	}
+	// function = 5: Function{id, name, system_name, filename: ""}
+	for i, nameIdx := range funcs {
+		var fb buf
+		fb.varintField(1, uint64(i+1))
+		fb.varintField(2, uint64(nameIdx))
+		fb.varintField(3, uint64(nameIdx))
+		p.bytesField(5, fb.b)
+	}
+	// string_table = 6
+	for _, str := range strs {
+		p.bytesField(6, []byte(str))
+	}
+	// period_type = 11, period = 12
+	var pt buf
+	pt.varintField(1, uint64(simtime))
+	pt.varintField(2, uint64(nanos))
+	p.bytesField(11, pt.b)
+	p.varintField(12, 1)
+	return p.b
+}
+
+func cellFrameName(cell int) string {
+	// Small decimal itoa; avoids strconv just to keep imports tight.
+	if cell == 0 {
+		return "cell0"
+	}
+	var d [20]byte
+	i := len(d)
+	for cell > 0 {
+		i--
+		d[i] = byte('0' + cell%10)
+		cell /= 10
+	}
+	return "cell" + string(d[i:])
+}
+
+// buf is a minimal protobuf wire-format writer.
+type buf struct{ b []byte }
+
+func (p *buf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// varintField writes field (tag, wire type 0).
+func (p *buf) varintField(tag int, v uint64) {
+	p.varint(uint64(tag)<<3 | 0)
+	p.varint(v)
+}
+
+// bytesField writes field (tag, wire type 2): length-delimited.
+func (p *buf) bytesField(tag int, b []byte) {
+	p.varint(uint64(tag)<<3 | 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}

@@ -1,0 +1,81 @@
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report renders the session's profile as a deterministic text report:
+// a per-phase decomposition with percentages (the paper's figure-style
+// breakdown) followed by a top-N table of the most expensive cells.
+// topN <= 0 means all cells. The output depends only on recorded
+// simulated time, never on wall-clock or worker count.
+func (s *Session) Report(topN int) string {
+	var b strings.Builder
+	totals, total := s.PhaseTotals()
+	rows := s.Rows()
+
+	fmt.Fprintf(&b, "simulated-time profile: %d cells, %d ns total\n", len(rows), int64(total))
+	b.WriteString("\nphase decomposition:\n")
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(totals[ph]) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %-8s %14d ns  %6.2f%%\n", ph.String(), int64(totals[ph]), pct)
+	}
+
+	top := append([]CellRow(nil), rows...)
+	sort.SliceStable(top, func(i, j int) bool {
+		if top[i].Total != top[j].Total {
+			return top[i].Total > top[j].Total
+		}
+		if top[i].Label != top[j].Label {
+			return top[i].Label < top[j].Label
+		}
+		return top[i].Cell < top[j].Cell
+	})
+	if topN > 0 && len(top) > topN {
+		top = top[:topN]
+	}
+
+	labelW := len("machine")
+	for _, row := range top {
+		if len(row.Label) > labelW {
+			labelW = len(row.Label)
+		}
+	}
+	fmt.Fprintf(&b, "\ntop %d cells by total simulated time:\n", len(top))
+	fmt.Fprintf(&b, "  %-*s %5s %14s", labelW, "machine", "cell", "total ns")
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		fmt.Fprintf(&b, " %9s", ph.String())
+	}
+	b.WriteString("\n")
+	for _, row := range top {
+		fmt.Fprintf(&b, "  %-*s %5d %14d", labelW, row.Label, row.Cell, int64(row.Total))
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			pct := 0.0
+			if row.Total > 0 {
+				pct = 100 * float64(row.Phase[ph]) / float64(row.Total)
+			}
+			fmt.Fprintf(&b, " %8.2f%%", pct)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders every (machine, cell, phase) triple — including zero
+// phases, so goldens stay stable when a phase goes quiet — in the
+// canonical (label, cell, phase) order.
+func (s *Session) CSV() string {
+	var b strings.Builder
+	b.WriteString("label,cell,phase,ns\n")
+	for _, row := range s.Rows() {
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			fmt.Fprintf(&b, "%s,%d,%s,%d\n", row.Label, row.Cell, ph.String(), int64(row.Phase[ph]))
+		}
+	}
+	return b.String()
+}

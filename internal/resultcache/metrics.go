@@ -1,0 +1,25 @@
+package resultcache
+
+import "repro/internal/metrics"
+
+// InstrumentMetrics registers the cache's observables on reg under the
+// given prefix (e.g. "ksrsimd_cache"), sampled from Stats() at scrape
+// time. The hit ratio is exported as a gauge so dashboards need no rate
+// math for the headline number; the raw hit/miss counters are there for
+// windowed rates.
+func (c *Cache) InstrumentMetrics(reg *metrics.Registry, prefix string) {
+	reg.GaugeFunc(prefix+"_entries", "Cached results.", func() float64 { return float64(c.Stats().Entries) })
+	reg.GaugeFunc(prefix+"_bytes", "Serialized size of cached results.", func() float64 { return float64(c.Stats().Bytes) })
+	reg.GaugeFunc(prefix+"_max_bytes", "Cache capacity.", func() float64 { return float64(c.Stats().MaxBytes) })
+	reg.CounterFunc(prefix+"_hits_total", "Cache hits.", func() uint64 { return c.Stats().Hits })
+	reg.CounterFunc(prefix+"_misses_total", "Cache misses.", func() uint64 { return c.Stats().Misses })
+	reg.CounterFunc(prefix+"_stores_total", "Results stored.", func() uint64 { return c.Stats().Stores })
+	reg.CounterFunc(prefix+"_evictions_total", "Results evicted to stay under capacity.", func() uint64 { return c.Stats().Evictions })
+	reg.GaugeFunc(prefix+"_hit_ratio", "Hits / (hits + misses) over the cache lifetime.", func() float64 {
+		s := c.Stats()
+		if s.Hits+s.Misses == 0 {
+			return 0
+		}
+		return float64(s.Hits) / float64(s.Hits+s.Misses)
+	})
+}

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/jobq"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/resultcache"
 	"repro/internal/server/api"
@@ -227,6 +228,9 @@ type Server struct {
 
 	recovery RecoveryStats
 
+	reg     *metrics.Registry
+	latency *metrics.Histogram
+
 	draining atomic.Bool
 	started  time.Time
 }
@@ -250,6 +254,7 @@ func New(cfg Config) (*Server, error) {
 		queue:   jobq.New(cfg.Workers, cfg.QueueCap),
 		cache:   cfg.Cache,
 		jobs:    make(map[string]*job),
+		reg:     metrics.NewRegistry(),
 		started: time.Now(),
 	}
 	if cfg.JournalPath != "" {
@@ -263,7 +268,55 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.recovery.Replayed = len(s.jobs)
 	}
+	s.instrument()
 	return s, nil
+}
+
+// instrument registers the fleet metrics surface (docs/OBSERVABILITY.md,
+// "Fleet metrics"): queue/cache/journal observables sampled at scrape
+// time, plus the submit-to-result latency histogram fed by finishing
+// jobs. Registration happens once, after recovery, so replay churn
+// never races scrapes.
+func (s *Server) instrument() {
+	s.queue.InstrumentMetrics(s.reg, "ksrsimd_queue")
+	s.cache.InstrumentMetrics(s.reg, "ksrsimd_cache")
+	if s.journal != nil {
+		s.journal.InstrumentMetrics(s.reg, "ksrsimd_journal")
+	}
+	// Bounds span the fleet's real dynamic range: cache hits answer in
+	// microseconds, big sweeps run minutes.
+	s.latency = s.reg.Histogram("ksrsimd_job_latency_seconds",
+		"Submit-to-result latency (cache hits included).",
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300})
+	s.reg.GaugeFunc("ksrsimd_uptime_seconds", "Seconds since the daemon started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	s.reg.GaugeFunc("ksrsimd_jobs_tracked", "Job records held in memory.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.jobs))
+		})
+	s.reg.GaugeFunc("ksrsimd_queued_bytes", "Canonical config bytes admitted and not yet released.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.queuedBytes)
+		})
+}
+
+// observeLatency records j's submit-to-result latency once it reaches
+// StateDone. Recovered jobs are skipped: their submit timestamp was
+// reset at replay, so the delta measures restart time, not service
+// latency.
+func (s *Server) observeLatency(j *job) {
+	j.mu.Lock()
+	d := j.finished.Sub(j.submitted)
+	recovered := j.recovered
+	j.mu.Unlock()
+	if recovered || d < 0 {
+		return
+	}
+	s.latency.Observe(d.Seconds())
 }
 
 // Recovery reports what the startup journal replay recovered.
@@ -361,7 +414,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return mux
+}
+
+// Metrics returns the server's metric registry (tests and embedders).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
 }
 
 // journalAppend writes one record, ignoring a closed journal (Kill
@@ -665,6 +729,7 @@ func (s *Server) admit(spec api.JobSpec) (api.JobHandle, error) {
 			j.text = e.Text
 			j.mu.Unlock()
 			j.setState(api.StateDone)
+			s.observeLatency(j)
 			if err := s.journalAppend(j.submitRecord()); err != nil {
 				return api.JobHandle{}, fmt.Errorf("%w: journal: %v", errUnavailable, err)
 			}
@@ -860,6 +925,7 @@ func (s *Server) run(ctx context.Context, j *job, runner experiments.Runner, cfg
 		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 	})
 	j.setState(api.StateDone)
+	s.observeLatency(j)
 	// Result first, then the done record: a crash between the two
 	// re-enqueues a job whose result is already cached — a cheap hit.
 	s.journalTerminal(j, jobq.RecDone, "")

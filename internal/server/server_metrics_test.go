@@ -1,0 +1,158 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/server/api"
+)
+
+// scrape fetches /v1/metrics and parses the exposition text.
+func scrape(t *testing.T, base string) (string, []metrics.Sample) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q, want text/plain exposition", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := metrics.ParsePrometheus(string(b))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, b)
+	}
+	return string(b), samples
+}
+
+func sampleValue(samples []metrics.Sample, name string) (float64, bool) {
+	for _, s := range samples {
+		if s.Name == name && s.Labels == nil {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// TestMetricsEndpoint runs a job through the fleet and checks the
+// scrape reflects it: valid format, the submit-to-result latency
+// histogram populated, queue counters advanced, and the cache-hit path
+// observed too.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 2, 8)
+
+	// Fresh daemon: metrics exist and parse, latency histogram is empty.
+	text, samples := scrape(t, ts.URL)
+	for _, want := range []string{
+		"# TYPE ksrsimd_job_latency_seconds histogram",
+		"# TYPE ksrsimd_queue_depth gauge",
+		"# TYPE ksrsimd_cache_hits_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if v, ok := sampleValue(samples, "ksrsimd_job_latency_seconds_count"); !ok || v != 0 {
+		t.Errorf("fresh latency count = %v (present=%v), want 0", v, ok)
+	}
+
+	spec := api.JobSpec{Experiment: "alloc"}
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", resp.StatusCode, body)
+	}
+	var sub api.SubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil || len(sub.Jobs) != 1 {
+		t.Fatalf("submit response %s: %v", body, err)
+	}
+	waitJob(t, ts.URL, sub.Jobs[0].ID)
+
+	_, samples = scrape(t, ts.URL)
+	if v, _ := sampleValue(samples, "ksrsimd_job_latency_seconds_count"); v < 1 {
+		t.Errorf("latency count after one job = %v, want >= 1", v)
+	}
+	if v, _ := sampleValue(samples, "ksrsimd_queue_submitted_total"); v < 1 {
+		t.Errorf("submitted counter = %v, want >= 1", v)
+	}
+	if v, _ := sampleValue(samples, "ksrsimd_queue_completed_total"); v < 1 {
+		t.Errorf("completed counter = %v, want >= 1", v)
+	}
+
+	// Resubmit: the cache-hit fast path must bump hits AND observe a
+	// latency sample of its own.
+	resp2, _ := postJSON(t, ts.URL+"/v1/jobs", spec)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", resp2.StatusCode)
+	}
+	_, samples = scrape(t, ts.URL)
+	if v, _ := sampleValue(samples, "ksrsimd_cache_hits_total"); v < 1 {
+		t.Errorf("cache hits = %v, want >= 1", v)
+	}
+	if v, _ := sampleValue(samples, "ksrsimd_job_latency_seconds_count"); v < 2 {
+		t.Errorf("latency count after cache hit = %v, want >= 2", v)
+	}
+
+	// The histogram must reassemble client-side (the `ksrsim top` path).
+	snap, ok := metrics.HistogramFromSamples(samples, "ksrsimd_job_latency_seconds")
+	if !ok || snap.Total < 2 {
+		t.Errorf("HistogramFromSamples: ok=%v total=%d, want >= 2", ok, snap.Total)
+	}
+}
+
+// TestMetricsScrapeRace hammers /v1/metrics while jobs run, so the race
+// detector sees scrapes overlap job-worker metric writes.
+func TestMetricsScrapeRace(t *testing.T) {
+	_, ts := newTestServer(t, 4, 32)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			scrape(t, ts.URL)
+		}
+	}()
+
+	var ids []string
+	for i := 0; i < 6; i++ {
+		// Recompute forces real runs: every job exercises the worker-side
+		// observation path instead of the cache fast path.
+		resp, body := postJSON(t, ts.URL+"/v1/jobs", api.JobSpec{Experiment: "alloc", Recompute: true})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+		var sub api.SubmitResponse
+		if err := json.Unmarshal(body, &sub); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, sub.Jobs[0].ID)
+	}
+	for _, id := range ids {
+		waitJob(t, ts.URL, id)
+	}
+	close(stop)
+	wg.Wait()
+
+	_, samples := scrape(t, ts.URL)
+	if v, _ := sampleValue(samples, "ksrsimd_job_latency_seconds_count"); v < 6 {
+		t.Errorf("latency count = %v, want >= 6", v)
+	}
+}

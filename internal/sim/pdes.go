@@ -48,6 +48,52 @@ type Partitioned struct {
 
 	windows  uint64
 	messages uint64
+
+	// Per-partition accounting. pstats[i] follows the outbox discipline:
+	// during a window only the goroutine running partition i touches its
+	// Sent/LookaheadLimited fields (via Send), and the coordinator owns
+	// everything between windows (account, deliver).
+	pstats     []PartitionStats
+	prevEvents []uint64 // engine event counts at the last window boundary
+}
+
+// PartitionStats is one partition's share of the run, answering "why
+// does speedup saturate past N partitions" from a single run: a
+// partition with few ActiveWindows or high IdleTime is along for the
+// barrier ride; a partition that is often the straggler sets the
+// window's critical path; LookaheadLimited counts sends whose delay sat
+// exactly at the lookahead floor — the messages that would reject a
+// larger (cheaper) window.
+type PartitionStats struct {
+	// Events is how many simulation events the partition's engine
+	// dispatched.
+	Events uint64
+	// ActiveWindows counts barrier windows in which the partition
+	// executed at least one event (window occupancy).
+	ActiveWindows uint64
+	// StragglerWindows counts windows in which this partition executed
+	// the most events (ties go to the lowest index) — a proxy for "this
+	// partition set the window's critical path".
+	StragglerWindows uint64
+	// IdleTime is simulated time spent parked at the window barrier:
+	// the gap between the partition's clock when its window drained and
+	// the window limit, summed over windows.
+	IdleTime Time
+	// Sent and Recv count cross-partition messages by origin and
+	// destination.
+	Sent uint64
+	Recv uint64
+	// LookaheadLimited counts sends whose delay equalled the lookahead
+	// exactly — the binding constraint on window size.
+	LookaheadLimited uint64
+}
+
+// PartitionedStats is the coordinator-level snapshot returned by Stats.
+type PartitionedStats struct {
+	Windows    uint64
+	Messages   uint64
+	Lookahead  Time
+	Partitions []PartitionStats
 }
 
 // xmsg is one cross-partition message: run fn in partition to at absolute
@@ -71,12 +117,14 @@ func NewPartitioned(lookahead Time, parts ...*Engine) *Partitioned {
 		panic("sim: Partitioned needs at least one engine")
 	}
 	return &Partitioned{
-		parts:     parts,
-		lookahead: lookahead,
-		workers:   1,
-		outbox:    make([][]xmsg, len(parts)),
-		seqs:      make([]uint64, len(parts)),
-		errs:      make([]error, len(parts)),
+		parts:      parts,
+		lookahead:  lookahead,
+		workers:    1,
+		outbox:     make([][]xmsg, len(parts)),
+		seqs:       make([]uint64, len(parts)),
+		errs:       make([]error, len(parts)),
+		pstats:     make([]PartitionStats, len(parts)),
+		prevEvents: make([]uint64, len(parts)),
 	}
 }
 
@@ -106,6 +154,18 @@ func (pd *Partitioned) Windows() uint64 { return pd.windows }
 // Messages returns how many cross-partition messages have been delivered.
 func (pd *Partitioned) Messages() uint64 { return pd.messages }
 
+// Stats snapshots the coordinator's accounting. Deterministic: every
+// field is computed by the coordinator between windows, so the snapshot
+// is identical at any worker count.
+func (pd *Partitioned) Stats() PartitionedStats {
+	return PartitionedStats{
+		Windows:    pd.windows,
+		Messages:   pd.messages,
+		Lookahead:  pd.lookahead,
+		Partitions: append([]PartitionStats(nil), pd.pstats...),
+	}
+}
+
 // Send queues fn to run in partition to at the sending partition's
 // current time plus delay. It must be called from code executing inside
 // partition from (an event or process holding that engine's control
@@ -116,6 +176,10 @@ func (pd *Partitioned) Send(from, to int, delay Time, fn func()) {
 		panic(fmt.Sprintf("sim: cross-partition delay %v below the lookahead %v", delay, pd.lookahead))
 	}
 	pd.seqs[from]++
+	pd.pstats[from].Sent++
+	if delay == pd.lookahead {
+		pd.pstats[from].LookaheadLimited++
+	}
 	pd.outbox[from] = append(pd.outbox[from], xmsg{
 		at:   pd.parts[from].Now() + delay,
 		seq:  pd.seqs[from],
@@ -137,7 +201,10 @@ func (pd *Partitioned) Run() error {
 		if !ok {
 			break
 		}
-		if err := pd.window(t + pd.lookahead); err != nil {
+		limit := t + pd.lookahead
+		err := pd.window(limit)
+		pd.account(limit)
+		if err != nil {
 			return err
 		}
 		pd.windows++
@@ -189,10 +256,40 @@ func (pd *Partitioned) deliver() {
 	})
 	for i := range pd.merged {
 		m := &pd.merged[i]
+		pd.pstats[m.to].Recv++
 		pd.parts[m.to].ScheduleAt(m.at, m.fn)
 		m.fn = nil // release the closure; merged is reused
 	}
 	pd.messages += uint64(len(pd.merged))
+}
+
+// account folds one finished window into the per-partition stats. Runs
+// on the coordinator goroutine after wg.Wait's happens-before edge, so
+// reading the engines is race-free; the arithmetic depends only on
+// simulation state, keeping the stats worker-count-independent.
+func (pd *Partitioned) account(limit Time) {
+	maxEv, straggler := uint64(0), -1
+	for i, e := range pd.parts {
+		st := &pd.pstats[i]
+		ev := e.EventsExecuted()
+		delta := ev - pd.prevEvents[i]
+		pd.prevEvents[i] = ev
+		st.Events = ev
+		if delta > 0 {
+			st.ActiveWindows++
+			if delta > maxEv {
+				maxEv, straggler = delta, i
+			}
+		}
+		// A partition whose clock stops short of the window limit drained
+		// early and idled at the barrier for the remainder.
+		if idle := limit - e.Now(); idle > 0 {
+			st.IdleTime += idle
+		}
+	}
+	if straggler >= 0 {
+		pd.pstats[straggler].StragglerWindows++
+	}
 }
 
 // earliest returns the minimum pending event time across partitions.

@@ -136,7 +136,7 @@ func TestPartitionedSendBelowLookaheadPanics(t *testing.T) {
 // only ever appended by code running inside their own partition, so the
 // harness itself is race-free at any worker count; determinism of the
 // simulation is what makes the logs comparable.
-func runPingPong(t *testing.T, workers int) ([][]string, uint64, uint64) {
+func runPingPong(t *testing.T, workers int) ([][]string, *Partitioned) {
 	t.Helper()
 	const parts = 3
 	const rounds = 5
@@ -172,23 +172,83 @@ func runPingPong(t *testing.T, workers int) ([][]string, uint64, uint64) {
 	if err := pd.Run(); err != nil {
 		t.Fatalf("workers=%d: %v", workers, err)
 	}
-	return logs, pd.Messages(), pd.Windows()
+	return logs, pd
 }
 
 func TestPartitionedDeterministicAcrossWorkers(t *testing.T) {
-	refLogs, refMsgs, refWins := runPingPong(t, 1)
-	if refMsgs != 15 {
-		t.Fatalf("delivered %d messages, want 15", refMsgs)
+	refLogs, refPd := runPingPong(t, 1)
+	if refPd.Messages() != 15 {
+		t.Fatalf("delivered %d messages, want 15", refPd.Messages())
 	}
+	refStats := refPd.Stats()
 	for _, workers := range []int{1, 2, 4, 16} {
-		logs, msgs, wins := runPingPong(t, workers)
+		logs, pd := runPingPong(t, workers)
 		if !reflect.DeepEqual(logs, refLogs) {
 			t.Fatalf("workers=%d logs diverge:\n got %v\nwant %v", workers, logs, refLogs)
 		}
-		if msgs != refMsgs || wins != refWins {
+		if pd.Messages() != refStats.Messages || pd.Windows() != refStats.Windows {
 			t.Fatalf("workers=%d stats (%d msgs, %d windows) != reference (%d, %d)",
-				workers, msgs, wins, refMsgs, refWins)
+				workers, pd.Messages(), pd.Windows(), refStats.Messages, refStats.Windows)
 		}
+		if got := pd.Stats(); !reflect.DeepEqual(got, refStats) {
+			t.Fatalf("workers=%d Stats diverge:\n got %+v\nwant %+v", workers, got, refStats)
+		}
+	}
+}
+
+func TestPartitionedStatsAccounting(t *testing.T) {
+	_, pd := runPingPong(t, 1)
+	st := pd.Stats()
+	if st.Windows != pd.Windows() || st.Messages != pd.Messages() {
+		t.Fatalf("snapshot (%d, %d) != live (%d, %d)",
+			st.Windows, st.Messages, pd.Windows(), pd.Windows())
+	}
+	if st.Lookahead != 100 {
+		t.Fatalf("lookahead = %v, want 100", st.Lookahead)
+	}
+	if len(st.Partitions) != 4 {
+		t.Fatalf("partitions = %d, want 4", len(st.Partitions))
+	}
+	var sent, recv, active, straggler uint64
+	for i, p := range st.Partitions {
+		sent += p.Sent
+		recv += p.Recv
+		active += p.ActiveWindows
+		straggler += p.StragglerWindows
+		if i < 3 && p.Events == 0 {
+			t.Errorf("partition %d executed no events", i)
+		}
+		if p.ActiveWindows > st.Windows {
+			t.Errorf("partition %d active in %d of %d windows", i, p.ActiveWindows, st.Windows)
+		}
+	}
+	if sent != st.Messages || recv != st.Messages {
+		t.Errorf("sent %d / recv %d, want both = %d delivered", sent, recv, st.Messages)
+	}
+	// The ping-pong sends at delays 100, 107, 114 against lookahead 100:
+	// only partition 0's sends sit exactly at the floor.
+	if got := st.Partitions[0].LookaheadLimited; got != 5 {
+		t.Errorf("partition 0 lookahead-limited = %d, want 5", got)
+	}
+	if got := st.Partitions[1].LookaheadLimited + st.Partitions[2].LookaheadLimited; got != 0 {
+		t.Errorf("partitions 1+2 lookahead-limited = %d, want 0", got)
+	}
+	// Exactly one straggler per window with any activity; the idle fourth
+	// partition never executes, is never active, and idles every window.
+	if straggler == 0 || straggler > st.Windows {
+		t.Errorf("straggler windows = %d, want in [1, %d]", straggler, st.Windows)
+	}
+	idle := st.Partitions[3]
+	if idle.Events != 0 || idle.ActiveWindows != 0 || idle.StragglerWindows != 0 {
+		t.Errorf("idle partition accounted activity: %+v", idle)
+	}
+	if idle.IdleTime == 0 {
+		t.Errorf("idle partition recorded no barrier idle time")
+	}
+	// Stats returns a copy: mutating it must not corrupt the coordinator.
+	st.Partitions[0].Sent = 9999
+	if pd.Stats().Partitions[0].Sent == 9999 {
+		t.Errorf("Stats aliases internal state")
 	}
 }
 

@@ -94,10 +94,11 @@ type Hooks struct {
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
-	now  Time
-	seq  uint64
-	q    eventQueue
-	free *event // pooled callback events
+	now    Time
+	seq    uint64
+	events uint64 // dispatched events (resumes + callbacks)
+	q      eventQueue
+	free   *event // pooled callback events
 
 	mainWake chan struct{} // wakes the Run caller when the loop ends
 	reaped   chan struct{} // Shutdown handshake: one unwound goroutine
@@ -142,6 +143,11 @@ func NewEngine() *Engine {
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// EventsExecuted returns how many events (process resumptions and plain
+// callbacks) the engine has dispatched. The PDES coordinator differences
+// it across barrier windows for per-partition occupancy accounting.
+func (e *Engine) EventsExecuted() uint64 { return e.events }
 
 // SetDeadline makes Run return once simulated time reaches t. A zero
 // deadline (the default) means no limit. A Run abandoned at its deadline
@@ -346,6 +352,7 @@ func (e *Engine) dispatch(self *Process) *Process {
 			}
 		}
 		e.now = ev.at
+		e.events++
 		if p := ev.proc; p != nil {
 			if p.done {
 				panic("sim: resuming finished process " + p.name)
