@@ -130,6 +130,12 @@ func cmdBench(args []string) {
 		_, err := experiments.RunEPExperiment(cfg)
 		return err
 	})
+	timeSweep("workload", func() error {
+		cfg := experiments.DefaultWorkloadConfig("producer-consumer")
+		cfg.Procs = []int{1, 2, 4, 8}
+		_, err := experiments.RunWorkload(cfg)
+		return err
+	})
 	timeSweep("faults", func() error {
 		_, err := experiments.RunDegradation(experiments.DefaultDegradationConfig())
 		return err

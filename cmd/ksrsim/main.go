@@ -69,6 +69,9 @@ Commands:
   saturation  extension: offered-load sweep of the ring's slot capacity
   capacity    extension: the superunitary-speedup (cache capacity) effect
   faults      extension: degradation sweep under injected faults (see docs/FAULTS.md)
+  workload    declarative scenario engine: run/record/replay/perturb
+              synthetic access+sync workloads (see docs/WORKLOADS.md)
+  experiments list every registered experiment with its description
   npb         run one kernel at an NPB class (S/W/A) and print its banner
   bench       measure engine micro-costs and sweep wall-clocks (BENCH_sim.json)
   all         run everything at default sizes
@@ -257,6 +260,10 @@ func main() {
 		cmdCapacity(args)
 	case "faults":
 		cmdFaults(args)
+	case "workload":
+		cmdWorkload(args)
+	case "experiments":
+		cmdExperiments(args)
 	case "npb":
 		cmdNPB(args)
 	case "bench":

@@ -187,6 +187,33 @@ var registry = map[string]Runner{
 	},
 }
 
+// workloadRunner builds the registry entry for one built-in workload
+// preset; the preset's full spec is the default config, so submitted
+// JSON can override any knob and still canonicalize completely.
+func workloadRunner(preset, describe string) Runner {
+	return Runner{
+		Name: "wl-" + preset, Describe: describe,
+		New: func() any { c := DefaultWorkloadConfig(preset); return &c },
+		Run: func(s *obs.Session, cfg any) (any, error) {
+			c := *cfg.(*WorkloadConfig)
+			c.Obs = s
+			return RunWorkload(c)
+		},
+	}
+}
+
+func init() {
+	for _, r := range []Runner{
+		workloadRunner("producer-consumer", "workload engine: producer-consumer pipeline (segmented migratory sharing)"),
+		workloadRunner("stencil", "workload engine: 1-D stencil with halo exchange and per-iteration barrier"),
+		workloadRunner("false-sharing", "workload engine: write-heavy false-sharing stress (packed per-proc words)"),
+		workloadRunner("hot-lock", "workload engine: hot-lock contention with think time"),
+		workloadRunner("multi-tenant", "workload engine: lock-bound service vs bursty scan on pinned cell ranges"),
+	} {
+		registry[r.Name] = r
+	}
+}
+
 // LookupExperiment returns the registered runner for name.
 func LookupExperiment(name string) (Runner, bool) {
 	r, ok := registry[name]
@@ -201,6 +228,25 @@ func Experiments() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Info is one row of the experiment catalog: the name plus its one-line
+// description. `ksrsim experiments` and GET /v1/experiments both emit
+// this list in sorted-by-name order, so the catalog presentation is
+// stable across CLI and API.
+type Info struct {
+	Name     string `json:"name"`
+	Describe string `json:"describe"`
+}
+
+// ExperimentInfos returns the catalog of every registered experiment,
+// sorted by name.
+func ExperimentInfos() []Info {
+	infos := make([]Info, 0, len(registry))
+	for _, name := range Experiments() {
+		infos = append(infos, Info{Name: name, Describe: registry[name].Describe})
+	}
+	return infos
 }
 
 // DecodeConfig strictly decodes raw onto a fresh default config for the

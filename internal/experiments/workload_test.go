@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/resultcache"
+	"repro/internal/workload"
+)
+
+// TestWorkloadCacheKey: a workload config built from the preset table
+// and one decoded from its own canonical bytes must canonicalize to the
+// same bytes and therefore the same resultcache key — the property that
+// lets ksrsimd double-submits hit the cache.
+func TestWorkloadCacheKey(t *testing.T) {
+	r, ok := LookupExperiment("wl-hot-lock")
+	if !ok {
+		t.Fatal("wl-hot-lock not registered")
+	}
+	cfg1, err := r.DecodeConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := r.CanonicalConfig(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := r.DecodeConfig(b1)
+	if err != nil {
+		t.Fatalf("canonical config failed strict re-decode: %v", err)
+	}
+	b2, err := r.CanonicalConfig(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("canonical config is not a fixed point:\n%s\n%s", b1, b2)
+	}
+	if k1, k2 := resultcache.Key(r.Name, b1), resultcache.Key(r.Name, b2); k1 != k2 {
+		t.Fatalf("identical configs key to %s and %s", k1, k2)
+	}
+
+	// An independently constructed identical spec keys identically too.
+	spec, err := workload.Preset("hot-lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := r.CanonicalConfig(&WorkloadConfig{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultcache.Key(r.Name, b1) != resultcache.Key(r.Name, b3) {
+		t.Fatalf("preset-table config and hand-built config key differently:\n%s\n%s", b1, b3)
+	}
+
+	// Unknown fields must be rejected, not silently keyed.
+	if _, err := r.DecodeConfig([]byte(`{"spec":{},"procs":[1],"bogus":1}`)); err == nil {
+		t.Fatal("config with unknown field decoded")
+	}
+}
+
+// TestSeedStabilityWorkload pins one preset's manifest bytes across
+// sweep parallelism and PDES partition settings, the workload-engine arm
+// of the repo's byte-identical determinism regression.
+func TestSeedStabilityWorkload(t *testing.T) {
+	r, ok := LookupExperiment("wl-producer-consumer")
+	if !ok {
+		t.Fatal("wl-producer-consumer not registered")
+	}
+
+	runOnce := func(workers, parts int) []byte {
+		t.Helper()
+		defer SetParallelism(SetParallelism(workers))
+		defer SetPartitions(SetPartitions(parts))
+		sess := obs.NewSession(obs.Options{Cats: obs.CatSync})
+		cfg, err := r.DecodeConfig([]byte(`{"procs":[1,2,4,6,8]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(sess, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := obs.Manifest{
+			Schema:      obs.ManifestSchema,
+			Command:     "wl-producer-consumer",
+			GoVersion:   "go-test",
+			GitRevision: "pinned",
+			StartedAt:   "2026-01-01T00:00:00Z",
+			WallSeconds: 0,
+			Parallelism: workers,
+			Machines:    sess.MachineRecords(),
+			Results:     []obs.NamedResult{{Name: "wl-producer-consumer", Data: data}},
+		}
+		b, err := json.MarshalIndent(&m, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := obs.ValidateManifest(b); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	serial := runOnce(1, 1)
+	again := runOnce(1, 1)
+	if !bytes.Equal(serial, again) {
+		t.Errorf("repeated serial runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", serial, again)
+	}
+	norm := func(b []byte, workers int) []byte {
+		return bytes.Replace(b,
+			[]byte(`"parallelism": `+strconv.Itoa(workers)), []byte(`"parallelism": 0`), 1)
+	}
+	wide := runOnce(8, 4)
+	if !bytes.Equal(norm(serial, 1), norm(wide, 8)) {
+		t.Errorf("parallel/partitioned run differs from serial run:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, wide)
+	}
+}

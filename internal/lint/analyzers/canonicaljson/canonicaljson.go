@@ -29,12 +29,13 @@ import (
 )
 
 // canonicalSegments scope the marshal rule: packages whose output bytes
-// become cache keys, manifest artifacts, or journal records.
-var canonicalSegments = []string{"resultcache", "obs", "api", "jobq"}
+// become cache keys, manifest artifacts, or journal records (workload
+// spec and trace-header bytes are cache-key material).
+var canonicalSegments = []string{"resultcache", "obs", "api", "jobq", "workload"}
 
 // strictSegments scope the decode rule: every package that decodes
 // configs or persisted entries (including replayed journal records).
-var strictSegments = []string{"resultcache", "obs", "api", "jobq", "server", "experiments"}
+var strictSegments = []string{"resultcache", "obs", "api", "jobq", "server", "experiments", "workload"}
 
 var Analyzer = &analysis.Analyzer{
 	Name: "canonicaljson",

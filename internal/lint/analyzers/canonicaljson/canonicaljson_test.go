@@ -8,5 +8,5 @@ import (
 )
 
 func TestCanonicalJSON(t *testing.T) {
-	analysistest.Run(t, "testdata", canonicaljson.Analyzer, "resultcache", "jobq", "other")
+	analysistest.Run(t, "testdata", canonicaljson.Analyzer, "resultcache", "jobq", "workload", "other")
 }

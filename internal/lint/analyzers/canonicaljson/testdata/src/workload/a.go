@@ -1,0 +1,48 @@
+// Fixture for ksrlint/canonicaljson: "workload" is both a canonical
+// marshal scope (spec and trace-header bytes are cache-key material) and
+// a strict decode scope (a spec with unknown fields must be rejected,
+// not silently run with defaults under the wrong key).
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// Spec mirrors the workload spec shape: concrete fields only.
+type Spec struct {
+	Schema string `json:"schema"`
+	Name   string `json:"name"`
+	Seed   uint64 `json:"seed"`
+}
+
+func canonical(s Spec) ([]byte, error) {
+	return json.Marshal(s)
+}
+
+func canonicalAny(v any) ([]byte, error) {
+	return json.Marshal(v) // want `interface-typed value`
+}
+
+type badHeader struct {
+	Slots map[int]int `json:"slots"`
+}
+
+func canonicalBad(h badHeader) ([]byte, error) {
+	return json.Marshal(h) // want `field Slots: map key type int is not a string`
+}
+
+func decodeLoose(b []byte, s *Spec) error {
+	return json.Unmarshal(b, s) // want `json.Unmarshal has no strict mode`
+}
+
+func decodeLax(b []byte, s *Spec) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	return dec.Decode(s) // want `decodes without DisallowUnknownFields`
+}
+
+func decodeStrict(b []byte, s *Spec) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	return dec.Decode(s)
+}

@@ -386,9 +386,36 @@ func (m *Machine) SpawnProcs(procs int, namePrefix string, body func(p *Proc)) e
 	if procs < 1 || procs > m.cfg.Cells {
 		return fmt.Errorf("machine: Run with %d procs on %d cells", procs, m.cfg.Cells)
 	}
-	for i := 0; i < procs; i++ {
-		i := i
-		m.eng.Spawn(fmt.Sprintf("%scell%d", namePrefix, i), func(p *sim.Process) {
+	cells := make([]int, procs)
+	for i := range cells {
+		cells[i] = i
+	}
+	return m.SpawnProcsOn(cells, namePrefix, body)
+}
+
+// SpawnProcsOn spawns one Proc on each listed cell, in order. Unlike
+// SpawnProcs the participant set need not start at cell 0 or be
+// contiguous, which lets multi-tenant workloads pin competing programs
+// to disjoint cell ranges of one machine. Every Proc sees
+// NumProcs() == len(cells); cells must be distinct and in range.
+func (m *Machine) SpawnProcsOn(cells []int, namePrefix string, body func(p *Proc)) error {
+	if len(cells) < 1 || len(cells) > m.cfg.Cells {
+		return fmt.Errorf("machine: Run with %d procs on %d cells", len(cells), m.cfg.Cells)
+	}
+	seen := make(map[int]bool, len(cells))
+	for _, c := range cells {
+		if c < 0 || c >= m.cfg.Cells {
+			return fmt.Errorf("machine: spawn on cell %d of %d", c, m.cfg.Cells)
+		}
+		if seen[c] {
+			return fmt.Errorf("machine: spawn on cell %d twice", c)
+		}
+		seen[c] = true
+	}
+	procs := len(cells)
+	for _, c := range cells {
+		c := c
+		m.eng.Spawn(fmt.Sprintf("%scell%d", namePrefix, c), func(p *sim.Process) {
 			// A fail-stop unwinds the cell's program with a cellFailStop
 			// panic; the process simply ends. Peers synchronizing with the
 			// halted cell wedge, which Run reports as a DeadlockError
@@ -401,7 +428,7 @@ func (m *Machine) SpawnProcs(procs int, namePrefix string, body func(p *Proc)) e
 					panic(r)
 				}
 			}()
-			pr := &Proc{m: m, cell: m.cells[i], sp: p, procs: procs}
+			pr := &Proc{m: m, cell: m.cells[c], sp: p, procs: procs}
 			body(pr)
 		})
 	}
@@ -423,6 +450,24 @@ func (m *Machine) Run(procs int, body func(p *Proc)) (sim.Time, error) {
 		// the parked cell goroutines before handing the error up, so sweeps
 		// that tolerate failed configurations don't accumulate leaked
 		// goroutines run after run.
+		m.eng.Shutdown()
+		return 0, err
+	}
+	m.captureFinal()
+	return m.eng.Now() - start, nil
+}
+
+// RunOn is Run for an explicit participant set: it spawns one Proc on
+// each listed cell, runs the simulation to completion, and returns the
+// elapsed simulated time.
+func (m *Machine) RunOn(cells []int, body func(p *Proc)) (sim.Time, error) {
+	start := m.eng.Now()
+	if err := m.SpawnProcsOn(cells, "", body); err != nil {
+		return 0, err
+	}
+	m.startSampler()
+	if err := m.eng.Run(); err != nil {
+		m.captureFinal()
 		m.eng.Shutdown()
 		return 0, err
 	}
@@ -496,11 +541,13 @@ func (m *Machine) captureFinal() {
 	if m.obs == nil {
 		return
 	}
-	m.obs.SetFinal(m.eng.Now(), m.obsCounters())
+	m.obs.SetFinal(m.eng.Now(), m.Counters())
 }
 
-// obsCounters builds the ordered final counter list for manifests.
-func (m *Machine) obsCounters() []obs.Counter {
+// Counters builds the ordered final counter list recorded in run
+// manifests; workload reports embed the same list so record→replay
+// fidelity can be checked byte for byte.
+func (m *Machine) Counters() []obs.Counter {
 	fs := m.fab.Stats()
 	mon := m.TotalMonitor()
 	cs := []obs.Counter{

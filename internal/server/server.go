@@ -1179,14 +1179,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleExperiments serves the experiment catalog in the registry's
+// stable sorted-by-name order — the same list `ksrsim experiments`
+// prints locally.
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
-	names := experiments.Experiments()
-	infos := make([]api.ExperimentInfo, 0, len(names))
-	for _, n := range names {
-		if runner, ok := experiments.LookupExperiment(n); ok {
-			infos = append(infos, api.ExperimentInfo{Name: n, Describe: runner.Describe})
-		}
+	catalog := experiments.ExperimentInfos()
+	infos := make([]api.ExperimentInfo, 0, len(catalog))
+	for _, e := range catalog {
+		infos = append(infos, api.ExperimentInfo{Name: e.Name, Describe: e.Describe})
 	}
-	sort.Slice(infos, func(i, k int) bool { return infos[i].Name < infos[k].Name })
 	writeJSON(w, http.StatusOK, infos)
 }

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// presets are the built-in scenarios, each exercising one access/sync
+// regime the paper's conclusions hinge on. All are sized for the default
+// 32-cell KSR-1 and scale through Spec.Scaled.
+var presets = map[string]Spec{
+	// A ring of producer-consumer stages: each proc fills its own
+	// segment, a barrier flips the pipeline, and every proc streams its
+	// predecessor's freshly written data — migratory sharing at segment
+	// grain.
+	"producer-consumer": {
+		Schema: SpecSchema, Name: "producer-consumer",
+		Machine: "ksr1", Cells: 32, Seed: 20260808,
+		Tenants: []Tenant{{
+			Name: "ring", FirstCell: 0, Procs: 8,
+			Arrival: Arrival{Process: ArrivalSteady},
+			Phases: []Phase{{
+				Name: "pipe", Iterations: 6,
+				WorkingSetBytes: 4096, StrideBytes: 64,
+				Sharing: SharingShared, Pattern: PatternPipeline,
+				ComputePerIter: 2000,
+				Barrier:        "counter",
+			}},
+		}},
+	},
+	// A 1-D stencil: sweep the owned segment, touch both neighbors'
+	// halo words, write back, barrier — nearest-neighbor sharing with a
+	// per-iteration global barrier, the NAS-kernel shape in miniature.
+	"stencil": {
+		Schema: SpecSchema, Name: "stencil",
+		Machine: "ksr1", Cells: 32, Seed: 20260808,
+		Tenants: []Tenant{{
+			Name: "grid", FirstCell: 0, Procs: 8,
+			Arrival: Arrival{Process: ArrivalSteady},
+			Phases: []Phase{{
+				Name: "sweep", Iterations: 8,
+				WorkingSetBytes: 2048, StrideBytes: 64,
+				Sharing: SharingShared, Pattern: PatternStencil,
+				ComputePerIter: 4000,
+				Barrier:        "dissemination",
+			}},
+		}},
+	},
+	// Write-heavy traffic to one word per proc, packed so neighbors
+	// share coherence units: pure invalidation ping-pong with no true
+	// data dependence.
+	"false-sharing": {
+		Schema: SpecSchema, Name: "false-sharing",
+		Machine: "ksr1", Cells: 32, Seed: 20260808,
+		Tenants: []Tenant{{
+			Name: "pack", FirstCell: 0, Procs: 8,
+			Arrival: Arrival{Process: ArrivalSteady},
+			Phases: []Phase{{
+				Name: "hammer", Iterations: 8,
+				AccessesPerIter: 48, ReadPct: 20,
+				Sharing: SharingFalseSharing, Pattern: PatternUniform,
+				ComputePerIter: 500,
+			}},
+		}},
+	},
+	// Every proc contends for one lock every iteration and reads the
+	// protected hot word — the serialization regime of the paper's lock
+	// study, with think time between critical sections.
+	"hot-lock": {
+		Schema: SpecSchema, Name: "hot-lock",
+		Machine: "ksr1", Cells: 32, Seed: 20260808,
+		Tenants: []Tenant{{
+			Name: "mutex", FirstCell: 0, Procs: 8,
+			Arrival: Arrival{Process: ArrivalSteady},
+			Phases: []Phase{{
+				Name: "crit", Iterations: 10,
+				AccessesPerIter: 4, ReadPct: 75,
+				Sharing: SharingHotLine, Pattern: PatternUniform,
+				ComputePerIter: 3000,
+				Lock:           "hw", LockEvery: 1, LockHoldOps: 1500,
+			}},
+		}},
+	},
+	// Two tenants pinned to disjoint cell ranges: a lock-bound service
+	// and a bursty streaming scan competing for the same ring — the
+	// interference experiment. Pinned tenants use the flag barrier
+	// (ksync barriers need cells 0..P-1).
+	"multi-tenant": {
+		Schema: SpecSchema, Name: "multi-tenant",
+		Machine: "ksr1", Cells: 32, Seed: 20260808,
+		Tenants: []Tenant{
+			{
+				Name: "service", FirstCell: 0, Procs: 4,
+				Arrival: Arrival{Process: ArrivalSteady},
+				Phases: []Phase{{
+					Name: "txn", Iterations: 8,
+					AccessesPerIter: 6, ReadPct: 50,
+					Sharing: SharingHotLine, Pattern: PatternUniform,
+					ComputePerIter: 2000,
+					Lock:           "mcs", LockEvery: 1, LockHoldOps: 1000,
+					Barrier: BarrierFlag, BarrierEvery: 4,
+				}},
+			},
+			{
+				Name: "scan", FirstCell: 4, Procs: 4,
+				Arrival: Arrival{Process: ArrivalBursty, BurstIters: 2, GapCycles: 5000},
+				Phases: []Phase{{
+					Name: "stream", Iterations: 8,
+					WorkingSetBytes: 8192, StrideBytes: 128,
+					AccessesPerIter: 32, ReadPct: 90,
+					Sharing: SharingPrivate, Pattern: PatternUniform,
+					ComputePerIter: 1000,
+				}},
+			},
+		},
+	},
+}
+
+// PresetNames lists the built-in preset names, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns a deep copy of the named built-in spec, safe for the
+// caller to adjust.
+func Preset(name string) (Spec, error) {
+	s, ok := presets[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workload: unknown preset %q (have %v)", name, PresetNames())
+	}
+	out := s
+	out.Tenants = make([]Tenant, len(s.Tenants))
+	for i, tn := range s.Tenants {
+		out.Tenants[i] = tn
+		out.Tenants[i].Phases = append([]Phase(nil), tn.Phases...)
+	}
+	return out, nil
+}

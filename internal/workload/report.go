@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// ReportSchema versions the execution report format.
+const ReportSchema = "ksrsim/wlreport/v1"
+
+// OpCounts aggregates the executed operation mix across all slots.
+type OpCounts struct {
+	Compute  int64 `json:"compute"`
+	Reads    int64 `json:"reads"`
+	Writes   int64 `json:"writes"`
+	LockOps  int64 `json:"lock_ops"`
+	Barriers int64 `json:"barriers"`
+}
+
+// Report is the canonical result of one Execute: identity (spec key),
+// shape, elapsed simulated time, the op mix, the machine's final counter
+// snapshot, and any perturbations applied to the trace. It contains no
+// wall-clock or host-dependent fields, so a recorded run and its replay
+// produce byte-identical reports.
+type Report struct {
+	Schema    string        `json:"schema"`
+	Name      string        `json:"name"`
+	SpecKey   string        `json:"spec_key"`
+	Machine   string        `json:"machine"`
+	Cells     int           `json:"cells"`
+	Procs     int           `json:"procs"`
+	ElapsedNs int64         `json:"elapsed_ns"`
+	Ops       OpCounts      `json:"ops"`
+	Counters  []obs.Counter `json:"counters"`
+	Perturbed []string      `json:"perturbed,omitempty"`
+}
+
+// Canonical marshals the report to its canonical JSON form plus a
+// trailing newline (the byte stream CI diffs between record and replay).
+func (r Report) Canonical() ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("workload: report canonicalization: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// String renders the report for terminal output.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"workload %s on %s/%d cells, %d procs: %.3f ms simulated\n  ops: %d compute, %d reads, %d writes, %d lock ops, %d barriers\n",
+		r.Name, r.Machine, r.Cells, r.Procs, float64(r.ElapsedNs)/1e6,
+		r.Ops.Compute, r.Ops.Reads, r.Ops.Writes, r.Ops.LockOps, r.Ops.Barriers)
+}
+
+// buildReport snapshots the finished machine into a Report.
+func buildReport(t *Trace, m *machine.Machine, elapsed sim.Time) (*Report, error) {
+	s := t.Header.Spec
+	key, err := s.Key()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Schema:    ReportSchema,
+		Name:      s.Name,
+		SpecKey:   key,
+		Machine:   s.Machine,
+		Cells:     s.Cells,
+		Procs:     len(t.Header.Slots),
+		ElapsedNs: int64(elapsed),
+		Counters:  m.Counters(),
+		Perturbed: t.Header.Perturbed,
+	}
+	for _, ops := range t.Slots {
+		for _, op := range ops {
+			switch op.Kind {
+			case OpCompute:
+				rep.Ops.Compute += op.A
+			case OpRead:
+				rep.Ops.Reads++
+			case OpWrite:
+				rep.Ops.Writes++
+			case OpReadRange:
+				rep.Ops.Reads += op.B
+			case OpWriteRange:
+				rep.Ops.Writes += op.B
+			case OpLockAcq:
+				rep.Ops.LockOps++
+			case OpBarrier:
+				rep.Ops.Barriers++
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,384 @@
+// Package workload is the declarative scenario engine: a canonical-JSON
+// spec describes phases of memory and synchronization behavior (working
+// set, stride, read/write mix, sharing degree, lock and barrier cadence,
+// arrival process, multi-tenant cell pinning); a seeded generator
+// compiles the spec into deterministic per-cell operation streams; and a
+// versioned gzip-framed trace format records those streams so any run
+// can be replayed — or perturbed one knob at a time — on a fresh
+// machine. Spec and trace bytes are cache-key material: every decode in
+// this package is strict and every marshal canonical.
+package workload
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// SpecSchema versions the workload spec format.
+const SpecSchema = "ksrsim/workload/v1"
+
+// specKeyPrefix is the domain separator for Spec.Key, mirroring the
+// resultcache preimage style.
+const specKeyPrefix = "ksrsim/wlspec/v1\x00"
+
+// Arrival processes.
+const (
+	ArrivalSteady    = "steady"    // every proc starts immediately
+	ArrivalBursty    = "bursty"    // a compute gap every BurstIters iterations
+	ArrivalStaggered = "staggered" // proc k starts after k*GapCycles of compute
+)
+
+// Sharing degrees.
+const (
+	SharingPrivate      = "private"       // disjoint per-proc working sets
+	SharingShared       = "shared"        // one working set roamed by all procs
+	SharingFalseSharing = "false-sharing" // one word per proc, packed into shared sub-blocks
+	SharingHotLine      = "hot-line"      // a single word hammered by all procs
+)
+
+// Access patterns.
+const (
+	PatternUniform  = "uniform"  // seeded random offsets each iteration
+	PatternPipeline = "pipeline" // write own segment, barrier, read predecessor's
+	PatternStencil  = "stencil"  // sweep own segment plus neighbor halo words
+)
+
+// BarrierFlag is the workload-local sense-reversal barrier. Unlike the
+// ksync algorithms (which index per-participant state by cell id and so
+// require participants on cells 0..P-1) it works for any participant
+// set, which is what tenants pinned to nonzero cell ranges need.
+const BarrierFlag = "flag"
+
+// Spec is a complete declarative workload: a machine, a seed, and one or
+// more tenants pinned to disjoint cell ranges, each running its phases
+// in order. The canonical JSON form (Canonical) is safe to use as cache
+// key material.
+type Spec struct {
+	Schema  string   `json:"schema"`
+	Name    string   `json:"name"`
+	Machine string   `json:"machine"` // ksr1 | ksr2 | symmetry | butterfly
+	Cells   int      `json:"cells"`
+	Seed    uint64   `json:"seed"`
+	Tenants []Tenant `json:"tenants"`
+}
+
+// Tenant is one program competing for the machine: Procs processors
+// starting at FirstCell (contiguous), an arrival process, and a phase
+// list executed in order by every participant.
+type Tenant struct {
+	Name      string  `json:"name"`
+	FirstCell int     `json:"first_cell"`
+	Procs     int     `json:"procs"`
+	Arrival   Arrival `json:"arrival"`
+	Phases    []Phase `json:"phases"`
+}
+
+// Arrival shapes when a tenant's processors issue work.
+type Arrival struct {
+	Process    string `json:"process"`
+	BurstIters int    `json:"burst_iters,omitempty"`
+	GapCycles  int64  `json:"gap_cycles,omitempty"`
+}
+
+// Phase is one homogeneous stretch of behavior: Iterations rounds of
+// memory accesses over a working set, with optional compute, lock, and
+// barrier cadence.
+type Phase struct {
+	Name string `json:"name"`
+	// Iterations is the number of rounds every participant executes.
+	Iterations int `json:"iterations"`
+	// WorkingSetBytes sizes the data region (per proc for private and
+	// segmented patterns, total for shared).
+	WorkingSetBytes int64 `json:"working_set_bytes,omitempty"`
+	// StrideBytes is the access stride within the working set
+	// (default one 8-byte word).
+	StrideBytes int64 `json:"stride_bytes,omitempty"`
+	// AccessesPerIter is the number of memory operations per round.
+	AccessesPerIter int `json:"accesses_per_iter,omitempty"`
+	// ReadPct is the percentage of accesses that are reads (uniform
+	// pattern only; pipeline and stencil fix their own mix).
+	ReadPct int `json:"read_pct,omitempty"`
+	// Sharing picks the working-set topology.
+	Sharing string `json:"sharing"`
+	// Pattern picks the access pattern over that topology.
+	Pattern string `json:"pattern"`
+	// ComputePerIter charges local compute cycles each round.
+	ComputePerIter int64 `json:"compute_per_iter,omitempty"`
+	// Lock names the lock algorithm (hw | anderson | mcs); LockEvery
+	// is the round cadence, LockHoldOps the cycles held.
+	Lock        string `json:"lock,omitempty"`
+	LockEvery   int    `json:"lock_every,omitempty"`
+	LockHoldOps int64  `json:"lock_hold_ops,omitempty"`
+	// Barrier names a ksync barrier algorithm or "flag"; BarrierEvery
+	// is the round cadence (pipeline and stencil barrier every round
+	// regardless).
+	Barrier      string `json:"barrier,omitempty"`
+	BarrierEvery int    `json:"barrier_every,omitempty"`
+}
+
+// machineKinds are the model names Compile accepts (mirrors
+// experiments.ConfigFor; workload cannot import experiments).
+var machineKinds = map[string]bool{
+	"ksr1": true, "ksr2": true, "symmetry": true, "butterfly": true,
+}
+
+var sharings = map[string]bool{
+	SharingPrivate: true, SharingShared: true,
+	SharingFalseSharing: true, SharingHotLine: true,
+}
+
+var patterns = map[string]bool{
+	PatternUniform: true, PatternPipeline: true, PatternStencil: true,
+}
+
+var arrivals = map[string]bool{
+	ArrivalSteady: true, ArrivalBursty: true, ArrivalStaggered: true,
+}
+
+var lockAlgos = map[string]bool{"hw": true, "anderson": true, "mcs": true}
+
+// barrierAlgos lists the ksync algorithm names valid in a spec (kept in
+// sync with ksync.Algorithms; validated again at compile time).
+var barrierAlgos = map[string]bool{
+	"system": true, "counter": true, "tree": true, "tree(M)": true,
+	"dissemination": true, "tournament": true, "tournament(M)": true,
+	"mcs": true, "mcs(M)": true, BarrierFlag: true,
+}
+
+// Validate checks the spec's internal consistency: schema, machine kind,
+// enum fields, cell-range packing, and the barrier/cell-pinning
+// constraint (ksync barriers index state by cell id, so only a tenant on
+// cells 0..P-1 may use one; everyone else gets the flag barrier).
+func (s Spec) Validate() error {
+	if s.Schema != SpecSchema {
+		return fmt.Errorf("workload: spec schema %q, want %q", s.Schema, SpecSchema)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("workload: spec has no name")
+	}
+	if !machineKinds[s.Machine] {
+		return fmt.Errorf("workload: unknown machine %q (want ksr1, ksr2, symmetry, or butterfly)", s.Machine)
+	}
+	if s.Cells < 1 {
+		return fmt.Errorf("workload: %d cells", s.Cells)
+	}
+	if len(s.Tenants) == 0 {
+		return fmt.Errorf("workload: spec has no tenants")
+	}
+	used := make([]bool, s.Cells)
+	for ti, t := range s.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("workload: tenant %d has no name", ti)
+		}
+		if t.Procs < 1 {
+			return fmt.Errorf("workload: tenant %q: %d procs", t.Name, t.Procs)
+		}
+		if t.FirstCell < 0 || t.FirstCell+t.Procs > s.Cells {
+			return fmt.Errorf("workload: tenant %q: cells %d..%d outside machine of %d cells",
+				t.Name, t.FirstCell, t.FirstCell+t.Procs-1, s.Cells)
+		}
+		for c := t.FirstCell; c < t.FirstCell+t.Procs; c++ {
+			if used[c] {
+				return fmt.Errorf("workload: tenant %q: cell %d already claimed by another tenant", t.Name, c)
+			}
+			used[c] = true
+		}
+		if !arrivals[t.Arrival.Process] {
+			return fmt.Errorf("workload: tenant %q: unknown arrival process %q", t.Name, t.Arrival.Process)
+		}
+		if t.Arrival.Process == ArrivalBursty && t.Arrival.BurstIters < 1 {
+			return fmt.Errorf("workload: tenant %q: bursty arrival needs burst_iters >= 1", t.Name)
+		}
+		if t.Arrival.Process != ArrivalSteady && t.Arrival.GapCycles < 1 {
+			return fmt.Errorf("workload: tenant %q: %s arrival needs gap_cycles >= 1", t.Name, t.Arrival.Process)
+		}
+		if len(t.Phases) == 0 {
+			return fmt.Errorf("workload: tenant %q has no phases", t.Name)
+		}
+		for pi, ph := range t.Phases {
+			if err := validatePhase(t, ph); err != nil {
+				return fmt.Errorf("workload: tenant %q phase %d (%s): %w", t.Name, pi, ph.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func validatePhase(t Tenant, ph Phase) error {
+	if ph.Name == "" {
+		return fmt.Errorf("no name")
+	}
+	if ph.Iterations < 1 {
+		return fmt.Errorf("%d iterations", ph.Iterations)
+	}
+	if !sharings[ph.Sharing] {
+		return fmt.Errorf("unknown sharing %q", ph.Sharing)
+	}
+	if !patterns[ph.Pattern] {
+		return fmt.Errorf("unknown pattern %q", ph.Pattern)
+	}
+	if ph.StrideBytes < 0 || ph.StrideBytes%memory.WordSize != 0 {
+		return fmt.Errorf("stride %d bytes is not a whole number of %d-byte words", ph.StrideBytes, memory.WordSize)
+	}
+	if ph.WorkingSetBytes < 0 || ph.WorkingSetBytes%memory.WordSize != 0 {
+		return fmt.Errorf("working set %d bytes is not a whole number of words", ph.WorkingSetBytes)
+	}
+	switch ph.Pattern {
+	case PatternUniform:
+		if ph.AccessesPerIter < 0 {
+			return fmt.Errorf("%d accesses per iteration", ph.AccessesPerIter)
+		}
+		if ph.ReadPct < 0 || ph.ReadPct > 100 {
+			return fmt.Errorf("read_pct %d outside 0..100", ph.ReadPct)
+		}
+		if ph.Sharing == SharingPrivate || ph.Sharing == SharingShared {
+			if ph.WorkingSetBytes < memory.WordSize {
+				return fmt.Errorf("%s sharing needs a working set", ph.Sharing)
+			}
+		}
+	case PatternPipeline, PatternStencil:
+		if ph.Sharing != SharingShared {
+			return fmt.Errorf("pattern %q needs sharing %q", ph.Pattern, SharingShared)
+		}
+		if ph.WorkingSetBytes < memory.WordSize {
+			return fmt.Errorf("pattern %q needs a per-proc segment (working_set_bytes)", ph.Pattern)
+		}
+		if ph.Barrier == "" {
+			return fmt.Errorf("pattern %q needs a barrier", ph.Pattern)
+		}
+	}
+	if ph.Lock != "" {
+		if !lockAlgos[ph.Lock] {
+			return fmt.Errorf("unknown lock %q (want hw, anderson, or mcs)", ph.Lock)
+		}
+		if ph.LockEvery < 1 {
+			return fmt.Errorf("lock %q needs lock_every >= 1", ph.Lock)
+		}
+		if ph.LockHoldOps < 0 {
+			return fmt.Errorf("lock_hold_ops %d", ph.LockHoldOps)
+		}
+	} else if ph.LockEvery != 0 || ph.LockHoldOps != 0 {
+		return fmt.Errorf("lock cadence set without a lock algorithm")
+	}
+	if ph.Barrier != "" {
+		if !barrierAlgos[ph.Barrier] {
+			return fmt.Errorf("unknown barrier %q", ph.Barrier)
+		}
+		if ph.Barrier != BarrierFlag && t.FirstCell != 0 {
+			return fmt.Errorf("barrier %q indexes state by cell id and needs cells 0..P-1; tenants pinned at cell %d must use %q",
+				ph.Barrier, t.FirstCell, BarrierFlag)
+		}
+		if ph.Pattern == PatternUniform && ph.BarrierEvery < 1 {
+			return fmt.Errorf("barrier %q needs barrier_every >= 1", ph.Barrier)
+		}
+	} else if ph.BarrierEvery != 0 {
+		return fmt.Errorf("barrier cadence set without a barrier algorithm")
+	}
+	return nil
+}
+
+// DecodeSpec strictly decodes a spec: unknown fields and trailing data
+// are rejected (spec bytes are cache-key material; a typo'd field must
+// not silently run the default), and the result is validated.
+func DecodeSpec(raw []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("workload: spec: %w", err)
+	}
+	if dec.More() {
+		return Spec{}, fmt.Errorf("workload: spec: trailing data")
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Canonical marshals the spec to its canonical JSON form: fields in
+// declaration order, zero-valued optional fields omitted. Identical
+// specs therefore produce identical bytes.
+func (s Spec) Canonical() ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("workload: spec canonicalization: %w", err)
+	}
+	return b, nil
+}
+
+// Key returns the spec's content hash (hex SHA-256 over a versioned
+// preimage), the identity reported in workload manifests.
+func (s Spec) Key() (string, error) {
+	b, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(specKeyPrefix))
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// TotalProcs is the processor count across all tenants.
+func (s Spec) TotalProcs() int {
+	n := 0
+	for _, t := range s.Tenants {
+		n += t.Procs
+	}
+	return n
+}
+
+// Scaled returns a copy of the spec resized to total processors: tenant
+// sizes scale proportionally (at least one proc each) and cell ranges
+// are repacked contiguously from cell 0 in tenant order. This is how
+// sweep harnesses turn one spec into a speedup-vs-processors curve.
+func (s Spec) Scaled(total int) (Spec, error) {
+	n := len(s.Tenants)
+	if total < n {
+		return Spec{}, fmt.Errorf("workload: cannot scale %q to %d procs: %d tenants need at least one proc each", s.Name, total, n)
+	}
+	if total > s.Cells {
+		return Spec{}, fmt.Errorf("workload: cannot scale %q to %d procs on %d cells", s.Name, total, s.Cells)
+	}
+	out := s
+	out.Tenants = make([]Tenant, n)
+	copy(out.Tenants, s.Tenants)
+	orig := s.TotalProcs()
+	assigned := 0
+	for i := range out.Tenants {
+		p := total * s.Tenants[i].Procs / orig
+		if p < 1 {
+			p = 1
+		}
+		out.Tenants[i].Procs = p
+		assigned += p
+	}
+	// Settle rounding drift round-robin, never shrinking a tenant below
+	// one proc. Both loops terminate: each pass moves assigned one step
+	// toward total, and total >= n guarantees room to shrink.
+	for i := 0; assigned < total; i++ {
+		out.Tenants[i%n].Procs++
+		assigned++
+	}
+	for i := 0; assigned > total; i++ {
+		if out.Tenants[i%n].Procs > 1 {
+			out.Tenants[i%n].Procs--
+			assigned--
+		}
+	}
+	next := 0
+	for i := range out.Tenants {
+		out.Tenants[i].FirstCell = next
+		next += out.Tenants[i].Procs
+	}
+	if err := out.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSpecStrictDecode: unknown and mis-typed fields must be rejected —
+// spec bytes are cache-key material, so a typo must not silently run the
+// defaults under the wrong key.
+func TestSpecStrictDecode(t *testing.T) {
+	s, err := Preset("hot-lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSpec(good); err != nil {
+		t.Fatalf("canonical preset bytes failed to decode: %v", err)
+	}
+
+	cases := map[string]string{
+		"unknown top-level field": `{"schema":"` + SpecSchema + `","name":"x","machine":"ksr1","cells":4,"seed":1,"bogus":true,"tenants":[]}`,
+		"mis-typed cells":         strings.Replace(string(good), `"cells":32`, `"cells":"32"`, 1),
+		"unknown phase field":     strings.Replace(string(good), `"sharing"`, `"shraing"`, 1),
+		"trailing data":           string(good) + `{"more":1}`,
+		"wrong schema":            strings.Replace(string(good), SpecSchema, "ksrsim/workload/v0", 1),
+	}
+	for name, raw := range cases {
+		if _, err := DecodeSpec([]byte(raw)); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+// TestSpecCanonicalStable: marshal → decode → marshal must be a fixed
+// point, and two independently obtained copies of the same spec must
+// hash to the same key.
+func TestSpecCanonicalStable(t *testing.T) {
+	for _, name := range PresetNames() {
+		s, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1, err := s.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := DecodeSpec(b1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b2, err := s2.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: canonical bytes not a fixed point:\n%s\n%s", name, b1, b2)
+		}
+		k1, err := s.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, err := s2.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k1 != k2 {
+			t.Errorf("%s: identical specs hash to different keys %s vs %s", name, k1, k2)
+		}
+	}
+	// Distinct specs must not collide on trivial edits.
+	a, _ := Preset("hot-lock")
+	b := a
+	b.Seed++
+	ka, _ := a.Key()
+	kb, _ := b.Key()
+	if ka == kb {
+		t.Error("seed change did not change the spec key")
+	}
+}
+
+// TestSpecScaled: proportional tenant scaling with contiguous repacking.
+func TestSpecScaled(t *testing.T) {
+	s, err := Preset("multi-tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.Scaled(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.TotalProcs(); got != 6 {
+		t.Fatalf("scaled to 6, got %d procs", got)
+	}
+	next := 0
+	for _, tn := range sc.Tenants {
+		if tn.FirstCell != next {
+			t.Errorf("tenant %q starts at cell %d, want %d", tn.Name, tn.FirstCell, next)
+		}
+		if tn.Procs < 1 {
+			t.Errorf("tenant %q scaled to %d procs", tn.Name, tn.Procs)
+		}
+		next += tn.Procs
+	}
+
+	if _, err := s.Scaled(1); err == nil {
+		t.Error("scaling a 2-tenant spec to 1 proc succeeded")
+	}
+	if _, err := s.Scaled(s.Cells + 1); err == nil {
+		t.Error("scaling beyond the machine's cells succeeded")
+	}
+
+	// Single-tenant scaling is exact.
+	h, _ := Preset("hot-lock")
+	hc, err := h.Scaled(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.Tenants[0].Procs != 13 || hc.Tenants[0].FirstCell != 0 {
+		t.Errorf("single tenant scaled to %d@%d, want 13@0", hc.Tenants[0].Procs, hc.Tenants[0].FirstCell)
+	}
+}
+
+// TestValidatePinnedBarrier: ksync barriers index per-participant state
+// by cell id, so a tenant pinned off cell 0 must be told to use "flag".
+func TestValidatePinnedBarrier(t *testing.T) {
+	s, err := Preset("multi-tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tenants[1].Phases[0].Barrier = "tree"
+	s.Tenants[1].Phases[0].BarrierEvery = 1
+	err = s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "flag") {
+		t.Errorf("pinned tenant with ksync barrier validated (err=%v)", err)
+	}
+}

@@ -1,0 +1,282 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Trace file layout (everything inside one gzip stream):
+//
+//	header JSON (canonical, one line) '\n'
+//	per slot, in header order: Ops operations, each encoded as
+//	  1 kind byte + arity(kind) uvarints
+//	0x00 sentinel byte
+//	uvarint total operation count
+//
+// The sentinel and count let Load distinguish a clean end from a torn
+// file even when truncation lands on an op boundary; gzip's own checksum
+// catches corruption inside the stream.
+
+// Save writes the trace to w in the ksrsim/wltrace/v1 format.
+func (t *Trace) Save(w io.Writer) error {
+	if len(t.Slots) != len(t.Header.Slots) {
+		return fmt.Errorf("workload: trace has %d slot streams for %d slot defs", len(t.Slots), len(t.Header.Slots))
+	}
+	zw := gzip.NewWriter(w)
+	hdr, err := json.Marshal(t.Header)
+	if err != nil {
+		return fmt.Errorf("workload: trace header: %w", err)
+	}
+	if _, err := zw.Write(append(hdr, '\n')); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(zw)
+	var buf [binary.MaxVarintLen64]byte
+	total := uint64(0)
+	for si, ops := range t.Slots {
+		if len(ops) != t.Header.Slots[si].Ops {
+			return fmt.Errorf("workload: slot %d has %d ops, header says %d", si, len(ops), t.Header.Slots[si].Ops)
+		}
+		for oi, op := range ops {
+			arity := opArity[op.Kind]
+			if arity == 0 {
+				return fmt.Errorf("workload: slot %d op %d: unknown op kind %d", si, oi, op.Kind)
+			}
+			if err := bw.WriteByte(byte(op.Kind)); err != nil {
+				return err
+			}
+			args := [3]int64{op.A, op.B, op.C}
+			for _, v := range args[:arity] {
+				if v < 0 {
+					return fmt.Errorf("workload: slot %d op %d: negative operand %d", si, oi, v)
+				}
+				n := binary.PutUvarint(buf[:], uint64(v))
+				if _, err := bw.Write(buf[:n]); err != nil {
+					return err
+				}
+			}
+			total++
+		}
+	}
+	if err := bw.WriteByte(0); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(buf[:], total)
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// WriteFile saves the trace to path.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a trace from r, strictly: the header must decode with no
+// unknown fields and validate, every slot must carry exactly the op
+// count the header promises, and the stream must end with the sentinel
+// and matching total. A torn or truncated file produces a descriptive
+// error, never a panic.
+func Load(r io.Reader) (*Trace, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("workload: trace: %w", err)
+	}
+	br := bufio.NewReader(zr)
+	hdrLine, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("workload: trace header truncated: %w", err)
+	}
+	var hdr Header
+	dec := json.NewDecoder(bytes.NewReader(hdrLine))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("workload: trace header: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("workload: trace header: trailing data")
+	}
+	if hdr.Schema != TraceSchema {
+		return nil, fmt.Errorf("workload: trace schema %q, want %q", hdr.Schema, TraceSchema)
+	}
+	if err := hdr.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Trace{Header: hdr, Slots: make([][]Op, len(hdr.Slots))}
+	total := uint64(0)
+	for si, sd := range hdr.Slots {
+		if sd.Ops < 0 {
+			return nil, fmt.Errorf("workload: trace slot %d: negative op count %d", si, sd.Ops)
+		}
+		ops := make([]Op, 0, sd.Ops)
+		for oi := 0; oi < sd.Ops; oi++ {
+			op, err := readOp(br)
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace truncated at slot %d op %d/%d: %w", si, oi, sd.Ops, err)
+			}
+			ops = append(ops, op)
+			total++
+		}
+		t.Slots[si] = ops
+	}
+	sentinel, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("workload: trace truncated before end marker: %w", err)
+	}
+	if sentinel != 0 {
+		return nil, fmt.Errorf("workload: trace end marker is %#x, want 0 (extra operations beyond header counts)", sentinel)
+	}
+	want, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("workload: trace truncated in trailer: %w", err)
+	}
+	if want != total {
+		return nil, fmt.Errorf("workload: trace trailer records %d ops, read %d", want, total)
+	}
+	// Drain to EOF so gzip verifies its checksum even when the caller
+	// stops here.
+	if _, err := io.Copy(io.Discard, br); err != nil {
+		return nil, fmt.Errorf("workload: trace: %w", err)
+	}
+	return t, zr.Close()
+}
+
+// LoadFile reads a trace from path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// readOp decodes one operation.
+func readOp(br *bufio.Reader) (Op, error) {
+	k, err := br.ReadByte()
+	if err != nil {
+		return Op{}, err
+	}
+	kind := OpKind(k)
+	arity := opArity[kind]
+	if arity == 0 {
+		return Op{}, fmt.Errorf("unknown op kind %d", kind)
+	}
+	var args [3]int64
+	for i := 0; i < arity; i++ {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Op{}, err
+		}
+		if v > uint64(1)<<62 {
+			return Op{}, fmt.Errorf("operand %d overflows", v)
+		}
+		args[i] = int64(v)
+	}
+	return Op{Kind: kind, A: args[0], B: args[1], C: args[2]}, nil
+}
+
+// Perturbation is one controlled change to a recorded trace — a single
+// knob turned so the replay isolates that variable.
+type Perturbation struct {
+	// ScaleCompute multiplies every compute delay (arrival gaps, think
+	// time, lock hold). 0 means leave unchanged.
+	ScaleCompute float64 `json:"scale_compute,omitempty"`
+	// RotateCells remaps every slot's cell to (cell+k) mod cells,
+	// shifting the workload's placement relative to memory homes.
+	RotateCells int `json:"rotate_cells,omitempty"`
+	// Lock swaps every lock instance to this algorithm.
+	Lock string `json:"lock,omitempty"`
+	// Barrier swaps every barrier instance to this algorithm.
+	Barrier string `json:"barrier,omitempty"`
+}
+
+// Perturb applies p in place and records what changed in the header (and
+// therefore in replay reports). The op streams' data addresses are never
+// touched: data regions are allocated before lock and barrier state, so
+// swapped algorithms cannot shift the memory layout.
+func (t *Trace) Perturb(p Perturbation) error {
+	h := &t.Header
+	if p.ScaleCompute < 0 {
+		return fmt.Errorf("workload: perturb: scale_compute %g", p.ScaleCompute)
+	}
+	if p.ScaleCompute > 0 && p.ScaleCompute != 1 {
+		for _, ops := range t.Slots {
+			for i := range ops {
+				if ops[i].Kind == OpCompute {
+					ops[i].A = int64(float64(ops[i].A) * p.ScaleCompute)
+				}
+			}
+		}
+		h.Perturbed = append(h.Perturbed, fmt.Sprintf("scale_compute=%g", p.ScaleCompute))
+	}
+	if p.Lock != "" {
+		if !lockAlgos[p.Lock] {
+			return fmt.Errorf("workload: perturb: unknown lock %q", p.Lock)
+		}
+		for i := range h.Locks {
+			h.Locks[i].Algo = p.Lock
+		}
+		h.Perturbed = append(h.Perturbed, "lock="+p.Lock)
+	}
+	if p.Barrier != "" {
+		if !barrierAlgos[p.Barrier] {
+			return fmt.Errorf("workload: perturb: unknown barrier %q", p.Barrier)
+		}
+		for i, bd := range h.Barriers {
+			if p.Barrier != BarrierFlag && !barrierOnZero(h, bd) {
+				return fmt.Errorf("workload: perturb: barrier %q serves cells not starting at 0; only %q works there", bd.Name, BarrierFlag)
+			}
+			h.Barriers[i].Algo = p.Barrier
+		}
+		h.Perturbed = append(h.Perturbed, "barrier="+p.Barrier)
+	}
+	if p.RotateCells != 0 {
+		k := ((p.RotateCells % h.Spec.Cells) + h.Spec.Cells) % h.Spec.Cells
+		for _, bd := range h.Barriers {
+			if bd.Algo != BarrierFlag {
+				return fmt.Errorf("workload: perturb: rotate_cells would move barrier %q (%s) off cells 0..P-1; swap it to %q in the same perturbation", bd.Name, bd.Algo, BarrierFlag)
+			}
+		}
+		for i := range h.Slots {
+			h.Slots[i].Cell = (h.Slots[i].Cell + k) % h.Spec.Cells
+		}
+		h.Perturbed = append(h.Perturbed, fmt.Sprintf("rotate_cells=%d", k))
+	}
+	if len(h.Perturbed) == 0 {
+		return fmt.Errorf("workload: perturb: no knob set (want scale_compute, rotate_cells, lock, or barrier)")
+	}
+	return nil
+}
+
+// barrierOnZero reports whether every slot of the tenant owning bd sits
+// on cells 0..P-1, the precondition for ksync barrier algorithms.
+func barrierOnZero(h *Header, bd BarrierDef) bool {
+	// Barrier names are "tenant/phase"; match the tenant prefix.
+	for _, sd := range h.Slots {
+		if len(bd.Name) > len(sd.Tenant) && bd.Name[:len(sd.Tenant)] == sd.Tenant && bd.Name[len(sd.Tenant)] == '/' {
+			if sd.Cell >= bd.Procs {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// compilePreset compiles a preset scaled to procs.
+func compilePreset(t *testing.T, name string, procs int) *Trace {
+	t.Helper()
+	s, err := Preset(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.Scaled(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Compile(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestTraceRoundTrip: Save then Load must reproduce the trace exactly
+// for every preset.
+func TestTraceRoundTrip(t *testing.T) {
+	for _, name := range PresetNames() {
+		tr := compilePreset(t, name, 4)
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(tr.Header, got.Header) {
+			t.Errorf("%s: header changed across save/load", name)
+		}
+		if !reflect.DeepEqual(tr.Slots, got.Slots) {
+			t.Errorf("%s: op streams changed across save/load", name)
+		}
+	}
+}
+
+// TestRecordReplayFidelity: executing a loaded trace must produce a
+// byte-identical canonical report to executing the freshly compiled one.
+func TestRecordReplayFidelity(t *testing.T) {
+	for _, name := range PresetNames() {
+		tr := compilePreset(t, name, 4)
+		rep1, err := Execute(tr, ExecOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep2, err := Execute(loaded, ExecOptions{})
+		if err != nil {
+			t.Fatalf("%s: replay: %v", name, err)
+		}
+		b1, err := rep1.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := rep2.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: replay report differs from record report:\n%s\n%s", name, b1, b2)
+		}
+	}
+}
+
+// TestTruncatedTrace: a torn or corrupted trace file must fail with a
+// descriptive error, never a panic.
+func TestTruncatedTrace(t *testing.T) {
+	tr := compilePreset(t, "stencil", 4)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for _, n := range []int{0, 1, 10, len(whole) / 2, len(whole) - 1} {
+		if _, err := Load(bytes.NewReader(whole[:n])); err == nil {
+			t.Errorf("loading %d of %d bytes succeeded, want error", n, len(whole))
+		}
+	}
+	// Flip a byte inside the compressed stream: either the op decoder or
+	// the gzip checksum must object.
+	corrupt := append([]byte(nil), whole...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	if _, err := Load(bytes.NewReader(corrupt)); err == nil {
+		t.Error("loading a corrupted trace succeeded, want error")
+	}
+	// Not gzip at all.
+	if _, err := Load(strings.NewReader("plain text")); err == nil {
+		t.Error("loading non-gzip bytes succeeded, want error")
+	}
+}
+
+// TestPerturbScaleCompute: scaling think time rewrites only compute ops
+// and shows up in both header provenance and the replay report.
+func TestPerturbScaleCompute(t *testing.T) {
+	tr := compilePreset(t, "hot-lock", 4)
+	base, err := Execute(tr, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Perturb(Perturbation{ScaleCompute: 2}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Execute(tr, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops.Compute != 2*base.Ops.Compute {
+		t.Errorf("compute ops %d after 2x scale, want %d", rep.Ops.Compute, 2*base.Ops.Compute)
+	}
+	if rep.Ops.Reads != base.Ops.Reads || rep.Ops.Writes != base.Ops.Writes {
+		t.Error("scale_compute changed memory ops")
+	}
+	if len(rep.Perturbed) != 1 || rep.Perturbed[0] != "scale_compute=2" {
+		t.Errorf("report provenance %v", rep.Perturbed)
+	}
+	if rep.ElapsedNs <= base.ElapsedNs {
+		t.Errorf("doubling compute did not slow the run (%d vs %d ns)", rep.ElapsedNs, base.ElapsedNs)
+	}
+}
+
+// TestPerturbLockSwap: swapping the lock algorithm replays cleanly and
+// changes timing without touching the op mix.
+func TestPerturbLockSwap(t *testing.T) {
+	tr := compilePreset(t, "hot-lock", 4)
+	base, err := Execute(tr, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Perturb(Perturbation{Lock: "mcs"}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Execute(tr, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != base.Ops {
+		t.Errorf("lock swap changed the op mix: %+v vs %+v", rep.Ops, base.Ops)
+	}
+	if rep.ElapsedNs == base.ElapsedNs {
+		t.Log("lock swap left elapsed time unchanged (possible but suspicious)")
+	}
+}
+
+// TestPerturbRotateCells: rotation works for traces without cell-indexed
+// barriers and is refused (with guidance) when it would break one.
+func TestPerturbRotateCells(t *testing.T) {
+	tr := compilePreset(t, "hot-lock", 4)
+	if err := tr.Perturb(Perturbation{RotateCells: 5}); err != nil {
+		t.Fatal(err)
+	}
+	for i, sd := range tr.Header.Slots {
+		if want := (i + 5) % tr.Header.Spec.Cells; sd.Cell != want {
+			t.Errorf("slot %d on cell %d after rotation, want %d", i, sd.Cell, want)
+		}
+	}
+	if _, err := Execute(tr, ExecOptions{}); err != nil {
+		t.Fatalf("rotated replay: %v", err)
+	}
+
+	withBarrier := compilePreset(t, "stencil", 4)
+	err := withBarrier.Perturb(Perturbation{RotateCells: 1})
+	if err == nil || !strings.Contains(err.Error(), BarrierFlag) {
+		t.Errorf("rotating a ksync-barrier trace: err=%v, want guidance to swap to flag", err)
+	}
+}
+
+// TestPerturbValidation: bad knobs and empty perturbations error.
+func TestPerturbValidation(t *testing.T) {
+	tr := compilePreset(t, "hot-lock", 2)
+	if err := tr.Perturb(Perturbation{}); err == nil {
+		t.Error("empty perturbation succeeded")
+	}
+	if err := tr.Perturb(Perturbation{Lock: "ticket"}); err == nil {
+		t.Error("unknown lock algorithm accepted")
+	}
+	if err := tr.Perturb(Perturbation{Barrier: "bogus"}); err == nil {
+		t.Error("unknown barrier algorithm accepted")
+	}
+	if err := tr.Perturb(Perturbation{ScaleCompute: -1}); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
