@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/analyzers/all"
+	"repro/internal/lint/facts"
 	"repro/internal/lint/ignore"
 	"repro/internal/lint/load"
 )
@@ -109,28 +110,60 @@ func analyzers() []*analysis.Analyzer {
 
 // finding is one printable diagnostic.
 type finding struct {
+	pkg  string
 	pos  token.Position
 	name string
 	msg  string
 }
 
-// standalone loads the named packages and runs the suite, printing
-// findings as file:line:col: ksrlint/<name>: message. Exit status: 0
-// clean, 1 load/internal error, 2 findings.
+// sortFindings orders diagnostics by (package, file, line, column,
+// analyzer) so the text and -json outputs are byte-stable regardless
+// of package-load or analyzer-execution order.
+func sortFindings(findings []finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.pkg != b.pkg {
+			return a.pkg < b.pkg
+		}
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.name < b.name
+	})
+}
+
+// standalone loads the named packages (plus in-module dependencies for
+// interprocedural facts) and runs the suite, printing findings as
+// file:line:col: ksrlint/<name>: message. Exit status: 0 clean, 1
+// load/internal error, 2 findings.
 func standalone(patterns []string) int {
 	fset := token.NewFileSet()
-	pkgs, err := load.Packages(fset, patterns)
+	pkgs, err := load.PackagesWithDeps(fset, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ksrlint:", err)
 		return 1
 	}
+	store := facts.NewStore()
 	var findings []finding
 	for _, pkg := range pkgs {
+		// Dependencies come first in pkgs, so the store always holds a
+		// callee's summaries before its caller is built.
+		store.Add(facts.BuildPackage(fset, pkg.Files, pkg.Info, store))
+		if pkg.DepOnly {
+			continue
+		}
 		pass := &analysis.Pass{
 			Fset:      fset,
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     store,
 		}
 		for _, a := range analyzers() {
 			var diags []analysis.Diagnostic
@@ -142,26 +175,17 @@ func standalone(patterns []string) int {
 			}
 			diags = ignore.Filter(fset, pkg.Files, a.Name, diags)
 			for _, d := range diags {
-				findings = append(findings, finding{fset.Position(d.Pos), "ksrlint/" + a.Name, d.Message})
+				findings = append(findings, finding{pkg.Path, fset.Position(d.Pos), "ksrlint/" + a.Name, d.Message})
 			}
 		}
 		// A //lint:ignore that can never match anything is itself a
 		// finding: it silently fails to suppress.
 		_, malformed := ignore.Parse(fset, pkg.Files)
 		for _, m := range malformed {
-			findings = append(findings, finding{fset.Position(m.Pos), "ksrlint/ignore", m.Message})
+			findings = append(findings, finding{pkg.Path, fset.Position(m.Pos), "ksrlint/ignore", m.Message})
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.pos.Filename != b.pos.Filename {
-			return a.pos.Filename < b.pos.Filename
-		}
-		if a.pos.Line != b.pos.Line {
-			return a.pos.Line < b.pos.Line
-		}
-		return a.name < b.name
-	})
+	sortFindings(findings)
 	if *jsonOut {
 		printJSON(findings)
 	} else {
@@ -182,7 +206,7 @@ func printJSON(findings []finding) {
 		if i > 0 {
 			fmt.Print(",")
 		}
-		fmt.Printf("\n  {\"pos\": %q, \"analyzer\": %q, \"message\": %q}", f.pos.String(), f.name, f.msg)
+		fmt.Printf("\n  {\"package\": %q, \"pos\": %q, \"analyzer\": %q, \"message\": %q}", f.pkg, f.pos.String(), f.name, f.msg)
 	}
 	if len(findings) > 0 {
 		fmt.Println()

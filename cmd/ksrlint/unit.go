@@ -4,8 +4,16 @@
 // with a JSON .cfg file describing the unit — source files, the import
 // map, and compiler export data for every dependency. The tool
 // type-checks the unit against that export data (importer "gc" with a
-// lookup into the provided files), runs the suite, writes the
-// (factless, empty) .vetx output vet expects, and reports findings.
+// lookup into the provided files), runs the suite, and reports
+// findings.
+//
+// Interprocedural facts ride vet's own fact plumbing: for in-module
+// units the .vetx artifact written here is the JSON-encoded
+// facts.PackageFacts of the unit, and the .vetx files vet supplies for
+// dependencies (PackageVetx) are decoded back into the fact store
+// before analysis. Units outside the module get an empty .vetx —
+// stdlib behavior comes from ksrlint's assumption tables, not from
+// loading stdlib bodies.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/facts"
 	"repro/internal/lint/ignore"
 	"repro/internal/lint/load"
 )
@@ -28,21 +37,34 @@ import (
 // vetConfig mirrors the fields of the go command's vet config JSON that
 // ksrlint consumes.
 type vetConfig struct {
-	ID           string
-	Compiler     string
-	Dir          string
-	ImportPath   string
-	GoVersion    string
-	GoFiles      []string
-	NonGoFiles   []string
-	IgnoredFiles []string
-	ImportMap    map[string]string
-	PackageFile  map[string]string
-	Standard     map[string]bool
-	PackageVetx  map[string]string
-	VetxOnly     bool
-	VetxOutput   string
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
 	SucceedOnTypecheckFailure bool
+}
+
+// moduleUnit reports whether a vet unit's import path is inside the
+// repro module (test variants like "repro/internal/sim [.test]" count).
+func moduleUnit(path string) bool {
+	return path == "repro" || strings.HasPrefix(path, "repro/")
+}
+
+func writeVetx(cfg *vetConfig, payload []byte) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, payload, 0o666)
 }
 
 // unitCheck runs the suite on one vet unit. Returns the process exit
@@ -58,16 +80,15 @@ func unitCheck(cfgPath string, as []*analysis.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "ksrlint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// ksrlint exports no facts, but vet requires the vetx artifact to
-	// exist for its action cache.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	// Dependency-only pass on a package outside the module: nothing to
+	// analyze and no facts to compute, but vet requires the vetx
+	// artifact to exist for its action cache.
+	if cfg.VetxOnly && !moduleUnit(cfg.ImportPath) {
+		if err := writeVetx(&cfg, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "ksrlint:", err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
-		return 0 // dependency pass: facts only, and we have none
+		return 0
 	}
 
 	fset := token.NewFileSet()
@@ -106,14 +127,52 @@ func unitCheck(cfgPath string, as []*analysis.Analyzer) int {
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			if werr := writeVetx(&cfg, nil); werr != nil {
+				fmt.Fprintln(os.Stderr, "ksrlint:", werr)
+				return 1
+			}
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "ksrlint: type-checking %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
 
+	// Rehydrate dependency facts from the .vetx files vet hands us,
+	// then fold this unit's own summaries on top.
+	store := facts.NewStore()
+	for path, vetxFile := range cfg.PackageVetx {
+		if !moduleUnit(path) {
+			continue
+		}
+		vb, err := os.ReadFile(vetxFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ksrlint: reading facts for %s: %v\n", path, err)
+			return 1
+		}
+		pf, err := facts.DecodePackage(vb)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ksrlint: %v\n", err)
+			return 1
+		}
+		store.Add(pf)
+	}
+	pf := facts.BuildPackage(fset, files, info, store)
+	payload, err := pf.Encode()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ksrlint: encoding facts for %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if err := writeVetx(&cfg, payload); err != nil {
+		fmt.Fprintln(os.Stderr, "ksrlint:", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, no diagnostics
+	}
+	store.Add(pf)
+
 	var findings []finding
-	pass := &analysis.Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	pass := &analysis.Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Facts: store}
 	for _, a := range as {
 		var diags []analysis.Diagnostic
 		pass.Analyzer = a
@@ -124,13 +183,14 @@ func unitCheck(cfgPath string, as []*analysis.Analyzer) int {
 		}
 		diags = ignore.Filter(fset, files, a.Name, diags)
 		for _, d := range diags {
-			findings = append(findings, finding{fset.Position(d.Pos), "ksrlint/" + a.Name, d.Message})
+			findings = append(findings, finding{cfg.ImportPath, fset.Position(d.Pos), "ksrlint/" + a.Name, d.Message})
 		}
 	}
 	_, malformed := ignore.Parse(fset, files)
 	for _, m := range malformed {
-		findings = append(findings, finding{fset.Position(m.Pos), "ksrlint/ignore", m.Message})
+		findings = append(findings, finding{cfg.ImportPath, fset.Position(m.Pos), "ksrlint/ignore", m.Message})
 	}
+	sortFindings(findings)
 	for _, f := range findings {
 		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.pos, f.name, f.msg)
 	}

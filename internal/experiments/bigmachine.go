@@ -74,14 +74,14 @@ func pdesRecord(label string, st sim.PartitionedStats) obs.PDESRecord {
 		Label:       label,
 		Windows:     st.Windows,
 		Messages:    st.Messages,
-		LookaheadNs: int64(st.Lookahead),
+		LookaheadNs: st.Lookahead.Ns(),
 	}
 	for _, p := range st.Partitions {
 		rec.Partitions = append(rec.Partitions, obs.PDESPartition{
 			Events:           p.Events,
 			ActiveWindows:    p.ActiveWindows,
 			StragglerWindows: p.StragglerWindows,
-			IdleNs:           int64(p.IdleTime),
+			IdleNs:           p.IdleTime.Ns(),
 			Sent:             p.Sent,
 			Recv:             p.Recv,
 			LookaheadLimited: p.LookaheadLimited,

@@ -71,7 +71,7 @@ func RunWorkload(cfg WorkloadConfig) (WorkloadResult, error) {
 		if err != nil {
 			return err
 		}
-		pts[i] = metrics.Point{Procs: procs[i], Elapsed: sim.Time(rep.ElapsedNs)}
+		pts[i] = metrics.Point{Procs: procs[i], Elapsed: sim.FromNs(rep.ElapsedNs)}
 		return nil
 	})
 	return WorkloadResult{Name: cfg.Spec.Name, Rows: metrics.BuildRows(pts)}, err

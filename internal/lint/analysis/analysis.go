@@ -13,6 +13,8 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"repro/internal/lint/facts"
 )
 
 // Analyzer describes one ksrlint check.
@@ -40,6 +42,18 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// Facts holds interprocedural summaries for this package and every
+	// in-module package it imports (transitively); drivers populate it
+	// before running analyzers. May be nil for analyzers that never read
+	// facts, so consumers go through the nil-safe Store methods.
+	Facts *facts.Store
+}
+
+// FactsLookup adapts the pass's fact store to the scanner's Lookup
+// signature; safe to call when Facts is nil.
+func (p *Pass) FactsLookup() facts.Lookup {
+	return func(obj types.Object) *facts.Summary { return p.Facts.Lookup(obj) }
 }
 
 // Reportf reports a formatted diagnostic at pos.

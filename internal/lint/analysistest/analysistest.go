@@ -27,20 +27,26 @@ import (
 	"testing"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/facts"
 	"repro/internal/lint/ignore"
 	"repro/internal/lint/load"
 )
 
 // Run loads each fixture package below dir/src and applies a, reporting
 // any mismatch between diagnostics and `// want` expectations on t.
+// Packages are analyzed in the order given, against a fact store shared
+// across the whole run (fixture imports build their facts first, the
+// same deps-before-dependents discipline the real drivers follow), so
+// cross-package expectations behave like the standalone driver.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	fset := token.NewFileSet()
 	imp := &fixtureImporter{
-		fset: fset,
-		root: filepath.Join(dir, "src"),
-		std:  importer.ForCompiler(fset, "source", nil),
-		pkgs: make(map[string]*fixturePkg),
+		fset:  fset,
+		root:  filepath.Join(dir, "src"),
+		std:   importer.ForCompiler(fset, "source", nil),
+		pkgs:  make(map[string]*fixturePkg),
+		store: facts.NewStore(),
 	}
 	for _, path := range pkgPaths {
 		fp, err := imp.load(path)
@@ -53,6 +59,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 			Files:     fp.files,
 			Pkg:       fp.pkg,
 			TypesInfo: fp.info,
+			Facts:     imp.store,
 		}
 		var diags []analysis.Diagnostic
 		pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
@@ -64,6 +71,34 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 	}
 }
 
+// RunIgnoreAudit checks the malformed-//lint:ignore audit against want
+// expectations: every ignore.Parse finding in the fixture packages must
+// be matched by a `// want` comment on its line, and vice versa.
+func RunIgnoreAudit(t *testing.T, dir string, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		fset:  fset,
+		root:  filepath.Join(dir, "src"),
+		std:   importer.ForCompiler(fset, "source", nil),
+		pkgs:  make(map[string]*fixturePkg),
+		store: facts.NewStore(),
+	}
+	audit := &analysis.Analyzer{Name: "ignore", Doc: "malformed suppression audit"}
+	for _, path := range pkgPaths {
+		fp, err := imp.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		var diags []analysis.Diagnostic
+		_, malformed := ignore.Parse(fset, fp.files)
+		for _, m := range malformed {
+			diags = append(diags, analysis.Diagnostic{Pos: m.Pos, Message: m.Message})
+		}
+		check(t, fset, audit, path, fp.files, diags)
+	}
+}
+
 // fixturePkg is one loaded fixture package.
 type fixturePkg struct {
 	files []*ast.File
@@ -72,12 +107,16 @@ type fixturePkg struct {
 }
 
 // fixtureImporter resolves fixture-tree imports itself and defers
-// everything else to the source importer.
+// everything else to the source importer. Every fixture package it
+// loads contributes its interprocedural summaries to store; the
+// recursion in load bottoms out at leaf packages, so a package's
+// dependencies always have facts before its own are built.
 type fixtureImporter struct {
-	fset *token.FileSet
-	root string
-	std  types.Importer
-	pkgs map[string]*fixturePkg
+	fset  *token.FileSet
+	root  string
+	std   types.Importer
+	pkgs  map[string]*fixturePkg
+	store *facts.Store
 }
 
 func (im *fixtureImporter) Import(path string) (*types.Package, error) {
@@ -115,6 +154,7 @@ func (im *fixtureImporter) load(path string) (*fixturePkg, error) {
 	if err != nil {
 		return nil, err
 	}
+	im.store.Add(facts.BuildPackage(im.fset, files, info, im.store))
 	fp := &fixturePkg{files: files, pkg: pkg, info: info}
 	im.pkgs[path] = fp
 	return fp, nil

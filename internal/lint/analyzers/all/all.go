@@ -5,8 +5,12 @@ import (
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/analyzers/canonicaljson"
 	"repro/internal/lint/analyzers/determinism"
+	"repro/internal/lint/analyzers/errnopanic"
 	"repro/internal/lint/analyzers/hookcheck"
+	"repro/internal/lint/analyzers/hotalloc"
+	"repro/internal/lint/analyzers/lockorder"
 	"repro/internal/lint/analyzers/simprocess"
+	"repro/internal/lint/analyzers/timedomain"
 )
 
 // Analyzers is the full ksrlint suite.
@@ -15,4 +19,8 @@ var Analyzers = []*analysis.Analyzer{
 	hookcheck.Analyzer,
 	simprocess.Analyzer,
 	canonicaljson.Analyzer,
+	hotalloc.Analyzer,
+	lockorder.Analyzer,
+	timedomain.Analyzer,
+	errnopanic.Analyzer,
 }

@@ -1,0 +1,64 @@
+// Package errnopanic enforces the error contract on decode paths:
+// functions annotated //ksr:untrusted-input (workload trace loading,
+// journal replay, result-cache persistence, request decoding) consume
+// bytes from outside the process and must reject malformed data with an
+// error — never a panic, which in the fleet server turns one corrupt
+// cache file into a crashed worker.
+//
+// The analyzer reports, inside each annotated function:
+//
+//   - reachable panics: explicit panic calls, stdlib Must-style
+//     contracts, and calls whose interprocedural facts say a panic is
+//     reachable (the chain to the foreign site is quoted);
+//   - decode hazards ("risks"): single-form type assertions, and
+//     allocations sized by an unclamped non-constant — the shape that
+//     lets a hostile length header pre-size unbounded memory.
+//
+// The annotation marks the trust boundary; unannotated helpers are
+// covered transitively through their facts, so the discipline is
+// enforced from the entry point down without annotating every leaf.
+package errnopanic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/facts"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errnopanic",
+	Doc:  "//ksr:untrusted-input paths must return errors on malformed input, not panic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	lookup := pass.FactsLookup()
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !facts.FuncAnnotations(fd).Untrusted {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			res := facts.ScanFunc(pass.Fset, pass.TypesInfo, fd, facts.KeyOf(fn), lookup)
+			for _, p := range res.Panics {
+				pass.Reportf(p.Pos, "untrusted-input path %s must return an error, not panic: %s", fd.Name.Name, p.What)
+			}
+			for _, r := range res.Risks {
+				pass.Reportf(r.Pos, "untrusted-input path %s: %s", fd.Name.Name, r.What)
+			}
+		}
+	}
+	return nil
+}

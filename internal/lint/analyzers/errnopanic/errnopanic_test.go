@@ -1,0 +1,12 @@
+package errnopanic_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/errnopanic"
+)
+
+func TestErrnopanic(t *testing.T) {
+	analysistest.Run(t, "testdata", errnopanic.Analyzer, "decdep", "dec")
+}

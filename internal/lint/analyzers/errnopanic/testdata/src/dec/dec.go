@@ -1,0 +1,97 @@
+package dec
+
+import (
+	"errors"
+
+	"decdep"
+)
+
+// Load pre-sizes from a length byte the attacker controls.
+//
+//ksr:untrusted-input
+func Load(b []byte) ([]int, error) {
+	if len(b) < 2 {
+		return nil, errors.New("short input")
+	}
+	n := int(b[0])
+	out := make([]int, 0, n) // want `unclamped`
+	for i := 0; i < n && i < len(b)-1; i++ {
+		out = append(out, int(b[i+1]))
+	}
+	return out, nil
+}
+
+// LoadClamped bounds the pre-size by the data actually present.
+//
+//ksr:untrusted-input
+func LoadClamped(b []byte) ([]int, error) {
+	if len(b) < 2 {
+		return nil, errors.New("short input")
+	}
+	n := int(b[0])
+	out := make([]int, 0, min(n, len(b)-1))
+	for i := 0; i < n && i < len(b)-1; i++ {
+		out = append(out, int(b[i+1]))
+	}
+	return out, nil
+}
+
+// Decode asserts the dynamic type without the comma-ok form.
+//
+//ksr:untrusted-input
+func Decode(v any) (int, error) {
+	return v.(int), nil // want `single-form type assertion`
+}
+
+// DecodeOK is the error-returning shape.
+//
+//ksr:untrusted-input
+func DecodeOK(v any) (int, error) {
+	n, ok := v.(int)
+	if !ok {
+		return 0, errors.New("not an int")
+	}
+	return n, nil
+}
+
+// Explicit panics on bad input.
+//
+//ksr:untrusted-input
+func Explicit(b []byte) int {
+	if len(b) == 0 {
+		panic("empty") // want `must return an error, not panic`
+	}
+	return int(b[0])
+}
+
+// CrossPkg reaches a panic through another package.
+//
+//ksr:untrusted-input
+func CrossPkg(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, errors.New("short")
+	}
+	return decdep.MustVersion(int(b[0])), nil // want `may panic`
+}
+
+// node mimics an internal container whose element type is an invariant.
+func node(v any) int {
+	//lint:ignore ksrlint/errnopanic the container is private and only ever holds ints
+	return v.(int)
+}
+
+// ViaNode stays clean: the suppression removes the assert from node's
+// summary, so the untrusted caller does not inherit it.
+//
+//ksr:untrusted-input
+func ViaNode(v any) (int, error) {
+	return node(v), nil
+}
+
+// Suppressed documents an assert on a value this package controls.
+//
+//ksr:untrusted-input
+func Suppressed(v any) int {
+	//lint:ignore ksrlint/errnopanic v comes from the typed pool above, assert cannot fail
+	return v.(int)
+}

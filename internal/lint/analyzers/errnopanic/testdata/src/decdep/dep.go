@@ -1,0 +1,10 @@
+package decdep
+
+// MustVersion panics on unknown versions: a contract the errnopanic
+// fixtures reach from another package through the facts.
+func MustVersion(v int) int {
+	if v != 1 {
+		panic("unsupported version")
+	}
+	return v
+}

@@ -1,0 +1,111 @@
+package hot
+
+import "hotdep"
+
+type item struct{ k, v int }
+
+type ring struct {
+	buf  []item
+	head int
+	hook func(int)
+}
+
+// Pop is the steady-state fast path: indexing, an armed-only hook
+// block, and a cross-package allocation-free call are all in budget.
+//
+//ksr:hotpath
+func (r *ring) Pop() item {
+	it := r.buf[r.head]
+	r.head++
+	if fn := r.hook; fn != nil {
+		fn(hotdep.Clean(r.head, it.k))
+	}
+	return it
+}
+
+// Grow self-appends (amortized, off budget) but also builds a map.
+//
+//ksr:hotpath
+func (r *ring) Grow() {
+	r.buf = append(r.buf, item{})
+	m := make(map[int]int) // want `must be allocation-free`
+	_ = m
+}
+
+// Escape returns a pointer to a fresh value.
+//
+//ksr:hotpath
+func Escape() *item {
+	return &item{} // want `must be allocation-free`
+}
+
+// Calls reaches an allocation in another package.
+//
+//ksr:hotpath
+func Calls(n int) int {
+	return len(hotdep.Alloc(n)) // want `hotdep.Alloc allocates`
+}
+
+// Capture closes over a local variable.
+//
+//ksr:hotpath
+func Capture(n int) func() int {
+	return func() int { return n } // want `capturing closure`
+}
+
+// Boxed passes an int to an interface parameter.
+//
+//ksr:hotpath
+func Boxed(n int) {
+	sink(n) // want `boxes`
+}
+
+func sink(v any) { _ = v }
+
+// Suppressed documents a deliberate warm-up allocation.
+//
+//ksr:hotpath
+func Suppressed() []int {
+	//lint:ignore ksrlint/hotalloc one-time warm-up buffer, measured cold
+	return make([]int, 4)
+}
+
+// poolGet models a free-list pool: the miss allocation is blessed at
+// its site, which also keeps it out of poolGet's summary.
+func poolGet(free *item) *item {
+	if free == nil {
+		//lint:ignore ksrlint/hotalloc pool miss, amortized to zero in steady state
+		return &item{}
+	}
+	return free
+}
+
+// ViaPool stays clean: the suppressed pool-miss allocation does not
+// poison callers through the interprocedural facts.
+//
+//ksr:hotpath
+func ViaPool(free *item) *item {
+	return poolGet(free)
+}
+
+// coldFail is the termination route; exempt even though it allocates.
+//
+//ksr:coldpath
+func coldFail(msg string) error {
+	return &failure{msg: msg}
+}
+
+type failure struct{ msg string }
+
+func (f *failure) Error() string { return f.msg }
+
+// Trip calls the cold route from a hot function: in budget, because the
+// cold branch only runs when the simulation is already ending.
+//
+//ksr:hotpath
+func Trip(bad bool) error {
+	if bad {
+		return coldFail("tripped")
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package hotdep
+
+// Alloc builds a fresh slice on every call.
+func Alloc(n int) []int {
+	out := make([]int, 0, 8)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Clean is allocation-free.
+func Clean(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

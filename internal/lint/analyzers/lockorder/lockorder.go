@@ -1,0 +1,260 @@
+// Package lockorder builds the static lock-acquisition graph of the
+// fleet packages (jobq, resultcache, server, metrics, workload) from
+// the interprocedural facts and reports two deadlock shapes:
+//
+//   - acquisition cycles: lock B taken while A is held in one place,
+//     A taken while B is held in another — the classic inversion, which
+//     only manifests under contention and never in a -race run;
+//   - indefinite waits under a lock: a channel operation, select,
+//     blocking I/O, or a callee that transitively does one of those,
+//     performed while a mutex is held. A peer that needs the same lock
+//     to make the channel progress deadlocks against the park, and even
+//     without a cycle the lock's hold time inherits syscall latency.
+//
+// Cycle detection merges edges from every package whose facts are
+// loaded (the standalone driver loads the whole module dependency-
+// first). A cycle is reported only in a package that contributes one of
+// its edges, anchored at that package's lowest-position edge, so one
+// cycle yields exactly one diagnostic per run. Under `go vet` each unit
+// only sees its dependencies' facts, so a cycle spread across sibling
+// packages is caught by the standalone run in CI rather than the vet
+// pass — the reason the Makefile runs both.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/facts"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "static lock-order cycles and blocking operations under a held lock",
+	Run:  run,
+}
+
+// scopeSegs are the path segments that opt a package into lock-order
+// checking: the fleet/server side of the tree, where goroutines and
+// real mutexes live. The simulation core is single-threaded by design
+// and stays out.
+var scopeSegs = []string{"jobq", "resultcache", "server", "metrics", "workload"}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.HasAnySegment(pass.Pkg.Path(), scopeSegs...) {
+		return nil
+	}
+	lookup := pass.FactsLookup()
+
+	// localEdges: acquired-while-holding pairs whose acquisition site is
+	// in this package, with the lowest anchoring position per pair.
+	type pair struct{ from, to string }
+	localEdge := map[pair]token.Pos{}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			res := facts.ScanFunc(pass.Fset, pass.TypesInfo, fd, facts.KeyOf(fn), lookup)
+			// Channel-shaped parks report per site (each is its own
+			// deadlock), but syscall-latency I/O reports once per
+			// function: the reviewable unit is "this function does I/O
+			// under its lock", not every file call inside it.
+			var firstIO *facts.Local
+			nIO := 0
+			for i, v := range res.Violations {
+				if v.Kind == facts.KindIO {
+					if nIO == 0 {
+						firstIO = &res.Violations[i]
+					}
+					nIO++
+					continue
+				}
+				pass.Reportf(v.Pos, "%s", v.What)
+			}
+			if firstIO != nil {
+				extra := ""
+				if nIO > 1 {
+					extra = fmt.Sprintf(" (first of %d blocking calls under a lock in %s)", nIO, fd.Name.Name)
+				}
+				pass.Reportf(firstIO.Pos, "%s%s", firstIO.What, extra)
+			}
+			for i, e := range res.Edges {
+				p := pair{e.From, e.To}
+				if old, ok := localEdge[p]; !ok || res.EdgePos[i] < old {
+					localEdge[p] = res.EdgePos[i]
+				}
+			}
+		}
+	}
+
+	// Global graph: every edge known to the fact store (this package's
+	// facts included — drivers add them before running analyzers).
+	adj := map[string]map[string]facts.LockEdge{}
+	for _, e := range pass.Facts.AllEdges() {
+		if adj[e.From] == nil {
+			adj[e.From] = map[string]facts.LockEdge{}
+		}
+		if _, ok := adj[e.From][e.To]; !ok {
+			adj[e.From][e.To] = e
+		}
+	}
+
+	for _, scc := range lockSCCs(adj) {
+		if len(scc) < 2 {
+			continue // edges are never self-loops, so singletons are acyclic
+		}
+		in := map[string]bool{}
+		for _, n := range scc {
+			in[n] = true
+		}
+		// Anchor at this package's lowest-position edge inside the
+		// component; packages contributing no edge stay silent.
+		anchor := token.NoPos
+		var anchorPair pair
+		for p, pos := range localEdge {
+			if in[p.from] && in[p.to] && (anchor == token.NoPos || pos < anchor) {
+				anchor, anchorPair = pos, p
+			}
+		}
+		if anchor == token.NoPos {
+			continue
+		}
+		pass.Reportf(anchor, "lock-order cycle among {%s}: %s acquired while %s is held here, and %s",
+			strings.Join(scc, ", "), anchorPair.to, anchorPair.from,
+			closingEdges(adj, in, anchorPair.from, anchorPair.to))
+	}
+	return nil
+}
+
+// closingEdges describes the rest of the cycle for the diagnostic: the
+// in-component edges other than the anchor, with their recorded
+// positions.
+func closingEdges(adj map[string]map[string]facts.LockEdge, in map[string]bool, from, to string) string {
+	var parts []string
+	for f, tos := range adj {
+		if !in[f] {
+			continue
+		}
+		for t, e := range tos {
+			if !in[t] || (f == from && t == to) {
+				continue
+			}
+			p := fmt.Sprintf("%s acquired while %s is held at %s", t, f, e.Pos)
+			if e.Via != "" {
+				p += " (via " + e.Via + ")"
+			}
+			parts = append(parts, p)
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "; ")
+}
+
+// lockSCCs runs an iterative Tarjan over the lock graph and returns its
+// strongly connected components with node names sorted, components
+// ordered by their smallest member, so diagnostics are deterministic.
+func lockSCCs(adj map[string]map[string]facts.LockEdge) [][]string {
+	var nodes []string
+	seen := map[string]bool{}
+	addNode := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for f, tos := range adj {
+		addNode(f)
+		for t := range tos {
+			addNode(t)
+		}
+	}
+	sort.Strings(nodes)
+	succ := func(n string) []string {
+		var out []string
+		for t := range adj[n] {
+			out = append(out, t)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	type frame struct {
+		node string
+		ei   int
+	}
+	for _, root := range nodes {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		work := []frame{{node: root}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.node
+			if f.ei == 0 {
+				index[v], low[v] = next, next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for edges := succ(v); f.ei < len(edges); {
+				w := edges[f.ei]
+				f.ei++
+				if _, ok := index[w]; !ok {
+					work = append(work, frame{node: w})
+					advanced = true
+					break
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				var scc []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Strings(scc)
+				sccs = append(sccs, scc)
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].node
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	return sccs
+}

@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer,
+		"jobq/locks", "jobq/one", "jobq/two", "resultcache/rc", "other/free")
+}

@@ -1,0 +1,10 @@
+// Package locks holds the shared mutexes the jobq/one and jobq/two
+// fixtures invert against each other.
+package locks
+
+import "sync"
+
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+)

@@ -1,0 +1,12 @@
+package one
+
+import "jobq/locks"
+
+// AB nests B under A. Harmless on its own; jobq/two closes the cycle,
+// so the diagnostic lands there (the package whose facts complete it).
+func AB() {
+	locks.MuA.Lock()
+	locks.MuB.Lock()
+	locks.MuB.Unlock()
+	locks.MuA.Unlock()
+}

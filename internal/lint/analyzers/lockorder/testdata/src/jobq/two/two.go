@@ -1,0 +1,11 @@
+package two
+
+import "jobq/locks"
+
+// BA nests A under B, inverting jobq/one's order across packages.
+func BA() {
+	locks.MuB.Lock()
+	locks.MuA.Lock() // want `lock-order cycle`
+	locks.MuA.Unlock()
+	locks.MuB.Unlock()
+}

@@ -1,0 +1,25 @@
+// Package free inverts two locks but sits outside the fleet scope
+// (no jobq/resultcache/server/metrics/workload path segment), so the
+// analyzer stays silent.
+package free
+
+import "sync"
+
+type T struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (t *T) AB() {
+	t.a.Lock()
+	t.b.Lock()
+	t.b.Unlock()
+	t.a.Unlock()
+}
+
+func (t *T) BA() {
+	t.b.Lock()
+	t.a.Lock()
+	t.a.Unlock()
+	t.b.Unlock()
+}

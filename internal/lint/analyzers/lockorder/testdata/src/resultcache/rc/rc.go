@@ -1,0 +1,61 @@
+package rc
+
+import (
+	"os"
+	"sync"
+)
+
+type Cache struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// SendLocked parks on a channel while holding mu.
+func (c *Cache) SendLocked(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ch <- v // want `channel send while holding`
+}
+
+// WriteLocked does file I/O under the lock.
+func (c *Cache) WriteLocked(path string, b []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return os.WriteFile(path, b, 0o644) // want `os.WriteFile called while holding`
+}
+
+// SendUnlocked releases before the send: clean.
+func (c *Cache) SendUnlocked(v int) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.ch <- v
+}
+
+// SendSuppressed documents a deliberate hand-off under lock.
+func (c *Cache) SendSuppressed(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//lint:ignore ksrlint/lockorder hand-off channel is buffered and drained by the owner
+	c.ch <- v
+}
+
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// LockAB and LockBA invert each other inside one package; the cycle is
+// reported once, at the lowest-position edge.
+func (p *Pair) LockAB() {
+	p.a.Lock()
+	p.b.Lock() // want `lock-order cycle`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *Pair) LockBA() {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}

@@ -1,0 +1,16 @@
+// Package sim mirrors the real tree's simulated-time type for the
+// timedomain fixtures.
+package sim
+
+// Time is simulated nanoseconds.
+type Time int64
+
+// FromNs converts raw serialized nanoseconds into simulated time.
+//
+//ksr:timebridge
+func FromNs(ns int64) Time { return Time(ns) }
+
+// Ns exposes simulated time as raw nanoseconds for serialization.
+//
+//ksr:timebridge
+func (t Time) Ns() int64 { return int64(t) }

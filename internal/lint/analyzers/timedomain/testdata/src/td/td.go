@@ -1,0 +1,82 @@
+package td
+
+import (
+	"time"
+
+	"sim"
+	"tdhelper"
+)
+
+type report struct {
+	ElapsedNs int64 `json:"elapsed_ns"`
+	Count     int64 `json:"count"`
+}
+
+// Mix converts a wall duration into simulated time.
+func Mix(t0 time.Time) sim.Time {
+	return sim.Time(time.Since(t0)) // want `wall-clock value converted into simulated time`
+}
+
+// Reverse converts simulated time into a wall duration.
+func Reverse(st sim.Time) time.Duration {
+	return time.Duration(st) // want `simulated time converted into a wall-clock type`
+}
+
+// Arith mixes domains in one expression.
+func Arith(st sim.Time, d time.Duration) int64 {
+	return int64(st) + int64(d) // want `mixes wall-derived and sim-derived`
+}
+
+// LoadNs reads a serialized ns field without a bridge.
+func LoadNs(r report) sim.Time {
+	return sim.Time(r.ElapsedNs) // want `serialized nanosecond field ElapsedNs`
+}
+
+// StoreNs writes simulated time into a serialized ns field.
+func StoreNs(st sim.Time) report {
+	return report{ElapsedNs: int64(st)} // want `stored into serialized nanosecond field ElapsedNs`
+}
+
+// StoreAssign is the assignment form of the same crossing.
+func StoreAssign(r *report, st sim.Time) {
+	r.ElapsedNs = int64(st) // want `stored into serialized nanosecond field ElapsedNs`
+}
+
+// Bridge is the blessed crossing: exempt in full.
+//
+//ksr:timebridge
+func Bridge(r report) sim.Time {
+	return sim.Time(r.ElapsedNs)
+}
+
+// Laundered routes the crossing through the blessed bridge functions:
+// the bridge call's result is untainted, so storing it is clean even
+// though this function is not itself a bridge.
+func Laundered(r report, st sim.Time) (sim.Time, report) {
+	return sim.FromNs(r.ElapsedNs), report{ElapsedNs: st.Ns()}
+}
+
+// Counts convert freely: no Ns suffix, no time semantics.
+func Counts(r report) sim.Time {
+	return sim.Time(r.Count)
+}
+
+// ViaHelper catches wall taint through a same-package function result.
+func ViaHelper(t0 time.Time) sim.Time {
+	return sim.Time(elapsedNs(t0)) // want `wall-clock value converted into simulated time`
+}
+
+func elapsedNs(t0 time.Time) int64 {
+	return time.Since(t0).Nanoseconds()
+}
+
+// CrossPkg catches wall taint through another package's facts.
+func CrossPkg(t0 time.Time) sim.Time {
+	return sim.Time(tdhelper.WallNs(t0)) // want `wall-clock value converted into simulated time`
+}
+
+// Suppressed documents a deliberate crossing.
+func Suppressed(t0 time.Time) sim.Time {
+	//lint:ignore ksrlint/timedomain calibration-only path, wall time is the source of truth here
+	return sim.Time(time.Since(t0))
+}

@@ -1,0 +1,9 @@
+package tdhelper
+
+import "time"
+
+// WallNs returns wall-clock nanoseconds since t0; its return is marked
+// wall-derived in the facts, so callers in other packages see the taint.
+func WallNs(t0 time.Time) int64 {
+	return time.Since(t0).Nanoseconds()
+}

@@ -1,0 +1,281 @@
+// Package timedomain keeps simulated time and wall-clock time apart.
+// The simulator's clock (sim.Time) is deterministic nanoseconds; the
+// wall clock (time.Time, time.Duration) is not. A wall value laundered
+// into the simulated domain destroys run-to-run determinism — the
+// repro's core invariant — and a simulated value interpreted as a wall
+// duration silently corrupts timeouts and metrics.
+//
+// The analyzer is a type-and-fact-driven taint check over expressions:
+//
+//   - converting a wall-derived value into sim.Time, or a sim-derived
+//     value into time.Duration, is flagged;
+//   - arithmetic or comparison mixing wall-derived and sim-derived
+//     nanoseconds (after int conversions, through function results via
+//     facts) is flagged;
+//   - serialization boundaries: reading a json-tagged *Ns struct field
+//     into sim.Time, or storing simulated time into one, must happen in
+//     a function annotated //ksr:timebridge (sim.FromNs / (sim.Time).Ns
+//     are the canonical bridges).
+//
+// Functions annotated //ksr:timebridge are exempt in full: they are the
+// audited crossings. Taint tracks expression shapes and interprocedural
+// return facts, not local variables — `x := int64(time.Since(t0))`
+// followed by `sim.Time(x)` two lines later is out of reach, which
+// keeps the check fast and false-positive-free on counters.
+package timedomain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/facts"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "timedomain",
+	Doc:  "simulated-time and wall-clock values must not mix outside //ksr:timebridge functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if facts.FuncAnnotations(fd).TimeBridge {
+				continue // the audited crossing itself
+			}
+			c.checkBody(fd.Body)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+func (c *checker) info() *types.Info { return c.pass.TypesInfo }
+
+func (c *checker) checkBody(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.checkConversion(n)
+		case *ast.BinaryExpr:
+			c.checkMix(n)
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					c.checkNsStore(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.CompositeLit:
+			c.checkNsLit(n)
+		}
+		return true
+	})
+}
+
+// checkConversion flags direct domain crossings: T(x) where T and x sit
+// in different time domains, and the serialization-read form
+// sim.Time(v.SomethingNs).
+func (c *checker) checkConversion(call *ast.CallExpr) {
+	tv, ok := c.info().Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	to := tv.Type
+	arg := ast.Unparen(call.Args[0])
+	switch {
+	case facts.IsSimTime(to):
+		if c.wallTainted(arg) {
+			c.pass.Reportf(call.Pos(),
+				"wall-clock value converted into simulated time; the domains must only meet in a //ksr:timebridge function")
+			return
+		}
+		if name, ok := c.jsonNsField(arg); ok {
+			c.pass.Reportf(call.Pos(),
+				"serialized nanosecond field %s converted into simulated time outside a //ksr:timebridge function (route through sim.FromNs)", name)
+		}
+	case facts.IsWallType(to):
+		if c.simTainted(arg) {
+			c.pass.Reportf(call.Pos(),
+				"simulated time converted into a wall-clock type; the domains must only meet in a //ksr:timebridge function")
+		}
+	}
+}
+
+// mixOps are the operators where mixing domains is meaningful (and
+// wrong). Shifts, bit ops, and logical ops don't carry time semantics.
+var mixOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true, token.REM: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func (c *checker) checkMix(b *ast.BinaryExpr) {
+	if !mixOps[b.Op] {
+		return
+	}
+	xw, xs := c.wallTainted(b.X), c.simTainted(b.X)
+	yw, ys := c.wallTainted(b.Y), c.simTainted(b.Y)
+	if (xw && ys) || (xs && yw) {
+		c.pass.Reportf(b.OpPos,
+			"expression mixes wall-derived and sim-derived nanoseconds; convert through a //ksr:timebridge helper first")
+	}
+}
+
+// checkNsStore flags `v.SomethingNs = <sim-derived>` outside a bridge.
+func (c *checker) checkNsStore(lhs, rhs ast.Expr) {
+	name, ok := c.jsonNsField(ast.Unparen(lhs))
+	if !ok {
+		return
+	}
+	if c.simTainted(ast.Unparen(rhs)) {
+		c.pass.Reportf(rhs.Pos(),
+			"simulated time stored into serialized nanosecond field %s outside a //ksr:timebridge function (route through (sim.Time).Ns)", name)
+	}
+}
+
+// checkNsLit flags `T{SomethingNs: <sim-derived>}` outside a bridge.
+func (c *checker) checkNsLit(lit *ast.CompositeLit) {
+	tv, ok := c.info().Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !isNsFieldName(st, key.Name) {
+			continue
+		}
+		if c.simTainted(ast.Unparen(kv.Value)) {
+			c.pass.Reportf(kv.Value.Pos(),
+				"simulated time stored into serialized nanosecond field %s outside a //ksr:timebridge function (route through (sim.Time).Ns)", key.Name)
+		}
+	}
+}
+
+// wallTainted reports whether e's value derives from the wall clock:
+// typed as time.Time/Duration, a known ns accessor on one, a function
+// whose facts mark its result wall-derived, or a conversion/arithmetic
+// over such values.
+func (c *checker) wallTainted(e ast.Expr) bool {
+	w, _ := c.taint(e)
+	return w
+}
+
+func (c *checker) simTainted(e ast.Expr) bool {
+	_, s := c.taint(e)
+	return s
+}
+
+func (c *checker) taint(e ast.Expr) (wall, sim bool) {
+	e = ast.Unparen(e)
+	if tv, ok := c.info().Types[e]; ok && tv.Type != nil {
+		if tv.Value != nil {
+			return false, false // constants carry no domain
+		}
+		if facts.IsWallType(tv.Type) {
+			return true, false
+		}
+		if facts.IsSimTime(tv.Type) {
+			return false, true
+		}
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		xw, xs := c.taint(e.X)
+		yw, ys := c.taint(e.Y)
+		return xw || yw, xs || ys
+	case *ast.UnaryExpr:
+		return c.taint(e.X)
+	case *ast.CallExpr:
+		if tv, ok := c.info().Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return c.taint(e.Args[0]) // conversion: taint flows through
+		}
+		obj := analysis.Callee(c.info(), e)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return false, false
+		}
+		switch string(facts.KeyOf(fn)) {
+		case "(time.Time).UnixNano", "(time.Time).UnixMilli", "(time.Time).UnixMicro",
+			"(time.Duration).Nanoseconds", "(time.Duration).Milliseconds", "(time.Duration).Microseconds",
+			"(time.Duration).Seconds":
+			return true, false
+		}
+		if sum := c.pass.Facts.Lookup(fn); sum != nil {
+			if sum.TimeBridge {
+				// A //ksr:timebridge call IS the sanctioned crossing:
+				// its result re-enters circulation untainted.
+				return false, false
+			}
+			w := len(sum.WallNs) == 1 && sum.WallNs[0]
+			s := len(sum.SimNs) == 1 && sum.SimNs[0]
+			return w, s
+		}
+	}
+	return false, false
+}
+
+// jsonNsField reports whether e reads a struct field that crosses the
+// serialization boundary as raw nanoseconds: json-tagged and named
+// *Ns. The Ns suffix keeps plain counters (Transactions, Procs) out.
+func (c *checker) jsonNsField(e ast.Expr) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	tv, ok := c.info().Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	if !isNsFieldName(st, sel.Sel.Name) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isNsFieldName reports whether st has a json-serialized field called
+// name with the raw-nanoseconds naming convention.
+func isNsFieldName(st *types.Struct, name string) bool {
+	if !strings.HasSuffix(name, "Ns") {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != name {
+			continue
+		}
+		tag := reflect.StructTag(st.Tag(i)).Get("json")
+		return tag != "" && tag != "-"
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package timedomain_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/timedomain"
+)
+
+func TestTimedomain(t *testing.T) {
+	analysistest.Run(t, "testdata", timedomain.Analyzer, "sim", "tdhelper", "td")
+}

@@ -1,0 +1,373 @@
+package facts
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Annotations are the //ksr: markers recognized in a function's doc
+// comment.
+type Annotations struct {
+	Hot        bool
+	Cold       bool
+	TimeBridge bool
+	Untrusted  bool
+}
+
+// FuncAnnotations parses decl's doc comment for ksr directives. A
+// directive must start its comment line: "//ksr:hotpath", optionally
+// followed by whitespace and prose.
+func FuncAnnotations(decl *ast.FuncDecl) Annotations {
+	var a Annotations
+	if decl.Doc == nil {
+		return a
+	}
+	for _, c := range decl.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		switch {
+		case hasDirective(text, "//ksr:hotpath"):
+			a.Hot = true
+		case hasDirective(text, "//ksr:coldpath"):
+			a.Cold = true
+		case hasDirective(text, "//ksr:timebridge"):
+			a.TimeBridge = true
+		case hasDirective(text, "//ksr:untrusted-input"):
+			a.Untrusted = true
+		}
+	}
+	return a
+}
+
+func hasDirective(text, dir string) bool {
+	if !strings.HasPrefix(text, dir) {
+		return false
+	}
+	rest := text[len(dir):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// FuncDecls maps every function declaration in files to its stable key,
+// in source order. Declarations without bodies or type information are
+// skipped.
+func FuncDecls(files []*ast.File, info *types.Info) (map[Key]*ast.FuncDecl, []Key) {
+	decls := make(map[Key]*ast.FuncDecl)
+	var order []Key
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			k := KeyOf(fn)
+			if _, dup := decls[k]; dup {
+				continue
+			}
+			decls[k] = fd
+			order = append(order, k)
+		}
+	}
+	return decls, order
+}
+
+// suppressedLines collects, per analyzer, the lines a "//lint:ignore"
+// directive naming ksrlint/<analyzer> covers (its own line and the line
+// below), keyed by filename. An effect blessed at its site is also off
+// the interprocedural budget: the whole point of suppressing a
+// pool-miss allocation or an invariant type assertion is that callers
+// stay clean too. The directive grammar is re-parsed here minimally
+// because the ignore package sits above analysis, which imports facts —
+// importing it back would cycle.
+func suppressedLines(fset *token.FileSet, files []*ast.File) map[string]map[string]map[int]bool {
+	cover := map[string]map[string]map[int]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok || rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 { // no reason: malformed, audited elsewhere
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, n := range strings.Split(fields[0], ",") {
+					name, ok := strings.CutPrefix(n, "ksrlint/")
+					if !ok {
+						continue
+					}
+					if cover[name] == nil {
+						cover[name] = map[string]map[int]bool{}
+					}
+					if cover[name][pos.Filename] == nil {
+						cover[name][pos.Filename] = map[int]bool{}
+					}
+					cover[name][pos.Filename][pos.Line] = true
+					cover[name][pos.Filename][pos.Line+1] = true
+				}
+			}
+		}
+	}
+	return cover
+}
+
+// BuildPackage computes summaries for every function declared in files,
+// reading cross-package facts from store (which must already hold the
+// facts of all imported, in-module packages). The result is not added
+// to the store; callers do that, so the add/build order stays explicit.
+func BuildPackage(fset *token.FileSet, files []*ast.File, info *types.Info, store *Store) *PackageFacts {
+	decls, order := FuncDecls(files, info)
+	if len(order) == 0 {
+		return &PackageFacts{Funcs: map[Key]*Summary{}}
+	}
+	suppressed := suppressedLines(fset, files)
+
+	// Local call-graph edges: any reference (call, method value, func
+	// value) from one local function to another. Over-approximate on
+	// purpose — the edges only group functions into SCCs for the
+	// fixpoint; precision lives in ScanFunc.
+	callees := make(map[Key][]Key)
+	for k, fd := range decls {
+		seen := map[Key]bool{}
+		ast.Inspect(fd, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			ck := KeyOf(fn)
+			if _, local := decls[ck]; local && !seen[ck] {
+				seen[ck] = true
+				callees[k] = append(callees[k], ck)
+			}
+			return true
+		})
+	}
+
+	// Tarjan emits each SCC only after every SCC it can reach, so
+	// processing components in emission order is callee-first.
+	sccs := tarjan(order, callees)
+
+	local := make(map[Key]*Summary, len(order))
+	lookup := func(obj types.Object) *Summary {
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return nil
+		}
+		k := KeyOf(fn)
+		if sum, ok := local[k]; ok {
+			return sum
+		}
+		return store.ByKey(k)
+	}
+
+	for _, scc := range sccs {
+		// Seed with annotations so intra-SCC lookups see Cold/Hot bits
+		// from the first iteration.
+		for _, k := range scc {
+			ann := FuncAnnotations(decls[k])
+			local[k] = &Summary{
+				Hot: ann.Hot, Cold: ann.Cold,
+				TimeBridge: ann.TimeBridge, Untrusted: ann.Untrusted,
+			}
+		}
+		// Iterate scans until the summaries stop changing. Every effect
+		// bit is monotone and the set sizes are bounded, so this
+		// terminates; the cap is a belt against a future non-monotone
+		// edit looping forever.
+		for iter := 0; iter < 4*len(scc)+4; iter++ {
+			changed := false
+			for _, k := range scc {
+				res := ScanFunc(fset, info, decls[k], k, lookup)
+				res.Allocs = dropSuppressed(fset, res.Allocs, suppressed["hotalloc"])
+				res.Panics = dropSuppressed(fset, res.Panics, suppressed["errnopanic"])
+				res.Risks = dropSuppressed(fset, res.Risks, suppressed["errnopanic"])
+				next := foldSummary(local[k], res)
+				if summarySig(next) != summarySig(local[k]) {
+					changed = true
+				}
+				local[k] = next
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
+	path := ""
+	if p := info.Defs[decls[order[0]].Name].Pkg(); p != nil {
+		path = p.Path()
+	}
+	return &PackageFacts{Path: path, Funcs: local}
+}
+
+// dropSuppressed filters out local findings whose site line is covered
+// by the relevant analyzer's ignore directive. Only direct sites (empty
+// Chain) are droppable: a finding propagated from a callee is laundered
+// — or not — where the callee's own summary is built.
+func dropSuppressed(fset *token.FileSet, found []Local, cover map[string]map[int]bool) []Local {
+	if len(cover) == 0 {
+		return found
+	}
+	kept := found[:0]
+	for _, a := range found {
+		if len(a.Chain) == 0 {
+			pos := fset.Position(a.Pos)
+			if cover[pos.Filename][pos.Line] {
+				continue
+			}
+		}
+		kept = append(kept, a)
+	}
+	return kept
+}
+
+// foldSummary turns one body scan into the function's summary, keeping
+// prev's annotation bits.
+func foldSummary(prev *Summary, res ScanResult) *Summary {
+	sum := &Summary{
+		Hot: prev.Hot, Cold: prev.Cold,
+		TimeBridge: prev.TimeBridge, Untrusted: prev.Untrusted,
+	}
+	if len(res.Allocs) > 0 {
+		first := res.Allocs[0]
+		sum.Allocates, sum.Alloc, sum.AllocChain = true, first.Site, first.Chain
+	}
+	if len(res.Panics) > 0 {
+		first := res.Panics[0]
+		sum.Panics, sum.Panic, sum.PanicChain = true, first.Site, first.Chain
+	}
+	if len(res.Risks) > 0 {
+		first := res.Risks[0]
+		sum.Risky, sum.Risk, sum.RiskChain = true, first.Site, first.Chain
+	}
+	if len(res.Blocks) > 0 {
+		first := res.Blocks[0]
+		sum.Blocks, sum.Block, sum.BlockChain = true, first.Site, first.Chain
+	}
+	sum.Acquires = res.Acquires
+	sum.Edges = res.Edges
+	sum.WallNs = res.WallNs
+	sum.SimNs = res.SimNs
+	return sum
+}
+
+// summarySig is a cheap fixpoint-stability signature: it covers every
+// field a rescan can change.
+func summarySig(s *Summary) string {
+	var b strings.Builder
+	for _, v := range []bool{s.Allocates, s.Panics, s.Risky, s.Blocks} {
+		if v {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	b.WriteByte('|')
+	b.WriteString(strings.Join(s.Acquires, ","))
+	b.WriteByte('|')
+	for _, e := range s.Edges {
+		b.WriteString(e.From)
+		b.WriteByte('>')
+		b.WriteString(e.To)
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	for _, v := range append(append([]bool{}, s.WallNs...), s.SimNs...) {
+		if v {
+			b.WriteByte('w')
+		} else {
+			b.WriteByte('.')
+		}
+	}
+	return b.String()
+}
+
+// tarjan computes strongly connected components of the local call
+// graph, emitted callee-first (each SCC before any SCC that calls into
+// it). Iterative, so deep call chains cannot overflow the stack.
+func tarjan(order []Key, edges map[Key][]Key) [][]Key {
+	index := make(map[Key]int)
+	low := make(map[Key]int)
+	onStack := make(map[Key]bool)
+	var stack []Key
+	var sccs [][]Key
+	next := 0
+
+	type frame struct {
+		node Key
+		ei   int // next edge index to explore
+	}
+
+	var visit func(root Key)
+	visit = func(root Key) {
+		work := []frame{{node: root}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.node
+			if f.ei == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.ei < len(edges[v]) {
+				w := edges[v][f.ei]
+				f.ei++
+				if _, seen := index[w]; !seen {
+					work = append(work, frame{node: w})
+					advanced = true
+					break
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished.
+			if low[v] == index[v] {
+				var scc []Key
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				// Restore declaration order inside the component so
+				// fixpoint iteration (and representatives) are stable.
+				sccs = append(sccs, scc)
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].node
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+
+	for _, k := range order {
+		if _, seen := index[k]; !seen {
+			visit(k)
+		}
+	}
+	return sccs
+}

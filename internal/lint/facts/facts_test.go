@@ -1,0 +1,205 @@
+package facts_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/facts"
+	"repro/internal/lint/load"
+)
+
+// build type-checks src as package "p" and returns its computed facts.
+func build(t *testing.T, src string) *facts.PackageFacts {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []*ast.File{f}
+	_, info, err := load.Check(fset, "p", files, importer.ForCompiler(fset, "source", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return facts.BuildPackage(fset, files, info, facts.NewStore())
+}
+
+func summary(t *testing.T, pf *facts.PackageFacts, key string) *facts.Summary {
+	t.Helper()
+	sum := pf.Funcs[facts.Key(key)]
+	if sum == nil {
+		t.Fatalf("no summary for %q; have %d summaries", key, len(pf.Funcs))
+	}
+	return sum
+}
+
+func TestAllocPropagatesThroughCalls(t *testing.T) {
+	pf := build(t, `package p
+
+func leaf(n int) []int { return make([]int, n) }
+
+func mid(n int) []int { return leaf(n) }
+
+func top(n int) int { return len(mid(n)) }
+`)
+	for _, name := range []string{"p.leaf", "p.mid", "p.top"} {
+		if !summary(t, pf, name).Allocates {
+			t.Errorf("%s.Allocates = false, want true", name)
+		}
+	}
+	top := summary(t, pf, "p.top")
+	if len(top.AllocChain) == 0 || top.AllocChain[0] != "p.mid" {
+		t.Errorf("top alloc chain = %v, want to start at p.mid", top.AllocChain)
+	}
+	if !strings.Contains(top.Alloc.Pos, "p.go:") {
+		t.Errorf("representative site %q should carry a rendered position", top.Alloc.Pos)
+	}
+}
+
+func TestMutualRecursionConverges(t *testing.T) {
+	pf := build(t, `package p
+
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		sink(make([]int, 1))
+		return false
+	}
+	return even(n - 1)
+}
+
+func sink(v []int) {}
+`)
+	if !summary(t, pf, "p.even").Allocates || !summary(t, pf, "p.odd").Allocates {
+		t.Error("mutually recursive pair should both inherit the allocation")
+	}
+}
+
+func TestAnnotationsAndPanics(t *testing.T) {
+	pf := build(t, `package p
+
+// fail is the termination route.
+//
+//ksr:coldpath
+func fail(msg string) {
+	panic(msg)
+}
+
+// step is the fast path.
+//
+//ksr:hotpath
+func step(bad bool) {
+	if bad {
+		fail("boom")
+	}
+}
+`)
+	fail := summary(t, pf, "p.fail")
+	if !fail.Cold || !fail.Panics {
+		t.Errorf("fail: Cold=%v Panics=%v, want true/true", fail.Cold, fail.Panics)
+	}
+	step := summary(t, pf, "p.step")
+	if !step.Hot {
+		t.Error("step.Hot = false, want true")
+	}
+	if step.Allocates {
+		t.Error("step.Allocates = true; the cold callee is off the allocation budget")
+	}
+	if !step.Panics {
+		t.Error("step.Panics = false; panic reachability must survive cold exemption")
+	}
+}
+
+func TestLockEdgesAndBlocking(t *testing.T) {
+	pf := build(t, `package p
+
+import (
+	"os"
+	"sync"
+)
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) Nest() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *S) IO(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+`)
+	nest := summary(t, pf, "(p.S).Nest")
+	if len(nest.Edges) != 1 || nest.Edges[0].From != "p.S.a" || nest.Edges[0].To != "p.S.b" {
+		t.Errorf("Nest edges = %+v, want one p.S.a -> p.S.b", nest.Edges)
+	}
+	if len(nest.Acquires) != 2 {
+		t.Errorf("Nest acquires = %v, want both locks", nest.Acquires)
+	}
+	if !summary(t, pf, "(p.S).IO").Blocks {
+		t.Error("IO.Blocks = false; os.ReadFile is syscall-latency I/O")
+	}
+}
+
+func TestTimeDomainClassification(t *testing.T) {
+	pf := build(t, `package p
+
+import "time"
+
+func wallNs(t0 time.Time) int64 {
+	return time.Since(t0).Nanoseconds()
+}
+
+func plain(n int64) int64 {
+	return n + 1
+}
+`)
+	wall := summary(t, pf, "p.wallNs")
+	if len(wall.WallNs) != 1 || !wall.WallNs[0] {
+		t.Errorf("wallNs.WallNs = %v, want [true]", wall.WallNs)
+	}
+	if got := summary(t, pf, "p.plain").WallNs; got != nil {
+		t.Errorf("plain.WallNs = %v, want nil", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	pf := build(t, `package p
+
+func f() []int { return make([]int, 3) }
+`)
+	pf.Path = "p"
+	b1, err := pf.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := facts.DecodePackage(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Errorf("round trip not byte-stable:\n%s\n%s", b1, b2)
+	}
+	if empty, err := facts.DecodePackage(nil); empty != nil || err != nil {
+		t.Errorf("DecodePackage(nil) = %v, %v; want nil, nil (factless vetx is normal)", empty, err)
+	}
+}

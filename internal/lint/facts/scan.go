@@ -1,0 +1,1036 @@
+package facts
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Local is one site of interest with its in-process position, produced
+// by scanning a function body in the package under analysis. Site and
+// Chain carry the propagation form: the representative underlying
+// position (possibly in another package, pre-rendered) and the callee
+// keys leading to it.
+type Local struct {
+	Pos   token.Pos
+	What  string
+	Site  Site
+	Chain []string
+	// Kind partitions Violations: KindChan for park-under-lock shapes
+	// that can deadlock outright, KindIO for lock hold times inheriting
+	// syscall latency. Analyzers report the former per site and the
+	// latter once per function.
+	Kind string
+}
+
+// Violation kinds.
+const (
+	KindChan = "chan"
+	KindIO   = "io"
+)
+
+// ScanResult is everything one pass over a function body yields. The
+// builder folds it into a Summary; the analyzers report slices of it
+// directly, anchored at the token.Pos fields.
+type ScanResult struct {
+	Allocs     []Local    // steady-state allocation sites (hot-path budget)
+	Panics     []Local    // reachable panics, direct or via calls
+	Risks      []Local    // decode hazards: bare type asserts, unclamped makes
+	Acquires   []string   // lock classes taken, direct + via calls
+	Edges      []LockEdge // acquired-while-holding pairs (Pos rendered short)
+	EdgePos    []token.Pos
+	Violations []Local // blocking/channel ops performed while holding a lock
+	Blocks     []Local // blocking sites (first is the representative)
+	WallNs     []bool  // per-result wall-derived plain-ns classification
+	SimNs      []bool
+}
+
+// Lookup resolves a callee object to its (possibly partial, during the
+// SCC fixpoint) summary; nil means "no facts — use the stdlib tables".
+type Lookup func(obj types.Object) *Summary
+
+type scanner struct {
+	fset      *token.FileSet
+	info      *types.Info
+	lookup    Lookup
+	enclosing Key
+	res       ScanResult
+
+	held     []string // lock classes currently held, in acquisition order
+	edgeSeen map[string]bool
+
+	// Prepass products: structural context Inspect cannot see locally.
+	commaOK       map[*ast.TypeAssertExpr]bool // v, ok := x.(T) forms
+	appendTargets map[*ast.CallExpr]string     // append call -> assigned LHS text
+	addressedLits map[*ast.CompositeLit]bool   // lits under a & operator
+	funExprs      map[ast.Expr]bool            // selectors in call-Fun position
+	commStmts     map[ast.Stmt]bool            // comm clauses of a select
+}
+
+// ScanFunc analyzes one function body. decl may have a nil body
+// (assembly or external linkage), which yields an empty result.
+func ScanFunc(fset *token.FileSet, info *types.Info, decl *ast.FuncDecl, enclosing Key, lookup Lookup) ScanResult {
+	s := &scanner{
+		fset: fset, info: info, lookup: lookup, enclosing: enclosing,
+		edgeSeen:      make(map[string]bool),
+		commaOK:       make(map[*ast.TypeAssertExpr]bool),
+		appendTargets: make(map[*ast.CallExpr]string),
+		addressedLits: make(map[*ast.CompositeLit]bool),
+		funExprs:      make(map[ast.Expr]bool),
+		commStmts:     make(map[ast.Stmt]bool),
+	}
+	if decl.Body != nil {
+		s.prepass(decl.Body)
+		s.scanStmts(decl.Body)
+		s.classifyReturns(decl)
+	}
+	return s.res
+}
+
+// prepass records parent-dependent context in one walk: comma-ok
+// assertion forms, append self-assignment targets, address-taken
+// composite literals, call-Fun selectors, and select comm statements.
+func (s *scanner) prepass(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+				if ta, ok := ast.Unparen(n.Rhs[0]).(*ast.TypeAssertExpr); ok {
+					s.commaOK[ta] = true
+				}
+			}
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+						if b, isB := s.info.Uses[id].(*types.Builtin); isB && b.Name() == "append" {
+							s.appendTargets[call] = types.ExprString(n.Lhs[0])
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == 2 && len(n.Values) == 1 {
+				if ta, ok := ast.Unparen(n.Values[0]).(*ast.TypeAssertExpr); ok {
+					s.commaOK[ta] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					s.addressedLits[lit] = true
+				}
+			}
+		case *ast.CallExpr:
+			s.funExprs[ast.Unparen(n.Fun)] = true
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					s.commStmts[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (s *scanner) shortPos(pos token.Pos) string {
+	p := s.fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}
+
+// summaryOf resolves a called function to facts, or nil for calls that
+// go through the stdlib assumption tables.
+func (s *scanner) summaryOf(fn *types.Func) *Summary {
+	if s.lookup == nil {
+		return nil
+	}
+	return s.lookup(fn)
+}
+
+// calleeFunc resolves call's target to a *types.Func, nil for builtins
+// and computed calls (ev.fn(), stored func values).
+func (s *scanner) calleeFunc(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = s.info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = s.info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func (s *scanner) builtinName(call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := s.info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// isConversion reports whether call is a type conversion T(x).
+func (s *scanner) isConversion(call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := s.info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// --- main statement/expression walk ---------------------------------
+
+// scanStmts walks n in source order, which doubles as the (flow-
+// insensitive) program order for the held-lock tracking: branches are
+// traversed sequentially, over-approximating "still held" for code
+// after a branch that unlocks. The repro tree's lock discipline is
+// lock/defer-unlock, where this approximation is exact.
+func (s *scanner) scanStmts(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Reached only when not handled at a use site below: the
+			// literal escapes into a variable or field. Its body runs in
+			// an unknown context later; only its creation cost counts.
+			if s.capturing(n) {
+				s.alloc(n.Pos(), "capturing closure allocates its environment")
+			}
+			return false
+		case *ast.DeferStmt:
+			s.scanDefer(n)
+			return false
+		case *ast.GoStmt:
+			s.alloc(n.Pos(), "go statement starts a goroutine")
+			// The goroutine body runs outside this function's lock
+			// scope; its arguments are evaluated here.
+			for _, a := range n.Call.Args {
+				s.scanStmts(a)
+			}
+			return false
+		case *ast.IfStmt:
+			if s.isGuardedHookBlock(n) {
+				// Armed-instrumentation block: the disabled path never
+				// executes it, so its contents are off-budget.
+				return false
+			}
+		case *ast.SendStmt:
+			if !s.commStmts[n] {
+				s.chanOp(n.Pos(), "channel send")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !s.recvInComm(n) {
+				s.chanOp(n.Pos(), "channel receive")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := s.info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					s.chanOp(n.Pos(), "range over channel")
+				}
+			}
+		case *ast.SelectStmt:
+			blocking := true
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					blocking = false // has a default clause
+				}
+			}
+			if blocking {
+				s.chanOp(n.Pos(), "select")
+			}
+		case *ast.CompositeLit:
+			s.scanCompositeLit(n)
+		case *ast.CallExpr:
+			return s.scanCall(n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := s.info.Types[n]; ok && tv.Value == nil && tv.Type != nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						s.alloc(n.Pos(), "string concatenation")
+					}
+				}
+			}
+		case *ast.TypeAssertExpr:
+			s.scanTypeAssert(n)
+		case *ast.SelectorExpr:
+			// A method read outside call position is a method value,
+			// which allocates a bound closure.
+			if !s.funExprs[n] {
+				if fn, ok := s.info.Uses[n.Sel].(*types.Func); ok {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						s.alloc(n.Pos(), "method value "+string(KeyOf(fn))+" allocates a bound closure")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recvInComm reports whether the receive expression is the comm
+// statement of a select clause (already accounted by the select).
+func (s *scanner) recvInComm(recv *ast.UnaryExpr) bool {
+	for stmt := range s.commStmts {
+		switch st := stmt.(type) {
+		case *ast.ExprStmt:
+			if ast.Unparen(st.X) == recv {
+				return true
+			}
+		case *ast.AssignStmt:
+			if len(st.Rhs) == 1 && ast.Unparen(st.Rhs[0]) == recv {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanDefer handles `defer f(...)`: arguments are evaluated now (on
+// this path), the call body runs at return. Lock effects of a deferred
+// Unlock are modeled as "held until function end", i.e. ignored here.
+func (s *scanner) scanDefer(d *ast.DeferStmt) {
+	for _, a := range d.Call.Args {
+		s.scanStmts(a)
+	}
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		// A deferred closure runs at return, out of linear lock order;
+		// scan its allocation/panic effects with an empty held set.
+		saved := s.held
+		s.held = nil
+		s.scanStmts(lit.Body)
+		s.held = saved
+		return
+	}
+	if fn := s.calleeFunc(d.Call); fn != nil {
+		if isMutexMethod(fn) && (fn.Name() == "Unlock" || fn.Name() == "RUnlock") {
+			return // defer mu.Unlock(): held until function end
+		}
+		s.callEffects(d.Call, fn)
+	}
+}
+
+// isGuardedHookBlock matches the zero-overhead instrumentation idiom
+//
+//	if fn := h.X; fn != nil { ... }
+//
+// whose body only runs when a hook is armed and is therefore exempt
+// from the hot-path allocation budget.
+func (s *scanner) isGuardedHookBlock(ifs *ast.IfStmt) bool {
+	as, ok := ifs.Init.(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 {
+		return false
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := s.info.Defs[id]
+	if obj == nil || obj.Type() == nil {
+		return false
+	}
+	if _, isFunc := obj.Type().Underlying().(*types.Signature); !isFunc {
+		return false
+	}
+	cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok || cond.Op != token.NEQ {
+		return false
+	}
+	mentions := func(e ast.Expr) bool {
+		cid, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && s.info.Uses[cid] == obj
+	}
+	return mentions(cond.X) || mentions(cond.Y)
+}
+
+func (s *scanner) scanCompositeLit(lit *ast.CompositeLit) {
+	tv, ok := s.info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		s.alloc(lit.Pos(), "slice literal allocates its backing array")
+	case *types.Map:
+		s.alloc(lit.Pos(), "map literal")
+	case *types.Struct:
+		if s.addressedLits[lit] {
+			s.alloc(lit.Pos(), "&composite literal escapes to the heap")
+		}
+	}
+}
+
+func (s *scanner) scanTypeAssert(ta *ast.TypeAssertExpr) {
+	if ta.Type == nil || s.commaOK[ta] {
+		return // x.(type) switch guard, or comma-ok form
+	}
+	s.res.Risks = append(s.res.Risks, Local{
+		Pos:  ta.Pos(),
+		What: "single-form type assertion panics on an unexpected dynamic type; use the comma-ok form and return an error",
+		Site: Site{Pos: s.shortPos(ta.Pos()), What: "single-form type assertion"},
+	})
+}
+
+// --- calls ----------------------------------------------------------
+
+func (s *scanner) scanCall(call *ast.CallExpr) bool {
+	// panic(...) exempts its argument subtree from the allocation
+	// budget: a path that panics has left steady state.
+	if s.builtinName(call) == "panic" {
+		s.res.Panics = append(s.res.Panics, Local{
+			Pos:  call.Pos(),
+			What: "explicit panic",
+			Site: Site{Pos: s.shortPos(call.Pos()), What: "panic"},
+		})
+		return false
+	}
+
+	switch s.builtinName(call) {
+	case "make":
+		s.alloc(call.Pos(), "make")
+		s.checkMakeSize(call)
+		return true
+	case "new":
+		s.alloc(call.Pos(), "new")
+		return true
+	case "append":
+		// Self-append (x = append(x, ...)) is amortized growth: zero
+		// allocations in steady state once capacity plateaus, which is
+		// exactly what the benchmark allocs/op gates measure.
+		if tgt, ok := s.appendTargets[call]; !ok || len(call.Args) == 0 || tgt != types.ExprString(call.Args[0]) {
+			s.alloc(call.Pos(), "append into a different slice allocates a new backing array")
+		}
+		return true
+	case "":
+		// not a builtin
+	default:
+		return true // len/cap/copy/min/... are allocation-free
+	}
+
+	if convTo, ok := s.isConversion(call); ok {
+		s.scanConversion(call, convTo)
+		return true
+	}
+
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// Immediately-invoked literal: runs here, inline.
+		s.scanStmts(lit.Body)
+		for _, a := range call.Args {
+			s.scanStmts(a)
+		}
+		return false
+	}
+
+	fn := s.calleeFunc(call)
+	if fn == nil {
+		// Computed call (ev.fn(), stored func value): effects unknown.
+		// Hot-path event bodies are checked where they are defined, not
+		// where they are dispatched — a documented limitation.
+		return true
+	}
+	s.callEffects(call, fn)
+	return true
+}
+
+// callEffects applies a resolved callee's summary (or the stdlib
+// tables) to the current scan state.
+func (s *scanner) callEffects(call *ast.CallExpr, fn *types.Func) {
+	key := KeyOf(fn)
+
+	// Lock acquisition / release / cond parking.
+	if isMutexMethod(fn) {
+		s.mutexOp(call, fn)
+		return
+	}
+	if isCondWait(fn) {
+		s.condWait(call)
+		return
+	}
+
+	switch sum := s.summaryOf(fn); {
+	case sum != nil:
+		if sum.Cold {
+			// Cold route (termination, diagnostics): off the allocation
+			// budget, but lock and panic effects still count.
+			s.propagatePanics(call, key, sum)
+			s.lockEffectsOfCall(call, key, sum)
+			return
+		}
+		if sum.Allocates {
+			s.res.Allocs = append(s.res.Allocs, Local{
+				Pos: call.Pos(),
+				What: fmt.Sprintf("call to %s allocates: %s at %s%s",
+					key, sum.Alloc.What, sum.Alloc.Pos, chainText(sum.AllocChain)),
+				Site:  sum.Alloc,
+				Chain: append([]string{string(key)}, sum.AllocChain...),
+			})
+		}
+		s.propagatePanics(call, key, sum)
+		s.lockEffectsOfCall(call, key, sum)
+	case inModule(pkgPathOf(fn)):
+		// A module function without facts (not yet analyzed): assume
+		// the worst for the allocation budget, nothing else.
+		s.res.Allocs = append(s.res.Allocs, Local{
+			Pos:  call.Pos(),
+			What: fmt.Sprintf("call to %s, which has no summary; cannot prove it allocation-free", key),
+			Site: Site{Pos: s.shortPos(call.Pos()), What: "unanalyzed callee"},
+		})
+	default:
+		if StdAllocates(fn) {
+			s.res.Allocs = append(s.res.Allocs, Local{
+				Pos:  call.Pos(),
+				What: fmt.Sprintf("call to %s is not known allocation-free", key),
+				Site: Site{Pos: s.shortPos(call.Pos()), What: "call to " + string(key)},
+			})
+		}
+		if StdPanics(fn) {
+			s.res.Panics = append(s.res.Panics, Local{
+				Pos:  call.Pos(),
+				What: string(key) + " panics by contract",
+				Site: Site{Pos: s.shortPos(call.Pos()), What: "call to " + string(key)},
+			})
+		}
+		if StdBlocks(fn) {
+			s.block(call.Pos(), string(key))
+		}
+	}
+
+	s.checkVariadicAndBoxing(call, fn)
+}
+
+func (s *scanner) propagatePanics(call *ast.CallExpr, key Key, sum *Summary) {
+	if sum.Panics {
+		s.res.Panics = append(s.res.Panics, Local{
+			Pos: call.Pos(),
+			What: fmt.Sprintf("call to %s may panic: %s at %s%s",
+				key, sum.Panic.What, sum.Panic.Pos, chainText(sum.PanicChain)),
+			Site:  sum.Panic,
+			Chain: append([]string{string(key)}, sum.PanicChain...),
+		})
+	}
+	if sum.Risky {
+		s.res.Risks = append(s.res.Risks, Local{
+			Pos: call.Pos(),
+			What: fmt.Sprintf("call to %s can panic on malformed input: %s at %s%s",
+				key, sum.Risk.What, sum.Risk.Pos, chainText(sum.RiskChain)),
+			Site:  sum.Risk,
+			Chain: append([]string{string(key)}, sum.RiskChain...),
+		})
+	}
+}
+
+// lockEffectsOfCall folds a callee's lock behavior into this function:
+// its transitive acquisitions happen with our held set on the stack,
+// and if it can block while we hold a lock, that is a stall risk.
+func (s *scanner) lockEffectsOfCall(call *ast.CallExpr, key Key, sum *Summary) {
+	for _, a := range sum.Acquires {
+		s.res.Acquires = appendUnique(s.res.Acquires, a)
+		for _, h := range s.held {
+			s.edge(h, a, call.Pos(), string(key))
+		}
+	}
+	if sum.Blocks && len(s.held) > 0 {
+		kind := KindIO
+		if isChanSite(sum.Block.What) {
+			kind = KindChan
+		}
+		s.violation(call.Pos(), kind, fmt.Sprintf("call to %s may block (%s at %s%s) while holding %s",
+			key, sum.Block.What, sum.Block.Pos, chainText(sum.BlockChain), strings.Join(s.held, ", ")))
+	}
+	if sum.Blocks {
+		s.res.Blocks = append(s.res.Blocks, Local{
+			Pos:   call.Pos(),
+			What:  sum.Block.What,
+			Site:  sum.Block,
+			Chain: append([]string{string(key)}, sum.BlockChain...),
+		})
+	}
+}
+
+// --- locks ----------------------------------------------------------
+
+func isMutexMethod(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := namedOf(sig.Recv().Type())
+	if n == nil {
+		return false
+	}
+	name := n.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+func isCondWait(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != "Wait" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := namedOf(sig.Recv().Type())
+	return n != nil && n.Obj().Name() == "Cond"
+}
+
+func (s *scanner) mutexOp(call *ast.CallExpr, fn *types.Func) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	class := s.lockClass(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		s.res.Acquires = appendUnique(s.res.Acquires, class)
+		for _, h := range s.held {
+			s.edge(h, class, call.Pos(), "")
+		}
+		s.held = append(s.held, class)
+	case "Unlock", "RUnlock":
+		for i := len(s.held) - 1; i >= 0; i-- {
+			if s.held[i] == class {
+				s.held = append(s.held[:i], s.held[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// condWait models sync.Cond.Wait: it releases the cond's own mutex
+// while parked, so waiting with exactly one lock held is the normal
+// worker idiom; two or more means some *other* lock stays held across
+// the park.
+func (s *scanner) condWait(call *ast.CallExpr) {
+	s.res.Blocks = append(s.res.Blocks, Local{
+		Pos:  call.Pos(),
+		What: "sync.Cond.Wait",
+		Site: Site{Pos: s.shortPos(call.Pos()), What: "sync.Cond.Wait"},
+	})
+	if len(s.held) >= 2 {
+		s.violation(call.Pos(), KindChan, fmt.Sprintf(
+			"sync.Cond.Wait parks while %d locks are held (%s); only the cond's own lock is released",
+			len(s.held), strings.Join(s.held, ", ")))
+	}
+}
+
+// lockClass names the lock a receiver expression denotes, stably:
+// "pkg/path.Type.field" for a mutex field, "pkg/path.Type" for an
+// embedded mutex, "pkg/path.var" for a package-level mutex, and a
+// function-scoped name for locals.
+func (s *scanner) lockClass(recv ast.Expr) string {
+	recv = ast.Unparen(recv)
+	if sel, ok := recv.(*ast.SelectorExpr); ok {
+		if tv, ok := s.info.Types[sel.X]; ok && tv.Type != nil {
+			if named := namedOf(tv.Type); named != nil {
+				return qualifyNamed(named) + "." + sel.Sel.Name
+			}
+		}
+		// Package-qualified package-level var: pkg.mu.
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if _, isPkg := s.info.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := s.info.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil {
+					return v.Pkg().Path() + "." + v.Name()
+				}
+			}
+		}
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		if obj := s.info.Uses[id]; obj != nil && obj.Type() != nil {
+			if named := namedOf(obj.Type()); named != nil && !isSyncType(named) {
+				return qualifyNamed(named) // embedded mutex: q.Lock()
+			}
+			if v, ok := obj.(*types.Var); ok {
+				if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+					return v.Pkg().Path() + "." + v.Name()
+				}
+				return string(s.enclosing) + "$" + v.Name()
+			}
+		}
+	}
+	if tv, ok := s.info.Types[recv]; ok && tv.Type != nil {
+		if named := namedOf(tv.Type); named != nil && !isSyncType(named) {
+			return qualifyNamed(named)
+		}
+	}
+	return string(s.enclosing) + "$" + types.ExprString(recv)
+}
+
+func (s *scanner) edge(from, to string, pos token.Pos, via string) {
+	if from == to {
+		return // same-class re-entry is a different bug class
+	}
+	k := from + "\x00" + to + "\x00" + via
+	if s.edgeSeen[k] {
+		return
+	}
+	s.edgeSeen[k] = true
+	s.res.Edges = append(s.res.Edges, LockEdge{From: from, To: to, Pos: s.shortPos(pos), Via: via})
+	s.res.EdgePos = append(s.res.EdgePos, pos)
+}
+
+// chanOp records a channel operation: always a blocking site, and a
+// deadlock-risk violation when a lock is held across it.
+func (s *scanner) chanOp(pos token.Pos, what string) {
+	s.res.Blocks = append(s.res.Blocks, Local{
+		Pos:  pos,
+		What: what,
+		Site: Site{Pos: s.shortPos(pos), What: what},
+	})
+	if len(s.held) > 0 {
+		s.violation(pos, KindChan, fmt.Sprintf("%s while holding %s: a peer needing that lock deadlocks against this park",
+			what, strings.Join(s.held, ", ")))
+	}
+}
+
+// block records a blocking (syscall-latency or parking) call site.
+func (s *scanner) block(pos token.Pos, what string) {
+	s.res.Blocks = append(s.res.Blocks, Local{
+		Pos:  pos,
+		What: what,
+		Site: Site{Pos: s.shortPos(pos), What: what},
+	})
+	if len(s.held) > 0 {
+		s.violation(pos, KindIO, fmt.Sprintf("%s called while holding %s: lock hold time includes I/O or an unbounded wait",
+			what, strings.Join(s.held, ", ")))
+	}
+}
+
+func (s *scanner) violation(pos token.Pos, kind, what string) {
+	s.res.Violations = append(s.res.Violations, Local{
+		Pos:  pos,
+		What: what,
+		Site: Site{Pos: s.shortPos(pos), What: what},
+		Kind: kind,
+	})
+}
+
+// isChanSite classifies a representative blocking site description as a
+// parking shape rather than syscall I/O.
+func isChanSite(what string) bool {
+	switch what {
+	case "channel send", "channel receive", "range over channel", "select", "sync.Cond.Wait":
+		return true
+	}
+	return false
+}
+
+// --- allocation helpers ---------------------------------------------
+
+func (s *scanner) alloc(pos token.Pos, what string) {
+	s.res.Allocs = append(s.res.Allocs, Local{
+		Pos:  pos,
+		What: what,
+		Site: Site{Pos: s.shortPos(pos), What: what},
+	})
+}
+
+// checkMakeSize flags make() whose length/capacity comes from a
+// non-constant expression with no visible clamp (len/cap/min), the
+// shape that lets a hostile header field pre-size gigabytes.
+func (s *scanner) checkMakeSize(call *ast.CallExpr) {
+	for _, arg := range call.Args[1:] {
+		if tv, ok := s.info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+			continue
+		}
+		if s.exprIsClamped(arg) {
+			continue
+		}
+		s.res.Risks = append(s.res.Risks, Local{
+			Pos:  arg.Pos(),
+			What: "allocation sized by an unclamped non-constant; a hostile length field pre-allocates unbounded memory (clamp with min, or size from len of parsed data)",
+			Site: Site{Pos: s.shortPos(arg.Pos()), What: "unclamped allocation size"},
+		})
+	}
+}
+
+// exprIsClamped reports whether e's value is visibly bounded: it
+// contains a len/cap/min call, so the allocation cannot exceed data
+// already in memory (or an explicit cap).
+func (s *scanner) exprIsClamped(e ast.Expr) bool {
+	clamped := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch s.builtinName(call) {
+		case "len", "cap", "min":
+			clamped = true
+			return false
+		}
+		return true
+	})
+	return clamped
+}
+
+func (s *scanner) scanConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from, ok := s.info.Types[call.Args[0]]
+	if !ok || from.Type == nil {
+		return
+	}
+	toU, fromU := to.Underlying(), from.Type.Underlying()
+	switch {
+	case from.Value != nil:
+		// Constant conversions fold at compile time.
+	case isString(toU) && isByteOrRuneSlice(fromU),
+		isByteOrRuneSlice(toU) && isString(fromU):
+		s.alloc(call.Pos(), "string <-> byte/rune slice conversion copies")
+	case types.IsInterface(toU) && !types.IsInterface(fromU):
+		if _, isPtr := fromU.(*types.Pointer); !isPtr {
+			s.alloc(call.Pos(), "conversion boxes a non-pointer value into an interface")
+		}
+	}
+}
+
+// checkVariadicAndBoxing flags the implicit allocations of a call: the
+// slice backing a variadic argument list, and interface parameters
+// boxing concrete non-pointer arguments.
+func (s *scanner) checkVariadicAndBoxing(call *ast.CallExpr, fn *types.Func) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= np {
+		s.alloc(call.Pos(), "variadic call to "+string(KeyOf(fn))+" allocates its argument slice")
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis != token.NoPos {
+				continue
+			}
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		at, ok := s.info.Types[arg]
+		if !ok || at.Type == nil || isUntypedNil(at.Type) {
+			continue
+		}
+		if types.IsInterface(pt.Underlying()) && !types.IsInterface(at.Type.Underlying()) {
+			if _, isPtr := at.Type.Underlying().(*types.Pointer); !isPtr {
+				s.alloc(arg.Pos(), "argument boxes a non-pointer value into an interface parameter")
+			}
+		}
+	}
+}
+
+// capturing reports whether lit references variables declared outside
+// its own body (a closure that must materialize an environment).
+func (s *scanner) capturing(lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := s.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level: no environment needed
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+// --- time-domain return classification ------------------------------
+
+// classifyReturns records, per integer result, whether returned values
+// are nanoseconds laundered out of the wall or simulated domain. Only
+// direct returns of conversions/known calls are classified — enough to
+// catch `return int64(time.Since(t0))` one call away from a sim.Time
+// conversion.
+func (s *scanner) classifyReturns(decl *ast.FuncDecl) {
+	ft := decl.Type
+	if ft.Results == nil {
+		return
+	}
+	var resultTypes []types.Type
+	for _, f := range ft.Results.List {
+		n := max(1, len(f.Names))
+		tv, ok := s.info.Types[f.Type]
+		if !ok || tv.Type == nil {
+			return
+		}
+		for i := 0; i < n; i++ {
+			resultTypes = append(resultTypes, tv.Type)
+		}
+	}
+	wall := make([]bool, len(resultTypes))
+	sim := make([]bool, len(resultTypes))
+	any := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != len(resultTypes) {
+			return true
+		}
+		for i, e := range ret.Results {
+			if !isPlainInt(resultTypes[i]) {
+				continue
+			}
+			w, sm := s.nsDomainOf(e)
+			wall[i] = wall[i] || w
+			sim[i] = sim[i] || sm
+			any = any || w || sm
+		}
+		return true
+	})
+	if any {
+		s.res.WallNs = wall
+		s.res.SimNs = sim
+	}
+}
+
+// nsDomainOf classifies an expression as wall-derived or sim-derived
+// raw nanoseconds.
+func (s *scanner) nsDomainOf(e ast.Expr) (wall, sim bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false, false
+	}
+	if _, isConv := s.isConversion(call); isConv && len(call.Args) == 1 {
+		tv, ok := s.info.Types[call.Args[0]]
+		if !ok || tv.Type == nil {
+			return false, false
+		}
+		return IsWallType(tv.Type), IsSimTime(tv.Type)
+	}
+	fn := s.calleeFunc(call)
+	if fn == nil {
+		return false, false
+	}
+	switch string(KeyOf(fn)) {
+	case "(time.Time).UnixNano", "(time.Time).UnixMilli", "(time.Time).UnixMicro",
+		"(time.Duration).Nanoseconds", "(time.Duration).Milliseconds", "(time.Duration).Microseconds":
+		return true, false
+	}
+	if sum := s.summaryOf(fn); sum != nil {
+		w := len(sum.WallNs) == 1 && sum.WallNs[0]
+		sm := len(sum.SimNs) == 1 && sum.SimNs[0]
+		return w, sm
+	}
+	return false, false
+}
+
+// IsSimTime reports whether t is the simulated-time type: a named
+// integer type called Time declared in a package with a "sim" path
+// segment (the real tree's repro/internal/sim.Time, and fixture
+// packages rooted at "sim").
+func IsSimTime(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Name() != "Time" || n.Obj().Pkg() == nil {
+		return false
+	}
+	for _, seg := range strings.Split(n.Obj().Pkg().Path(), "/") {
+		if seg == "sim" {
+			return true
+		}
+	}
+	return false
+}
+
+// IsWallType reports whether t carries wall-clock time: time.Time or
+// time.Duration.
+func IsWallType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "time" {
+		return false
+	}
+	return n.Obj().Name() == "Time" || n.Obj().Name() == "Duration"
+}
+
+// --- small shared helpers -------------------------------------------
+
+func chainText(chain []string) string {
+	if len(chain) == 0 {
+		return ""
+	}
+	return " (via " + strings.Join(chain, " -> ") + ")"
+}
+
+func appendUnique(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func qualifyNamed(n *types.Named) string {
+	if n.Obj().Pkg() == nil {
+		return n.Obj().Name()
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+func isSyncType(n *types.Named) bool {
+	return n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync"
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isPlainInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0 && namedOf(t) == nil
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func pkgPathOf(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

@@ -19,7 +19,26 @@ import (
 	"repro/internal/lint/analysis"
 )
 
-const prefix = "//lint:ignore "
+const directive = "//lint:ignore"
+
+// cutDirective recognizes a //lint:ignore comment and returns its tail.
+// A bare "//lint:ignore" (no space, no arguments) is still a directive
+// — the malformed kind — while "//lint:ignoreXYZ" is some other token
+// and is left alone. The old prefix match required a trailing space, so
+// the bare form slipped through the audit unreported.
+func cutDirective(text string) (rest string, ok bool) {
+	if !strings.HasPrefix(text, directive) {
+		return "", false
+	}
+	rest = text[len(directive):]
+	if rest == "" {
+		return "", true
+	}
+	if rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
 
 // Directive is one well-formed suppression comment.
 type Directive struct {
@@ -45,10 +64,10 @@ func Parse(fset *token.FileSet, files []*ast.File) ([]Directive, []Malformed) {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, prefix) {
+				rest, isDirective := cutDirective(c.Text)
+				if !isDirective {
 					continue
 				}
-				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, prefix))
 				names, reason, ok := split(rest)
 				if !ok {
 					bad = append(bad, Malformed{

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysistest"
 	"repro/internal/lint/ignore"
 )
 
@@ -88,4 +89,31 @@ var trailing int //lint:ignore ksrlint/determinism covers its own line
 	if len(kept) != 4 {
 		t.Errorf("hookcheck filter kept %d diagnostics, want all 4", len(kept))
 	}
+}
+
+// TestMalformedPosition pins the audit to the directive's own position:
+// the comment token, not the file's first token or the covered line.
+func TestMalformedPosition(t *testing.T) {
+	fset, files := parse(t, `package p
+
+//lint:ignore
+var bare int
+
+var x int //lint:ignore ksrlint/hookcheck
+`)
+	_, bad := ignore.Parse(fset, files)
+	if len(bad) != 2 {
+		t.Fatalf("got %d malformed directives, want 2 (bare, missing reason): %+v", len(bad), bad)
+	}
+	if p := fset.Position(bad[0].Pos); p.Line != 3 || p.Column != 1 {
+		t.Errorf("bare directive reported at %d:%d, want 3:1", p.Line, p.Column)
+	}
+	if p := fset.Position(bad[1].Pos); p.Line != 6 || p.Column != 11 {
+		t.Errorf("trailing directive reported at %d:%d, want 6:11", p.Line, p.Column)
+	}
+}
+
+// TestAuditFixture runs the malformed audit against the want-fixture.
+func TestAuditFixture(t *testing.T) {
+	analysistest.RunIgnoreAudit(t, "testdata", "badignore")
 }

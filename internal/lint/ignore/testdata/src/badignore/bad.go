@@ -1,0 +1,18 @@
+// Package badignore exercises the malformed-//lint:ignore audit. The
+// `// want` tail of a directive line is parsed as part of the directive
+// text, so only shapes that stay malformed with a tail can carry an
+// expectation here; the missing-reason shape is pinned by the unit
+// tests in the ignore package instead.
+package badignore
+
+//lint:ignore // want `malformed //lint:ignore directive`
+var bare int
+
+//lint:ignore hookcheck reason present but analyzer lacks the ksrlint/ prefix // want `malformed //lint:ignore directive`
+var noPrefix int
+
+//lint:ignore ksrlint/hookcheck a well-formed suppression is not audited
+var fine int
+
+//lint:ignoreTYPO some other tool's directive is none of our business
+var other int

@@ -21,14 +21,17 @@ import (
 	"path/filepath"
 )
 
-// Package is one loaded, type-checked package.
+// Package is one loaded, type-checked package. DepOnly marks packages
+// pulled in only as dependencies of the requested patterns: drivers
+// build facts for them but do not report diagnostics in them.
 type Package struct {
-	Path  string
-	Name  string
-	Dir   string
-	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	Path    string
+	Name    string
+	Dir     string
+	DepOnly bool
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
 }
 
 // listPkg is the subset of `go list -json` output the loader reads.
@@ -37,6 +40,8 @@ type listPkg struct {
 	Name       string
 	Dir        string
 	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
 	Incomplete bool
 	Error      *struct{ Err string }
 }
@@ -45,13 +50,26 @@ type listPkg struct {
 // (as `go list` interprets them), sharing one FileSet and one source
 // importer across the set so common dependencies are checked once.
 func Packages(fset *token.FileSet, patterns []string) ([]*Package, error) {
-	args := append([]string{"list", "-json"}, patterns...)
+	return list(fset, append([]string{"list", "-json"}, patterns...))
+}
+
+// PackagesWithDeps loads the packages matching patterns plus their
+// in-module dependencies (standard-library packages are classified by
+// ksrlint's assumption tables, not loaded). `go list -deps` emits
+// dependencies before dependents, and that order is preserved, so a
+// caller folding facts package-by-package always has a callee's facts
+// before reaching its caller.
+func PackagesWithDeps(fset *token.FileSet, patterns []string) ([]*Package, error) {
+	return list(fset, append([]string{"list", "-deps", "-json"}, patterns...))
+}
+
+func list(fset *token.FileSet, args []string) ([]*Package, error) {
 	cmd := exec.Command("go", args...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+		return nil, fmt.Errorf("go %v: %v\n%s", args, err, stderr.Bytes())
 	}
 	var metas []listPkg
 	dec := json.NewDecoder(bytes.NewReader(out))
@@ -68,6 +86,9 @@ func Packages(fset *token.FileSet, patterns []string) ([]*Package, error) {
 	imp := importer.ForCompiler(fset, "source", nil)
 	var pkgs []*Package
 	for _, m := range metas {
+		if m.Standard {
+			continue // stdlib: classified by assumption tables
+		}
 		if m.Error != nil {
 			return nil, fmt.Errorf("package %s: %s", m.ImportPath, m.Error.Err)
 		}
@@ -87,12 +108,13 @@ func Packages(fset *token.FileSet, patterns []string) ([]*Package, error) {
 			return nil, fmt.Errorf("type-checking %s: %v", m.ImportPath, err)
 		}
 		pkgs = append(pkgs, &Package{
-			Path:  m.ImportPath,
-			Name:  m.Name,
-			Dir:   m.Dir,
-			Files: files,
-			Types: pkg,
-			Info:  info,
+			Path:    m.ImportPath,
+			Name:    m.Name,
+			Dir:     m.Dir,
+			DepOnly: m.DepOnly,
+			Files:   files,
+			Types:   pkg,
+			Info:    info,
 		})
 	}
 	return pkgs, nil

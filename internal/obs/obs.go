@@ -402,7 +402,7 @@ func (r *Recorder) SetFinal(simTime sim.Time, counters []Counter) {
 	if r == nil {
 		return
 	}
-	r.meta.SimTimeNs = int64(simTime)
+	r.meta.SimTimeNs = simTime.Ns()
 	r.meta.Counters = counters
 	r.final = true
 }

@@ -98,6 +98,8 @@ type Cache struct {
 // and any existing files are loaded back, oldest-modified first, so the
 // LRU order survives a restart. Unreadable or corrupt files are skipped
 // — a cache must never refuse to start over stale state.
+//
+//ksr:untrusted-input
 func Open(dir string, maxBytes int64) (*Cache, error) {
 	if maxBytes <= 0 {
 		return nil, fmt.Errorf("resultcache: max bytes must be positive (got %d)", maxBytes)
@@ -154,7 +156,9 @@ func Open(dir string, maxBytes int64) (*Cache, error) {
 	}
 	sort.Slice(found, func(i, j int) bool { return found[i].mod.Before(found[j].mod) })
 	for _, od := range found {
-		c.insert(od.entry, false)
+		for _, p := range c.insert(od.entry) {
+			_ = os.Remove(p)
+		}
 	}
 	// Loading counts neither as stores nor misses.
 	c.stores, c.evictions = 0, 0
@@ -165,19 +169,26 @@ func Open(dir string, maxBytes int64) (*Cache, error) {
 // it to most-recently-used on a hit.
 func (c *Cache) Get(key string) (*Entry, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
 		c.misses++
+		c.mu.Unlock()
 		return nil, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
 	n := el.Value.(*node)
+	stamp := ""
 	if c.dir != "" {
-		// Best-effort recency stamp so LRU order survives restarts.
+		stamp = c.path(key)
+	}
+	c.mu.Unlock()
+	if stamp != "" {
+		// Best-effort recency stamp so LRU order survives restarts,
+		// done after unlocking so concurrent hits don't serialize on
+		// a utimensat syscall.
 		now := time.Now()
-		_ = os.Chtimes(c.path(key), now, now)
+		_ = os.Chtimes(stamp, now, now)
 	}
 	return n.entry, true
 }
@@ -194,43 +205,53 @@ func (c *Cache) Put(e *Entry) error {
 		return fmt.Errorf("resultcache: entry %s (%d bytes) exceeds cache cap %d", e.Key[:12], sz, c.max)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.byKey[e.Key]; ok {
 		c.ll.Remove(el)
 		delete(c.byKey, e.Key)
 		c.bytes -= el.Value.(*node).size
 	}
-	c.insert(e, true)
+	evicted := c.insert(e)
+	c.mu.Unlock()
+	// Persist the new entry and prune the evicted files after
+	// unlocking: the in-memory LRU is already consistent, the disk
+	// mirror is best-effort, and fsync latency must not extend the
+	// lock hold time that Get contends on.
+	if c.dir != "" {
+		if b, err := json.Marshal(e); err == nil {
+			_ = writeAtomic(c.dir, c.path(e.Key), b)
+		}
+		for _, p := range evicted {
+			_ = os.Remove(p)
+		}
+	}
 	return nil
 }
 
-// insert adds e at the front and evicts from the back. Caller holds mu
-// (or is Open's single-threaded load when persist=false).
-func (c *Cache) insert(e *Entry, persist bool) {
+// insert adds e at the front and evicts from the back, returning the
+// persistence paths of evicted entries for the caller to prune off-lock.
+// Caller holds mu (or is Open's single-threaded load).
+func (c *Cache) insert(e *Entry) (evicted []string) {
 	sz := e.size()
 	el := c.ll.PushFront(&node{entry: e, size: sz})
 	c.byKey[e.Key] = el
 	c.bytes += sz
 	c.stores++
-	if persist && c.dir != "" {
-		if b, err := json.Marshal(e); err == nil {
-			_ = writeAtomic(c.dir, c.path(e.Key), b)
-		}
-	}
 	for c.bytes > c.max {
 		back := c.ll.Back()
 		if back == nil || back == el {
 			break
 		}
+		//lint:ignore ksrlint/errnopanic the list is private and only insert pushes onto it, always a *node; no input reaches this assertion
 		n := back.Value.(*node)
 		c.ll.Remove(back)
 		delete(c.byKey, n.entry.Key)
 		c.bytes -= n.size
 		c.evictions++
 		if c.dir != "" {
-			_ = os.Remove(c.path(n.entry.Key))
+			evicted = append(evicted, c.path(n.entry.Key))
 		}
 	}
+	return evicted
 }
 
 // path is the persistence file for key.

@@ -562,6 +562,8 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 // decodeSubmit accepts either a batch {"jobs": [...]} or a bare JobSpec.
+//
+//ksr:untrusted-input
 func decodeSubmit(body []byte) ([]api.JobSpec, error) {
 	try := func(v any) error {
 		dec := json.NewDecoder(bytesReader(body))
@@ -862,7 +864,7 @@ func (s *Server) run(ctx context.Context, j *job, runner experiments.Runner, cfg
 			}
 			opts.Cats = cats
 		}
-		opts.SampleEvery = sim.Time(o.SampleNs)
+		opts.SampleEvery = sim.FromNs(o.SampleNs)
 	}
 	sess := obs.NewSession(opts)
 	j.mu.Lock()

@@ -21,6 +21,8 @@ func NewCond(e *Engine, name string) *Cond {
 }
 
 // Wait parks p until the next Broadcast.
+//
+//ksr:hotpath
 func (c *Cond) Wait(p *Process) {
 	c.waiters = append(c.waiters, p)
 	p.block(c.blockWhy)
@@ -28,6 +30,8 @@ func (c *Cond) Wait(p *Process) {
 
 // Broadcast wakes every current waiter, in wait order. New waiters that
 // arrive after the broadcast wait for the next one.
+//
+//ksr:hotpath
 func (c *Cond) Broadcast() {
 	if len(c.waiters) == 0 {
 		return

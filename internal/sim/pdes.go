@@ -171,6 +171,8 @@ func (pd *Partitioned) Stats() PartitionedStats {
 // partition from (an event or process holding that engine's control
 // token). delay below the lookahead is a protocol violation — the target
 // window may already have run past the message's timestamp — and panics.
+//
+//ksr:hotpath
 func (pd *Partitioned) Send(from, to int, delay Time, fn func()) {
 	if delay < pd.lookahead {
 		panic(fmt.Sprintf("sim: cross-partition delay %v below the lookahead %v", delay, pd.lookahead))
@@ -235,6 +237,8 @@ func (pd *Partitioned) Run() error {
 // and injects the messages into their target engines. Injection order
 // matters: it fixes the engines' internal sequence numbers, hence the
 // same-timestamp tie-break, hence byte-identity across worker counts.
+//
+//ksr:hotpath
 func (pd *Partitioned) deliver() {
 	pd.merged = pd.merged[:0]
 	for from := range pd.outbox {
@@ -244,16 +248,7 @@ func (pd *Partitioned) deliver() {
 	if len(pd.merged) == 0 {
 		return
 	}
-	sort.Slice(pd.merged, func(i, j int) bool {
-		a, b := &pd.merged[i], &pd.merged[j]
-		if a.at != b.at {
-			return a.at < b.at
-		}
-		if a.seq != b.seq {
-			return a.seq < b.seq
-		}
-		return a.from < b.from
-	})
+	sort.Sort((*xmsgSorter)(&pd.merged))
 	for i := range pd.merged {
 		m := &pd.merged[i]
 		pd.pstats[m.to].Recv++
@@ -261,6 +256,25 @@ func (pd *Partitioned) deliver() {
 		m.fn = nil // release the closure; merged is reused
 	}
 	pd.messages += uint64(len(pd.merged))
+}
+
+// xmsgSorter orders a merged outbox by (at, seq, from). A named type
+// with a pointer receiver keeps deliver allocation-free: sort.Slice's
+// closure would escape to the heap every window, while boxing *xmsgSorter
+// into sort.Interface stores the pointer in the interface word directly.
+type xmsgSorter []xmsg
+
+func (s *xmsgSorter) Len() int      { return len(*s) }
+func (s *xmsgSorter) Swap(i, j int) { (*s)[i], (*s)[j] = (*s)[j], (*s)[i] }
+func (s *xmsgSorter) Less(i, j int) bool {
+	a, b := &(*s)[i], &(*s)[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.from < b.from
 }
 
 // account folds one finished window into the per-partition stats. Runs
@@ -293,6 +307,8 @@ func (pd *Partitioned) account(limit Time) {
 }
 
 // earliest returns the minimum pending event time across partitions.
+//
+//ksr:hotpath
 func (pd *Partitioned) earliest() (Time, bool) {
 	var min Time
 	any := false

@@ -46,6 +46,8 @@ func eventBefore(a, b *event) bool {
 
 // push inserts ev. ev.at must be >= the at of the most recently popped
 // event (the engine never schedules into the past).
+//
+//ksr:hotpath
 func (q *eventQueue) push(ev *event) {
 	ev.next = nil
 	ev.queued = true
@@ -57,6 +59,7 @@ func (q *eventQueue) push(ev *event) {
 	q.heapPush(ev)
 }
 
+//ksr:hotpath
 func (q *eventQueue) bucketAppend(ev *event) {
 	i := int(ev.at) & wheelMask
 	b := &q.buckets[i]
@@ -72,6 +75,8 @@ func (q *eventQueue) bucketAppend(ev *event) {
 
 // pop removes and returns the earliest event by (at, seq), or nil when the
 // queue is empty.
+//
+//ksr:hotpath
 func (q *eventQueue) pop() *event {
 	if q.size == 0 {
 		return nil
@@ -108,6 +113,8 @@ func (q *eventQueue) pop() *event {
 // or above base. When the wheel is empty the overflow minimum is already
 // the global minimum (wheel entries are < base+wheelSize, overflow
 // entries >= base+wheelSize), so no advance is needed to answer.
+//
+//ksr:hotpath
 func (q *eventQueue) peek() (Time, bool) {
 	if q.size == 0 {
 		return 0, false
@@ -125,6 +132,8 @@ func (q *eventQueue) peek() (Time, bool) {
 // the wheel is empty and the overflow heap is not. Only pop may call
 // this: advancing anywhere else would let base outrun the engine clock,
 // breaking push's assumption that ev.at >= base.
+//
+//ksr:hotpath
 func (q *eventQueue) advanceWindow() {
 	min := q.overflow[0].at
 	q.base = min &^ Time(wheelMask)
@@ -138,6 +147,8 @@ func (q *eventQueue) advanceWindow() {
 // nextOccupied returns the first non-empty bucket index at or after cursor.
 // The caller guarantees wheelCount > 0; within a window, event times only
 // move forward, so the bucket is always at or after cursor.
+//
+//ksr:hotpath
 func (q *eventQueue) nextOccupied() int {
 	w := q.cursor >> 6
 	if word := q.occ[w] &^ (1<<(q.cursor&63) - 1); word != 0 {
@@ -150,8 +161,12 @@ func (q *eventQueue) nextOccupied() int {
 	}
 }
 
+//ksr:hotpath
 func (q *eventQueue) heapPush(ev *event) {
-	h := append(q.overflow, ev)
+	// Self-append: amortized growth of the heap's own backing array is
+	// the one reallocation the queue tolerates.
+	q.overflow = append(q.overflow, ev)
+	h := q.overflow
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -164,6 +179,7 @@ func (q *eventQueue) heapPush(ev *event) {
 	q.overflow = h
 }
 
+//ksr:hotpath
 func (q *eventQueue) heapPop() *event {
 	h := q.overflow
 	ev := h[0]

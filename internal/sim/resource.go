@@ -46,6 +46,8 @@ func (r *Resource) QueueLen() int { return len(r.q) }
 
 // Acquire blocks process p until a unit is available, then claims it.
 // It returns the simulated time spent waiting.
+//
+//ksr:hotpath
 func (r *Resource) Acquire(p *Process) Time {
 	if r.inUse < r.capacity {
 		r.inUse++
@@ -65,6 +67,8 @@ func (r *Resource) Acquire(p *Process) Time {
 
 // TryAcquire claims a unit if one is free without waiting, reporting
 // whether it succeeded.
+//
+//ksr:hotpath
 func (r *Resource) TryAcquire() bool {
 	if r.inUse < r.capacity && len(r.q) == 0 {
 		r.inUse++
@@ -77,6 +81,8 @@ func (r *Resource) TryAcquire() bool {
 // AcquireAsync queues fn to run (in engine context) as soon as a unit can
 // be claimed for it. Used by fire-and-forget transactions such as
 // poststore, which proceed without a process attached.
+//
+//ksr:hotpath
 func (r *Resource) AcquireAsync(fn func()) {
 	if r.inUse < r.capacity && len(r.q) == 0 {
 		r.inUse++
@@ -92,6 +98,8 @@ func (r *Resource) AcquireAsync(fn func()) {
 
 // Release returns one unit and hands it to the head of the queue, if any.
 // Must be called from engine context or from the running process.
+//
+//ksr:hotpath
 func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: release of idle resource " + r.name)

@@ -41,6 +41,21 @@ const (
 	Second Time = 1000 * 1000 * 1000
 )
 
+// FromNs rehydrates a simulated time from a serialized nanosecond count
+// (a journal record, a JSON report, an on-wire sample). It is the only
+// sanctioned entry from raw int64 nanoseconds into the simulated time
+// domain; ksrlint/timedomain flags direct conversions elsewhere.
+//
+//ksr:timebridge
+func FromNs(ns int64) Time { return Time(ns) }
+
+// Ns serializes a simulated time as a raw nanosecond count for storage
+// in journals, JSON reports, and wire formats. The inverse of FromNs,
+// and likewise the only sanctioned exit from the simulated time domain.
+//
+//ksr:timebridge
+func (t Time) Ns() int64 { return int64(t) }
+
 // Seconds converts a simulated duration to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
@@ -155,9 +170,12 @@ func (e *Engine) EventsExecuted() uint64 { return e.events }
 func (e *Engine) SetDeadline(t Time) { e.maxTime = t }
 
 // alloc takes a callback event from the pool.
+//
+//ksr:hotpath
 func (e *Engine) alloc() *event {
 	ev := e.free
 	if ev == nil {
+		//lint:ignore ksrlint/hotalloc pool miss: each record is allocated once and recycled forever after, so steady state never reaches this line
 		return &event{}
 	}
 	e.free = ev.next
@@ -167,6 +185,8 @@ func (e *Engine) alloc() *event {
 
 // release returns a popped event to the pool. Resume events are owned by
 // their process and only have their queued flag cleared.
+//
+//ksr:hotpath
 func (e *Engine) release(ev *event) {
 	ev.queued = false
 	if ev.proc != nil {
@@ -180,6 +200,8 @@ func (e *Engine) release(ev *event) {
 // Schedule runs fn at time Now()+d. fn executes in engine context: it must
 // not park, but it may schedule further events, release resources, and
 // broadcast conds. d must be non-negative.
+//
+//ksr:hotpath
 func (e *Engine) Schedule(d Time, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: Schedule with negative delay %d", d))
@@ -198,6 +220,8 @@ func (e *Engine) Schedule(d Time, fn func()) {
 // engine whose clock lags behind; the conservative window protocol
 // guarantees at is beyond the target's current window, so the absolute
 // form never violates the no-scheduling-into-the-past invariant.
+//
+//ksr:hotpath
 func (e *Engine) ScheduleAt(at Time, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: ScheduleAt(%v) into the past (now %v)", at, e.now))
@@ -219,6 +243,8 @@ func (e *Engine) NextEventAt() (Time, bool) { return e.q.peek() }
 // has at most one pending resumption (it is either sleeping on its timer
 // or parked waiting for exactly one grant/broadcast), so the single
 // per-process record suffices and no allocation happens.
+//
+//ksr:hotpath
 func (e *Engine) scheduleResume(d Time, p *Process) {
 	t := &p.timer
 	if t.queued {
@@ -311,6 +337,8 @@ func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 // It returns the process control should transfer to, or nil when the run
 // is over (with the outcome recorded in e.runErr); when it returns self,
 // control has come straight back and no goroutine switch is needed.
+//
+//ksr:hotpath
 func (e *Engine) dispatch(self *Process) *Process {
 	e.running = nil
 	for {
@@ -347,7 +375,7 @@ func (e *Engine) dispatch(self *Process) *Process {
 			if e.watchCount > e.watchdogLimit {
 				e.now = ev.at
 				e.release(ev)
-				e.runErr = &LivelockError{At: ev.at, Events: e.watchCount, Limit: e.watchdogLimit}
+				e.runErr = livelockErr(ev.at, e.watchCount, e.watchdogLimit)
 				return nil
 			}
 		}
@@ -377,6 +405,8 @@ func (e *Engine) dispatch(self *Process) *Process {
 // parking goroutine dispatches further events itself; control returns
 // either directly (the next event resumed this same process) or through
 // the wake channel.
+//
+//ksr:hotpath
 func (p *Process) park(why string) {
 	e := p.eng
 	if e.shutdown {
@@ -406,6 +436,8 @@ func (p *Process) park(why string) {
 
 // Sleep advances the process's local view of time by d. Other events with
 // earlier timestamps run in between.
+//
+//ksr:hotpath
 func (p *Process) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: Sleep with negative duration %d", d))
@@ -416,6 +448,8 @@ func (p *Process) Sleep(d Time) {
 
 // block parks p with no pending event; something else must wake it via a
 // Resource grant or Cond broadcast, otherwise the simulation deadlocks.
+//
+//ksr:hotpath
 func (p *Process) block(why string) {
 	p.blocked = true
 	p.blockSince = p.eng.now
@@ -457,6 +491,8 @@ func (e *DeadlockError) Error() string {
 // deadlockErr builds the end-of-run error for an empty event queue: nil
 // when every process finished, a *DeadlockError naming the wedged
 // processes otherwise.
+//
+//ksr:coldpath
 func (e *Engine) deadlockErr() error {
 	if e.nlive == 0 {
 		return nil
@@ -496,6 +532,13 @@ type LivelockError struct {
 	At     Time // the instant time stopped advancing at
 	Events int  // events executed at that instant before tripping
 	Limit  int  // the armed threshold
+}
+
+// livelockErr builds the watchdog's error off the dispatch fast path.
+//
+//ksr:coldpath
+func livelockErr(at Time, events, limit int) error {
+	return &LivelockError{At: at, Events: events, Limit: limit}
 }
 
 func (e *LivelockError) Error() string {

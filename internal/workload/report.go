@@ -71,7 +71,7 @@ func buildReport(t *Trace, m *machine.Machine, elapsed sim.Time) (*Report, error
 		Machine:   s.Machine,
 		Cells:     s.Cells,
 		Procs:     len(t.Header.Slots),
-		ElapsedNs: int64(elapsed),
+		ElapsedNs: elapsed.Ns(),
 		Counters:  m.Counters(),
 		Perturbed: t.Header.Perturbed,
 	}

@@ -127,6 +127,11 @@ var machineKinds = map[string]bool{
 	"ksr1": true, "ksr2": true, "symmetry": true, "butterfly": true,
 }
 
+// maxSpecCells bounds the machine size a spec file may claim, far above
+// the 1088-cell KSR-2. Validate sizes per-cell allocations from this
+// field, so an absurd count must be an error, not a multi-gigabyte make.
+const maxSpecCells = 1 << 16
+
 var sharings = map[string]bool{
 	SharingPrivate: true, SharingShared: true,
 	SharingFalseSharing: true, SharingHotLine: true,
@@ -164,13 +169,15 @@ func (s Spec) Validate() error {
 	if !machineKinds[s.Machine] {
 		return fmt.Errorf("workload: unknown machine %q (want ksr1, ksr2, symmetry, or butterfly)", s.Machine)
 	}
-	if s.Cells < 1 {
-		return fmt.Errorf("workload: %d cells", s.Cells)
+	if s.Cells < 1 || s.Cells > maxSpecCells {
+		return fmt.Errorf("workload: %d cells (want 1..%d)", s.Cells, maxSpecCells)
 	}
 	if len(s.Tenants) == 0 {
 		return fmt.Errorf("workload: spec has no tenants")
 	}
-	used := make([]bool, s.Cells)
+	// min is a no-op after the bounds check above; it keeps the
+	// allocation size visibly clamped against a hostile spec file.
+	used := make([]bool, min(s.Cells, maxSpecCells))
 	for ti, t := range s.Tenants {
 		if t.Name == "" {
 			return fmt.Errorf("workload: tenant %d has no name", ti)

@@ -95,6 +95,8 @@ func (t *Trace) WriteFile(path string) error {
 // count the header promises, and the stream must end with the sentinel
 // and matching total. A torn or truncated file produces a descriptive
 // error, never a panic.
+//
+//ksr:untrusted-input
 func Load(r io.Reader) (*Trace, error) {
 	zr, err := gzip.NewReader(r)
 	if err != nil {
@@ -126,7 +128,7 @@ func Load(r io.Reader) (*Trace, error) {
 		if sd.Ops < 0 {
 			return nil, fmt.Errorf("workload: trace slot %d: negative op count %d", si, sd.Ops)
 		}
-		ops := make([]Op, 0, sd.Ops)
+		ops := make([]Op, 0, min(sd.Ops, 4096)) // cap: ops counts come from the file
 		for oi := 0; oi < sd.Ops; oi++ {
 			op, err := readOp(br)
 			if err != nil {
@@ -160,6 +162,8 @@ func Load(r io.Reader) (*Trace, error) {
 }
 
 // LoadFile reads a trace from path.
+//
+//ksr:untrusted-input
 func LoadFile(path string) (*Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -213,6 +217,8 @@ type Perturbation struct {
 // therefore in replay reports). The op streams' data addresses are never
 // touched: data regions are allocated before lock and barrier state, so
 // swapped algorithms cannot shift the memory layout.
+//
+//ksr:untrusted-input
 func (t *Trace) Perturb(p Perturbation) error {
 	h := &t.Header
 	if p.ScaleCompute < 0 {
